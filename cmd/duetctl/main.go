@@ -1,0 +1,404 @@
+// Command duetctl is an interactive operator console for a live (simulated)
+// Duet cluster: create VIPs, place them on switches, inject failures, probe
+// the datapath, and inspect switch table occupancy — the controller's
+// operations from §5 and §6 exposed one command at a time.
+//
+// Usage:
+//
+//	duetctl                 # interactive REPL
+//	echo "demo" | duetctl   # scripted
+//
+// Commands:
+//
+//	vip add <vip> <dip> [dip...]     configure a VIP on the SMux backstop
+//	vip rm <vip>                     remove a VIP everywhere
+//	vip ls                           list VIPs and their current home
+//	assign <vip> <switch>            program a VIP onto an HMux
+//	withdraw <vip>                   pull a VIP back to the SMuxes
+//	dip add <vip> <dip>              add a DIP (bounces the VIP via SMux)
+//	dip rm <vip> <dip>               remove a DIP (resilient, in place)
+//	fail <switch> | recover <switch> kill / restore a switch
+//	probe <vip> [n]                  send n flows, show the DIP split
+//	tables <switch>                  switch table occupancy
+//	switches                         list switches
+//	demo                             run a scripted tour
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"duet"
+	"duet/internal/topology"
+)
+
+type console struct {
+	cluster *duet.Cluster
+	out     *bufio.Writer
+}
+
+func main() {
+	cluster, err := duet.NewCluster(duet.ClusterConfig{
+		Topology: duet.TopologyConfig{
+			Containers:       2,
+			ToRsPerContainer: 4,
+			AggsPerContainer: 2,
+			Cores:            4,
+			ServersPerToR:    10,
+		},
+		NumSMuxes: 3,
+		Aggregate: duet.MustParsePrefix("10.0.0.0/8"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := &console{cluster: cluster, out: bufio.NewWriter(os.Stdout)}
+	defer c.out.Flush()
+
+	fmt.Fprintln(c.out, "duetctl — Duet cluster console (type 'help')")
+	c.out.Flush()
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	for {
+		if interactive {
+			fmt.Fprint(c.out, "duet> ")
+		}
+		c.out.Flush()
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !interactive {
+			fmt.Fprintf(c.out, "duet> %s\n", line)
+		}
+		if quit := c.exec(line); quit {
+			return
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (c *console) exec(line string) (quit bool) {
+	args := strings.Fields(line)
+	cmd := args[0]
+	args = args[1:]
+	defer c.out.Flush()
+	switch cmd {
+	case "quit", "exit":
+		return true
+	case "help":
+		c.help()
+	case "vip":
+		c.vip(args)
+	case "assign":
+		c.assign(args)
+	case "withdraw":
+		c.withdraw(args)
+	case "dip":
+		c.dip(args)
+	case "fail":
+		c.failRecover(args, true)
+	case "recover":
+		c.failRecover(args, false)
+	case "probe":
+		c.probe(args)
+	case "tables":
+		c.tables(args)
+	case "switches":
+		c.switches()
+	case "demo":
+		c.demo()
+	default:
+		fmt.Fprintf(c.out, "unknown command %q (try 'help')\n", cmd)
+	}
+	return false
+}
+
+func (c *console) help() {
+	fmt.Fprint(c.out, `commands:
+  vip add <vip> <dip> [dip...]   vip rm <vip>   vip ls
+  assign <vip> <switch>          withdraw <vip>
+  dip add <vip> <dip>            dip rm <vip> <dip>
+  fail <switch>                  recover <switch>
+  probe <vip> [flows]            tables <switch>
+  switches                       demo
+  quit
+switch names look like tor-0-1, agg-1-0, core-2
+`)
+}
+
+func (c *console) parseAddr(s string) (duet.Addr, bool) {
+	a, err := duet.ParseAddr(s)
+	if err != nil {
+		fmt.Fprintf(c.out, "bad address %q\n", s)
+		return 0, false
+	}
+	return a, true
+}
+
+func (c *console) findSwitch(name string) (duet.SwitchID, bool) {
+	for _, sw := range c.cluster.Topo.Switches {
+		if sw.Name == name {
+			return sw.ID, true
+		}
+	}
+	fmt.Fprintf(c.out, "no switch %q (see 'switches')\n", name)
+	return 0, false
+}
+
+func (c *console) vip(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(c.out, "vip add|rm|ls ...")
+		return
+	}
+	switch args[0] {
+	case "add":
+		if len(args) < 3 {
+			fmt.Fprintln(c.out, "vip add <vip> <dip> [dip...]")
+			return
+		}
+		vip, ok := c.parseAddr(args[1])
+		if !ok {
+			return
+		}
+		var backends []duet.Backend
+		for _, d := range args[2:] {
+			a, ok := c.parseAddr(d)
+			if !ok {
+				return
+			}
+			backends = append(backends, duet.Backend{Addr: a, Weight: 1})
+		}
+		if err := c.cluster.AddVIP(&duet.VIP{Addr: vip, Backends: backends}); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "VIP %s configured with %d DIPs (on SMux backstop)\n", vip, len(backends))
+	case "rm":
+		if len(args) != 2 {
+			fmt.Fprintln(c.out, "vip rm <vip>")
+			return
+		}
+		vip, ok := c.parseAddr(args[1])
+		if !ok {
+			return
+		}
+		if err := c.cluster.RemoveVIP(vip); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "VIP %s removed\n", vip)
+	case "ls":
+		vips := c.cluster.VIPs()
+		sort.Slice(vips, func(i, j int) bool { return vips[i] < vips[j] })
+		if len(vips) == 0 {
+			fmt.Fprintln(c.out, "no VIPs configured")
+			return
+		}
+		for _, vip := range vips {
+			v, _ := c.cluster.VIP(vip)
+			home := "SMux backstop"
+			if sw, ok := c.cluster.HomeOf(vip); ok {
+				home = "HMux " + c.cluster.Topo.Switch(sw).Name
+			}
+			fmt.Fprintf(c.out, "  %-15s %2d DIPs  %s\n", vip, len(v.Backends), home)
+		}
+	default:
+		fmt.Fprintln(c.out, "vip add|rm|ls ...")
+	}
+}
+
+func (c *console) assign(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(c.out, "assign <vip> <switch>")
+		return
+	}
+	vip, ok := c.parseAddr(args[0])
+	if !ok {
+		return
+	}
+	sw, ok := c.findSwitch(args[1])
+	if !ok {
+		return
+	}
+	if err := c.cluster.AssignToHMux(vip, sw); err != nil {
+		fmt.Fprintln(c.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(c.out, "VIP %s now served by HMux %s (/32 announced)\n", vip, args[1])
+}
+
+func (c *console) withdraw(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(c.out, "withdraw <vip>")
+		return
+	}
+	vip, ok := c.parseAddr(args[0])
+	if !ok {
+		return
+	}
+	if err := c.cluster.WithdrawFromHMux(vip); err != nil {
+		fmt.Fprintln(c.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(c.out, "VIP %s withdrawn to the SMux backstop\n", vip)
+}
+
+func (c *console) dip(args []string) {
+	if len(args) != 3 {
+		fmt.Fprintln(c.out, "dip add|rm <vip> <dip>")
+		return
+	}
+	vip, ok := c.parseAddr(args[1])
+	if !ok {
+		return
+	}
+	dip, ok := c.parseAddr(args[2])
+	if !ok {
+		return
+	}
+	ctl := duet.NewController(c.cluster, duet.DefaultAssignOptions())
+	switch args[0] {
+	case "add":
+		if err := ctl.AddDIP(vip, duet.Backend{Addr: dip, Weight: 1}); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "DIP %s added; VIP bounced through SMuxes (§5.2)\n", dip)
+	case "rm":
+		if err := ctl.RemoveDIP(vip, dip); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "DIP %s removed resiliently in place\n", dip)
+	default:
+		fmt.Fprintln(c.out, "dip add|rm <vip> <dip>")
+	}
+}
+
+func (c *console) failRecover(args []string, fail bool) {
+	if len(args) != 1 {
+		fmt.Fprintln(c.out, "fail|recover <switch>")
+		return
+	}
+	sw, ok := c.findSwitch(args[0])
+	if !ok {
+		return
+	}
+	if fail {
+		c.cluster.FailSwitch(sw)
+		fmt.Fprintf(c.out, "switch %s DOWN; its VIPs fell back to the SMuxes\n", args[0])
+	} else {
+		c.cluster.RecoverSwitch(sw)
+		fmt.Fprintf(c.out, "switch %s UP (tables empty until VIPs are re-assigned)\n", args[0])
+	}
+}
+
+func (c *console) probe(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(c.out, "probe <vip> [flows]")
+		return
+	}
+	vip, ok := c.parseAddr(args[0])
+	if !ok {
+		return
+	}
+	n := 1000
+	if len(args) > 1 {
+		if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+			n = v
+		}
+	}
+	counts := map[string]int{}
+	path := ""
+	for i := 0; i < n; i++ {
+		pkt := duet.BuildTCP(duet.FiveTuple{
+			Src: duet.MustParseAddr("30.0.0.1") + duet.Addr(i), Dst: vip,
+			SrcPort: uint16(1024 + i), DstPort: 80, Proto: 6,
+		}, duet.TCPSyn, nil)
+		d, err := c.cluster.Deliver(pkt)
+		if err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		counts[d.DIP.String()]++
+		if path == "" {
+			var hops []string
+			for _, h := range d.Hops {
+				hops = append(hops, h.Kind+"("+h.Node+")")
+			}
+			path = strings.Join(hops, " → ")
+		}
+	}
+	fmt.Fprintf(c.out, "%d flows via %s\n", n, path)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(c.out, "  %-15s %5d (%.1f%%)\n", k, counts[k], 100*float64(counts[k])/float64(n))
+	}
+}
+
+func (c *console) tables(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(c.out, "tables <switch>")
+		return
+	}
+	sw, ok := c.findSwitch(args[0])
+	if !ok {
+		return
+	}
+	st := c.cluster.HMuxes[sw].Stats()
+	fmt.Fprintf(c.out, "%s: host %d/%d  ecmp %d/%d  tunnel %d/%d  (VIPs %d, TIPs %d)\n",
+		args[0], st.HostUsed, st.HostCap, st.ECMPUsed, st.ECMPCap,
+		st.TunnelUsed, st.TunnelCap, st.VIPs, st.TIPs)
+}
+
+func (c *console) switches() {
+	byKind := map[topology.Kind][]string{}
+	for _, sw := range c.cluster.Topo.Switches {
+		status := ""
+		if !c.cluster.SwitchUp(sw.ID) {
+			status = " [DOWN]"
+		}
+		byKind[sw.Kind] = append(byKind[sw.Kind], sw.Name+status)
+	}
+	for _, k := range []topology.Kind{topology.Core, topology.Agg, topology.ToR} {
+		fmt.Fprintf(c.out, "%-5s %s\n", k.String()+":", strings.Join(byKind[k], " "))
+	}
+}
+
+func (c *console) demo() {
+	script := []string{
+		"vip add 10.0.0.1 100.0.0.1 100.0.0.2 100.0.0.3",
+		"probe 10.0.0.1 600",
+		"assign 10.0.0.1 agg-0-0",
+		"tables agg-0-0",
+		"probe 10.0.0.1 600",
+		"fail agg-0-0",
+		"probe 10.0.0.1 600",
+		"recover agg-0-0",
+		"assign 10.0.0.1 core-1",
+		"probe 10.0.0.1 600",
+		"vip ls",
+	}
+	for _, line := range script {
+		fmt.Fprintf(c.out, "\nduet> %s\n", line)
+		c.exec(line)
+	}
+}

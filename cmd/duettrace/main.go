@@ -1,0 +1,127 @@
+// Command duettrace generates, inspects and converts the synthetic traffic
+// traces the experiments run on (the stand-in for the paper's production
+// trace, §8.1). Saving a trace pins an experiment to exact inputs even if
+// the generator evolves.
+//
+// Usage:
+//
+//	duettrace -gen -o trace.gz -vips 2000 -tbps 2.5 -epochs 18 -seed 1
+//	duettrace -info trace.gz
+//	duettrace -epoch 3 -top 10 trace.gz    # top VIPs of one epoch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"duet/internal/metrics"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a trace")
+	out := flag.String("o", "trace.gz", "output path for -gen")
+	vips := flag.Int("vips", 2000, "number of VIPs")
+	tbps := flag.Float64("tbps", 2.5, "total offered load in Tbps")
+	epochs := flag.Int("epochs", 18, "number of 10-minute epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	churn := flag.Float64("churn", 0.25, "per-epoch rate drift (lognormal sigma)")
+	info := flag.Bool("info", false, "print a summary of a trace file")
+	epoch := flag.Int("epoch", 0, "epoch to inspect")
+	top := flag.Int("top", 0, "print the top-N VIPs of -epoch")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		topo := topology.MustNew(topology.Config{
+			Containers:       16,
+			ToRsPerContainer: 40,
+			AggsPerContainer: 4,
+			Cores:            32,
+			ServersPerToR:    32,
+		})
+		w, err := workload.Generate(workload.Config{
+			NumVIPs: *vips, TotalRate: *tbps * 1e12, Epochs: *epochs, Seed: *seed,
+			TrafficSkew: 1.6, MaxDIPs: 1500, InternetFrac: 0.3, ChurnStdDev: *churn,
+		}, topo)
+		die(err)
+		die(w.SaveFile(*out))
+		fmt.Printf("wrote %s: %d VIPs, %d DIPs, %d epochs, %s epoch-0 load\n",
+			*out, len(w.VIPs), w.TotalDIPs(), w.NumEpochs(), metrics.FmtRate(w.TotalRate(0)))
+
+	case *info || *top > 0:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: duettrace -info <trace.gz>")
+			os.Exit(2)
+		}
+		w, err := workload.LoadFile(flag.Arg(0))
+		die(err)
+		if *top > 0 {
+			printTop(w, *epoch, *top)
+			return
+		}
+		printInfo(w)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printInfo(w *workload.Workload) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "VIPs\t%d\n", len(w.VIPs))
+	fmt.Fprintf(tw, "total DIPs\t%d\n", w.TotalDIPs())
+	fmt.Fprintf(tw, "epochs\t%d × %.0fs\n", w.NumEpochs(), w.EpochSeconds)
+	for e := 0; e < w.NumEpochs(); e++ {
+		fmt.Fprintf(tw, "epoch %d load\t%s\n", e, metrics.FmtRate(w.TotalRate(e)))
+	}
+	pts := workload.CumulativeShare(w.ByteShares(0))
+	for _, frac := range []float64{0.01, 0.10, 0.50} {
+		for _, p := range pts {
+			if p.VIPFrac >= frac {
+				fmt.Fprintf(tw, "top %.0f%% VIPs carry\t%.1f%% of bytes\n", frac*100, p.CumFrac*100)
+				break
+			}
+		}
+	}
+	tw.Flush()
+}
+
+func printTop(w *workload.Workload, epoch, n int) {
+	if epoch < 0 || epoch >= w.NumEpochs() {
+		fmt.Fprintf(os.Stderr, "epoch %d out of range (0..%d)\n", epoch, w.NumEpochs()-1)
+		os.Exit(2)
+	}
+	type row struct {
+		i    int
+		rate float64
+	}
+	rows := make([]row, len(w.VIPs))
+	for i := range rows {
+		rows[i] = row{i, w.Rates[epoch][i]}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].rate > rows[b].rate })
+	if n > len(rows) {
+		n = len(rows)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "rank\tVIP\trate\tDIPs\tsrc racks\tinternet\n")
+	for r := 0; r < n; r++ {
+		v := &w.VIPs[rows[r].i]
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%.0f%%\n",
+			r+1, v.Addr, metrics.FmtRate(rows[r].rate), v.NumDIPs(), len(v.SrcRacks), v.InternetFrac*100)
+	}
+	tw.Flush()
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duettrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+// Wire: runs the Duet dataplane over real UDP sockets on loopback. The
+// "fabric" is UDP: a software mux daemon listens on one socket, host agents
+// (one per DIP) on others, and a client crafts raw IPv4 packets with the
+// library's packet package. The client observes genuine direct server
+// return — responses arrive straight from the server socket with the VIP as
+// the inner source, never crossing the mux (paper §2.1).
+//
+//	client ──(IPv4-in-UDP)──► smux daemon ──(IP-in-IP-in-UDP)──► host agent
+//	   ▲                                                            │
+//	   └──────────────── DSR response (VIP-sourced) ────────────────┘
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"duet/internal/hostagent"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/smux"
+)
+
+var (
+	vip  = packet.MustParseAddr("10.0.0.1")
+	dips = []packet.Addr{
+		packet.MustParseAddr("100.0.0.1"),
+		packet.MustParseAddr("100.0.0.2"),
+		packet.MustParseAddr("100.0.0.3"),
+	}
+)
+
+func main() {
+	// The mux daemon's socket — the load balancer's position in the fabric.
+	muxConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer muxConn.Close()
+
+	// One host-agent socket per DIP; the registry maps DIP → UDP address
+	// (the fabric's "routing table" for encapsulated packets).
+	registry := make(map[packet.Addr]*net.UDPAddr)
+	var wg sync.WaitGroup
+	for _, dip := range dips {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		registry[dip] = conn.LocalAddr().(*net.UDPAddr)
+		wg.Add(1)
+		go hostAgentLoop(&wg, conn, dip)
+	}
+
+	// The software mux: full VIP map, shared hash, IP-in-IP encap.
+	mux := smux.New(smux.DefaultConfig(packet.MustParseAddr("192.168.0.1")))
+	backends := make([]service.Backend, len(dips))
+	for i, d := range dips {
+		backends[i] = service.Backend{Addr: d, Weight: 1}
+	}
+	if err := mux.AddVIP(&service.VIP{Addr: vip, Backends: backends}); err != nil {
+		log.Fatal(err)
+	}
+	wg.Add(1)
+	go muxLoop(&wg, muxConn, mux, registry)
+
+	// Client: open a socket, fire requests at the VIP through the mux, and
+	// wait for DSR responses.
+	client, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	muxAddr := muxConn.LocalAddr().(*net.UDPAddr)
+
+	fmt.Printf("mux at %v, %d host agents, client at %v\n\n",
+		muxAddr, len(dips), client.LocalAddr())
+
+	counts := map[string]int{}
+	const requests = 60
+	for i := 0; i < requests; i++ {
+		tuple := packet.FiveTuple{
+			Src: packet.MustParseAddr("30.0.0.1"), Dst: vip,
+			SrcPort: uint16(2000 + i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		// The raw IPv4 request rides UDP to the mux; the client's reply-to
+		// address travels in a tiny header (stands in for the fabric).
+		req := packet.BuildTCP(tuple, packet.TCPSyn, []byte("ping"))
+		if _, err := client.WriteToUDP(req, muxAddr); err != nil {
+			log.Fatal(err)
+		}
+
+		// DSR response arrives directly from the host agent's socket.
+		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 2048)
+		n, from, err := client.ReadFromUDP(buf)
+		if err != nil {
+			log.Fatalf("request %d: no response: %v", i, err)
+		}
+		var ip packet.IPv4
+		if err := ip.DecodeFromBytes(buf[:n]); err != nil {
+			log.Fatal(err)
+		}
+		if ip.Src != vip {
+			log.Fatalf("response source %s, want VIP %s (DSR broken)", ip.Src, vip)
+		}
+		counts[from.String()]++
+	}
+	fmt.Printf("%d requests, %d DSR responses, all VIP-sourced\n", requests, requests)
+	fmt.Println("responses arrived directly from these host-agent sockets (never the mux):")
+	for addr, n := range counts {
+		fmt.Printf("  %-22s %d\n", addr, n)
+	}
+	muxConn.Close()
+}
+
+// muxLoop is the SMux daemon: decode, load-balance, encapsulate, forward to
+// the chosen DIP's host-agent socket. The client's UDP source address is
+// appended after the packet so the host agent can DSR straight back (in a
+// real deployment the inner packet's source IP serves this purpose).
+func muxLoop(wg *sync.WaitGroup, conn *net.UDPConn, mux *smux.Mux, registry map[packet.Addr]*net.UDPAddr) {
+	defer wg.Done()
+	buf := make([]byte, 4096)
+	out := make([]byte, 0, 4096)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		res, err := mux.Process(buf[:n], out[:0])
+		if err != nil {
+			log.Printf("mux: drop: %v", err)
+			continue
+		}
+		dst, ok := registry[res.Encap]
+		if !ok {
+			log.Printf("mux: no route to DIP %s", res.Encap)
+			continue
+		}
+		// Frame: [encapped packet][client ip:port as 6 bytes].
+		frame := append(append([]byte(nil), res.Packet...), encodeAddr(from)...)
+		if _, err := conn.WriteToUDP(frame, dst); err != nil {
+			log.Printf("mux: forward: %v", err)
+		}
+	}
+}
+
+// hostAgentLoop terminates the tunnel, builds a response, DSR-rewrites it
+// and sends it DIRECTLY to the client socket.
+func hostAgentLoop(wg *sync.WaitGroup, conn *net.UDPConn, dip packet.Addr) {
+	defer wg.Done()
+	agent := hostagent.New(dip)
+	if err := agent.RegisterDIP(vip, dip); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 6 {
+			continue
+		}
+		clientAddr := decodeAddr(buf[n-6 : n])
+		d, err := agent.Receive(buf[:n-6], nil)
+		if err != nil {
+			log.Printf("agent %s: %v", dip, err)
+			continue
+		}
+		tuple, err := packet.ExtractFiveTuple(d.Packet)
+		if err != nil {
+			continue
+		}
+		// Server response: DIP → client, then DSR rewrite DIP→VIP.
+		resp := packet.BuildTCP(packet.FiveTuple{
+			Src: d.DIP, Dst: tuple.Src,
+			SrcPort: 80, DstPort: tuple.SrcPort, Proto: packet.ProtoTCP,
+		}, packet.TCPAck, []byte("pong"))
+		dsr, err := agent.SendDSR(resp, nil)
+		if err != nil {
+			log.Printf("agent %s: DSR: %v", dip, err)
+			continue
+		}
+		if _, err := conn.WriteToUDP(dsr, clientAddr); err != nil {
+			return
+		}
+	}
+}
+
+func encodeAddr(a *net.UDPAddr) []byte {
+	ip4 := a.IP.To4()
+	return []byte{ip4[0], ip4[1], ip4[2], ip4[3], byte(a.Port >> 8), byte(a.Port)}
+}
+
+func decodeAddr(b []byte) *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(b[0], b[1], b[2], b[3]),
+		Port: int(b[4])<<8 | int(b[5]),
+	}
+}

@@ -1,0 +1,530 @@
+// Package assign implements Duet's VIP–switch assignment algorithm
+// (paper §4): a greedy approximation to the multi-dimensional bin-packing
+// problem that places each VIP on the switch minimizing the maximum resource
+// utilization (MRU) over all links and switch memories, subject to link
+// headroom and table-capacity constraints. It also implements the Sticky
+// migration variant (§4.2), the One-time and Non-sticky baselines used in
+// Figure 20, and the Random/FFD baseline used in Figure 18.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"duet/internal/netsim"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+// Strategy selects the placement policy.
+type Strategy int
+
+const (
+	// Greedy is the paper's algorithm: minimize MRU over candidates.
+	Greedy Strategy = iota
+	// Random is the Figure 18 baseline: the first feasible switch in a
+	// random order (FFD flavour — VIPs are still processed in decreasing
+	// traffic order).
+	Random
+	// BestFit is the §9 "more sophisticated bin packing" direction: instead
+	// of minimizing only the max touched utilization, it minimizes the L2
+	// norm of the touched utilizations, spreading load more evenly and
+	// avoiding near-full resources even when they are not the current max.
+	BestFit
+)
+
+// Unassigned marks a VIP that is handled by the SMuxes.
+const Unassigned int32 = -1
+
+// Options parameterize the assignment.
+type Options struct {
+	// MemCapacity is the per-switch VIP-mapping memory in DIP entries —
+	// the tunneling-table capacity (512, paper §3.1).
+	MemCapacity int
+
+	// LinkHeadroom scales link capacity; the paper reserves 20% for
+	// transients, i.e. capacity = 0.8 × bandwidth (§4).
+	LinkHeadroom float64
+
+	// MaxHMuxVIPs caps the number of VIPs assigned to HMuxes — every switch
+	// must hold a /32 route per HMux VIP in its 16K host table (§3.3.2).
+	MaxHMuxVIPs int
+
+	// Delta is the Sticky threshold: a VIP moves only if its MRU improves
+	// by more than Delta (§4.2; the evaluation uses 0.05).
+	Delta float64
+
+	// Strategy selects Greedy (default) or Random.
+	Strategy Strategy
+
+	// Seed drives tie-breaking (paper: "breaking ties at random") and the
+	// Random strategy's candidate order.
+	Seed int64
+
+	// ContinueOnFail keeps assigning smaller VIPs after one VIP fails to
+	// fit. The paper's algorithm terminates instead (§4.1); that is the
+	// default (false).
+	ContinueOnFail bool
+
+	// FullScan disables the container-symmetry candidate reduction of §4.2
+	// and evaluates every live switch for every VIP. Used by the ablation
+	// bench to measure what the reduction buys.
+	FullScan bool
+
+	// Priority optionally orders VIPs by class before traffic volume (§9:
+	// "other orderings are possible, e.g. consider VIPs with latency
+	// sensitive traffic first"). Indexed by VIP; higher classes are placed
+	// first and therefore get HMux latency even when capacity is scarce.
+	// Nil keeps the paper's pure decreasing-traffic order.
+	Priority []float64
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		MemCapacity:  512,
+		LinkHeadroom: 0.8,
+		MaxHMuxVIPs:  16384,
+		Delta:        0.05,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemCapacity <= 0 {
+		o.MemCapacity = 512
+	}
+	if o.LinkHeadroom <= 0 || o.LinkHeadroom > 1 {
+		o.LinkHeadroom = 0.8
+	}
+	if o.MaxHMuxVIPs <= 0 {
+		o.MaxHMuxVIPs = 16384
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.05
+	}
+	return o
+}
+
+// Assignment is the result of one placement round.
+type Assignment struct {
+	// SwitchOf maps VIP index → switch ID, or Unassigned for SMux VIPs.
+	SwitchOf []int32
+
+	// Loads are the directed-link loads of HMux-assigned VIP traffic.
+	Loads netsim.Loads
+
+	// MemUsed is the per-switch DIP-entry usage.
+	MemUsed []int
+
+	// MRU is the final maximum resource utilization.
+	MRU float64
+
+	// AssignedRate and TotalRate are the VIP traffic on HMuxes vs overall.
+	AssignedRate, TotalRate float64
+
+	// NumAssigned counts HMux-hosted VIPs.
+	NumAssigned int
+}
+
+// AssignedFraction returns the fraction of VIP traffic handled by HMuxes
+// (the Figure 20a metric).
+func (a *Assignment) AssignedFraction() float64 {
+	if a.TotalRate == 0 {
+		return 0
+	}
+	return a.AssignedRate / a.TotalRate
+}
+
+// RatePerSwitch returns, for the given epoch, the VIP traffic assigned to
+// each switch. The provisioning model uses it to size failure scenarios.
+func (a *Assignment) RatePerSwitch(w *workload.Workload, epoch int, numSwitches int) []float64 {
+	out := make([]float64, numSwitches)
+	for v, s := range a.SwitchOf {
+		if s != Unassigned {
+			out[s] += w.Rates[epoch][v]
+		}
+	}
+	return out
+}
+
+// UnassignedRate returns the traffic of SMux-handled VIPs.
+func (a *Assignment) UnassignedRate() float64 { return a.TotalRate - a.AssignedRate }
+
+// assigner carries the mutable state of one placement round.
+type assigner struct {
+	net  *netsim.Network
+	work *workload.Workload
+	ep   int
+	opts Options
+	rng  *rand.Rand
+
+	loads   netsim.Loads
+	memUsed []int
+	effCap  []float64 // effective capacity per directed link
+	runMax  float64   // running max utilization over committed resources
+
+	// dense scratch for candidate evaluation: touched[dir] accumulates the
+	// candidate's added load; dirty lists the touched indices for cheap
+	// clearing between candidates.
+	touched []float64
+	dirty   []netsim.DirLink
+
+	// per-VIP precomputed DIP rack weights
+	dipRacks map[int]float64
+}
+
+func newAssigner(net *netsim.Network, work *workload.Workload, epoch int, opts Options) *assigner {
+	a := &assigner{
+		net:     net,
+		work:    work,
+		ep:      epoch,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		loads:   net.NewLoads(),
+		memUsed: make([]int, net.Topo.NumSwitches()),
+		effCap:  make([]float64, net.NumDirLinks()),
+		touched: make([]float64, net.NumDirLinks()),
+		dirty:   make([]netsim.DirLink, 0, 1024),
+	}
+	for d := range a.effCap {
+		a.effCap[d] = opts.LinkHeadroom * net.Capacity(netsim.DirLink(d))
+	}
+	return a
+}
+
+// dipRackWeights aggregates a VIP's DIPs per rack.
+func dipRackWeights(v *workload.VIP) map[int]float64 {
+	m := make(map[int]float64, 8)
+	n := float64(len(v.DIPRacks))
+	for _, r := range v.DIPRacks {
+		m[r] += 1 / n
+	}
+	return m
+}
+
+// vecFn receives one precomputed unit-flow vector and the rate riding it.
+type vecFn func(vec []netsim.LinkFrac, rate float64)
+
+// flows visits the load vectors created by placing VIP v on switch s.
+func (a *assigner) flows(v *workload.VIP, rate float64, s topology.SwitchID, fn vecFn) bool {
+	return visitFlowVecs(a.net, v, rate, s, a.dipRacks, fn)
+}
+
+// visitFlowVecs enumerates the fabric load vectors created by placing VIP
+// v's mux function on switch s: intra-DC sources → s, the aggregated
+// Internet-ingress vector → s, and s → the DIP racks. Sources and sinks in
+// failed domains are skipped (their traffic has vanished, §8.5). It returns
+// false if any required path is unroutable.
+func visitFlowVecs(net *netsim.Network, v *workload.VIP, rate float64, s topology.SwitchID, dipRacks map[int]float64, fn vecFn) bool {
+	topo := net.Topo
+	intra := rate * (1 - v.InternetFrac)
+	for _, sw := range v.SrcRacks {
+		src := topo.Rack(sw.Rack)
+		if src == s {
+			continue
+		}
+		if !net.SwitchUp(src) {
+			continue // sources inside a failed domain vanish
+		}
+		vec, err := net.UnitFlow(src, s)
+		if err != nil {
+			return false
+		}
+		fn(vec, intra*sw.Weight)
+	}
+	if v.InternetFrac > 0 {
+		vec, err := net.InternetFlow(s)
+		if err != nil {
+			return false
+		}
+		fn(vec, rate*v.InternetFrac)
+	}
+	for rack, frac := range dipRacks {
+		dst := topo.Rack(rack)
+		if dst == s || !net.SwitchUp(dst) {
+			continue
+		}
+		vec, err := net.UnitFlow(s, dst)
+		if err != nil {
+			return false
+		}
+		fn(vec, rate*frac)
+	}
+	return true
+}
+
+// evaluate scores placing VIP v on switch s from the sparse set of touched
+// links plus the switch-memory delta: the max touched utilization for
+// Greedy/Random, or the L2 norm for BestFit. feasible is false if any
+// touched resource would exceed 100% of its effective capacity.
+func (a *assigner) evaluate(v *workload.VIP, rate float64, s topology.SwitchID) (mru float64, feasible bool) {
+	if !a.net.SwitchUp(s) {
+		return math.Inf(1), false
+	}
+	nd := v.NumDIPs()
+	memU := float64(a.memUsed[s]+nd) / float64(a.opts.MemCapacity)
+	if memU > 1 {
+		return math.Inf(1), false
+	}
+	for _, d := range a.dirty {
+		a.touched[d] = 0
+	}
+	a.dirty = a.dirty[:0]
+	ok := a.flows(v, rate, s, func(vec []netsim.LinkFrac, r float64) {
+		for _, lf := range vec {
+			if a.touched[lf.Dir] == 0 {
+				a.dirty = append(a.dirty, lf.Dir)
+			}
+			a.touched[lf.Dir] += r * lf.Frac
+		}
+	})
+	if !ok {
+		return math.Inf(1), false
+	}
+	max := memU
+	l2 := memU * memU
+	for _, dir := range a.dirty {
+		u := (a.loads[dir] + a.touched[dir]) / a.effCap[dir]
+		if u > max {
+			max = u
+		}
+		l2 += u * u
+	}
+	if max > 1 {
+		return max, false
+	}
+	if a.opts.Strategy == BestFit {
+		return l2, true
+	}
+	// The score compares candidates by the maximum utilization among the
+	// resources THIS placement touches. The true MRU of the round is
+	// max(runMax, score), but runMax is identical for every candidate, so
+	// folding it in would only flatten the comparison into ties — argmin of
+	// the local score is a refinement of the paper's argmin-MRU rule.
+	return max, true
+}
+
+// commit applies VIP v's placement on switch s to the round state.
+func (a *assigner) commit(v *workload.VIP, rate float64, s topology.SwitchID) {
+	a.flows(v, rate, s, func(vec []netsim.LinkFrac, r float64) {
+		for _, lf := range vec {
+			a.loads[lf.Dir] += r * lf.Frac
+			if u := a.loads[lf.Dir] / a.effCap[lf.Dir]; u > a.runMax {
+				a.runMax = u
+			}
+		}
+	})
+	a.memUsed[s] += v.NumDIPs()
+	if u := float64(a.memUsed[s]) / float64(a.opts.MemCapacity); u > a.runMax {
+		a.runMax = u
+	}
+}
+
+// candidates returns the reduced candidate set of §4.2: the least-loaded ToR
+// per container, every Agg, and every Core. With Options.FullScan it returns
+// every live switch instead.
+func (a *assigner) candidates() []topology.SwitchID {
+	topo := a.net.Topo
+	if a.opts.FullScan {
+		out := make([]topology.SwitchID, 0, topo.NumSwitches())
+		for s := 0; s < topo.NumSwitches(); s++ {
+			if a.net.SwitchUp(topology.SwitchID(s)) {
+				out = append(out, topology.SwitchID(s))
+			}
+		}
+		return out
+	}
+	out := make([]topology.SwitchID, 0, topo.Cfg.Containers+
+		topo.Cfg.Containers*topo.Cfg.AggsPerContainer+topo.Cfg.Cores)
+	for c := 0; c < topo.Cfg.Containers; c++ {
+		best := topology.SwitchID(-1)
+		bestScore := math.Inf(1)
+		for i := 0; i < topo.Cfg.ToRsPerContainer; i++ {
+			tor := topo.TorID(c, i)
+			if !a.net.SwitchUp(tor) {
+				continue
+			}
+			score := float64(a.memUsed[tor]) / float64(a.opts.MemCapacity)
+			for _, nb := range topo.Neighbors[tor] {
+				for _, dir := range []netsim.DirLink{netsim.Forward(nb.Link), netsim.Reverse(nb.Link)} {
+					if u := a.loads[dir] / a.effCap[dir]; u > score {
+						score = u
+					}
+				}
+			}
+			if score < bestScore {
+				best, bestScore = tor, score
+			}
+		}
+		if best >= 0 {
+			out = append(out, best)
+		}
+	}
+	for c := 0; c < topo.Cfg.Containers; c++ {
+		for j := 0; j < topo.Cfg.AggsPerContainer; j++ {
+			if s := topo.AggID(c, j); a.net.SwitchUp(s) {
+				out = append(out, s)
+			}
+		}
+	}
+	for i := 0; i < topo.Cfg.Cores; i++ {
+		if s := topo.CoreID(i); a.net.SwitchUp(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// vipOrder returns VIP indices sorted by decreasing priority class (if
+// any), then decreasing epoch rate.
+func vipOrder(w *workload.Workload, epoch int) []int {
+	return vipOrderPrio(w, epoch, nil)
+}
+
+func vipOrderPrio(w *workload.Workload, epoch int, prio []float64) []int {
+	order := make([]int, len(w.VIPs))
+	for i := range order {
+		order[i] = i
+	}
+	rates := w.Rates[epoch]
+	sort.Slice(order, func(i, j int) bool {
+		x, y := order[i], order[j]
+		if prio != nil && prio[x] != prio[y] {
+			return prio[x] > prio[y]
+		}
+		if rates[x] != rates[y] {
+			return rates[x] > rates[y]
+		}
+		return x < y
+	})
+	return order
+}
+
+// Compute runs a from-scratch assignment (the Non-sticky / One-time basis).
+func Compute(net *netsim.Network, work *workload.Workload, epoch int, opts Options) (*Assignment, error) {
+	return computeInternal(net, work, epoch, opts, nil)
+}
+
+// ComputeSticky runs the Sticky variant of §4.2: starting from prev, a VIP
+// moves to a new switch only if that reduces its MRU by more than
+// opts.Delta. VIPs keep their feasible current placement otherwise.
+func ComputeSticky(net *netsim.Network, work *workload.Workload, epoch int, prev *Assignment, opts Options) (*Assignment, error) {
+	if prev == nil {
+		return Compute(net, work, epoch, opts)
+	}
+	return computeInternal(net, work, epoch, opts, prev.SwitchOf)
+}
+
+func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, opts Options, prev []int32) (*Assignment, error) {
+	opts = opts.withDefaults()
+	if epoch < 0 || epoch >= work.NumEpochs() {
+		return nil, fmt.Errorf("assign: epoch %d out of range", epoch)
+	}
+	if prev != nil && len(prev) != len(work.VIPs) {
+		return nil, fmt.Errorf("assign: previous assignment covers %d VIPs, workload has %d", len(prev), len(work.VIPs))
+	}
+	a := newAssigner(net, work, epoch, opts)
+	res := &Assignment{
+		SwitchOf: make([]int32, len(work.VIPs)),
+		MemUsed:  a.memUsed,
+	}
+	for i := range res.SwitchOf {
+		res.SwitchOf[i] = Unassigned
+	}
+
+	var prio []float64
+	if opts.Priority != nil {
+		if len(opts.Priority) != len(work.VIPs) {
+			return nil, fmt.Errorf("assign: Priority covers %d VIPs, workload has %d", len(opts.Priority), len(work.VIPs))
+		}
+		prio = opts.Priority
+	}
+	order := vipOrderPrio(work, epoch, prio)
+	terminated := false
+	var randomOrder []int // fixed first-fit order for the Random strategy
+	for _, vi := range order {
+		v := &work.VIPs[vi]
+		rate := work.Rates[epoch][vi]
+		res.TotalRate += rate
+		if terminated {
+			continue
+		}
+		if v.NumDIPs() > opts.MemCapacity {
+			// Needs TIP indirection; handled by SMuxes in the assignment
+			// model (does not terminate the round).
+			continue
+		}
+		if res.NumAssigned >= opts.MaxHMuxVIPs {
+			continue
+		}
+		a.dipRacks = dipRackWeights(v)
+
+		cands := a.candidates()
+		var bestSwitch topology.SwitchID = -1
+		bestMRU := math.Inf(1)
+		switch opts.Strategy {
+		case Random:
+			// First-feasible over a fixed random order (FFD flavour,
+			// Figure 18's baseline): VIPs pile onto the earliest switches
+			// in the permutation, oblivious to resource utilization.
+			if randomOrder == nil {
+				randomOrder = a.rng.Perm(a.net.Topo.NumSwitches())
+			}
+			for _, si := range randomOrder {
+				s := topology.SwitchID(si)
+				if mru, feasible := a.evaluate(v, rate, s); feasible {
+					bestSwitch, bestMRU = s, mru
+					break
+				}
+			}
+		default:
+			ties := 0
+			for _, s := range cands {
+				mru, feasible := a.evaluate(v, rate, s)
+				if !feasible {
+					continue
+				}
+				switch {
+				case mru < bestMRU-1e-12:
+					bestSwitch, bestMRU = s, mru
+					ties = 1
+				case mru <= bestMRU+1e-12:
+					// Break ties at random (reservoir sampling).
+					ties++
+					if a.rng.Intn(ties) == 0 {
+						bestSwitch = s
+					}
+				}
+			}
+		}
+
+		// Sticky: prefer the previous placement unless the improvement
+		// exceeds Delta.
+		if prev != nil && prev[vi] != Unassigned {
+			sc := topology.SwitchID(prev[vi])
+			scMRU, scFeasible := a.evaluate(v, rate, sc)
+			if scFeasible && (bestSwitch < 0 || scMRU-bestMRU <= opts.Delta) {
+				bestSwitch, bestMRU = sc, scMRU
+			}
+		}
+
+		if bestSwitch < 0 {
+			// Paper §4.1: if no assignment can accommodate the VIP, the
+			// algorithm terminates; the rest go to the SMuxes.
+			if !opts.ContinueOnFail {
+				terminated = true
+			}
+			continue
+		}
+		a.commit(v, rate, bestSwitch)
+		res.SwitchOf[vi] = int32(bestSwitch)
+		res.NumAssigned++
+		res.AssignedRate += rate
+	}
+
+	res.Loads = a.loads
+	res.MRU = a.runMax
+	return res, nil
+}

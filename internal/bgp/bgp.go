@@ -1,0 +1,198 @@
+// Package bgp models the routing control plane Duet relies on (paper §3.2,
+// §3.3, §5.1): HMuxes announce /32 routes for their assigned VIPs, SMuxes
+// announce the same VIPs inside shorter aggregate prefixes, and
+// longest-prefix match makes the fabric prefer the HMux while it is alive.
+// When an HMux fails or a VIP is withdrawn, routes converge after a
+// propagation delay (the paper measures <40 ms), after which traffic falls
+// through to the SMux aggregate.
+//
+// The table is time-aware: announcements and withdrawals carry an effective
+// time, and Lookup answers "what did the fabric believe at time t", which is
+// what the discrete-event testbed needs to reproduce Figures 12–14.
+package bgp
+
+import (
+	"math"
+	"sort"
+
+	"duet/internal/packet"
+)
+
+// NodeID identifies a route's next hop: a switch (HMux) or an SMux. The
+// caller owns the numbering scheme.
+type NodeID int32
+
+// DefaultConvergence is the default route propagation delay in seconds,
+// matched to the paper's measured sub-40ms BGP convergence (§7.2).
+const DefaultConvergence = 0.035
+
+type routeState struct {
+	visibleAt   float64 // time the announcement has converged
+	withdrawnAt float64 // time a withdrawal has converged (+Inf while active)
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	routes   map[NodeID]*routeState // nil until a prefix terminates here
+}
+
+// Table is a time-aware longest-prefix-match routing table representing the
+// converged view of the whole fabric.
+type Table struct {
+	root *trieNode
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{root: &trieNode{}} }
+
+func (t *Table) nodeFor(p packet.Prefix, create bool) *trieNode {
+	n := t.root
+	for i := 0; i < p.Bits; i++ {
+		bit := (uint32(p.Addr) >> (31 - i)) & 1
+		if n.children[bit] == nil {
+			if !create {
+				return nil
+			}
+			n.children[bit] = &trieNode{}
+		}
+		n = n.children[bit]
+	}
+	return n
+}
+
+// Announce installs a route for prefix via nexthop, visible to the fabric at
+// time visibleAt (the announcement time plus convergence delay). Re-announcing
+// an active route is a no-op except that it cancels a pending withdrawal.
+func (t *Table) Announce(p packet.Prefix, nh NodeID, visibleAt float64) {
+	n := t.nodeFor(p, true)
+	if n.routes == nil {
+		n.routes = make(map[NodeID]*routeState)
+	}
+	if st, ok := n.routes[nh]; ok {
+		// Refresh: keep the earliest visibility, clear any withdrawal.
+		if visibleAt < st.visibleAt {
+			st.visibleAt = visibleAt
+		}
+		st.withdrawnAt = math.Inf(1)
+		return
+	}
+	n.routes[nh] = &routeState{visibleAt: visibleAt, withdrawnAt: math.Inf(1)}
+}
+
+// Withdraw removes the route for prefix via nexthop, effective at time
+// effectiveAt. Withdrawing an unknown route is a no-op.
+func (t *Table) Withdraw(p packet.Prefix, nh NodeID, effectiveAt float64) {
+	n := t.nodeFor(p, false)
+	if n == nil || n.routes == nil {
+		return
+	}
+	if st, ok := n.routes[nh]; ok {
+		if effectiveAt < st.withdrawnAt {
+			st.withdrawnAt = effectiveAt
+		}
+	}
+}
+
+// active reports whether a route state is usable at time now.
+func (st *routeState) active(now float64) bool {
+	return now >= st.visibleAt && now < st.withdrawnAt
+}
+
+// Lookup returns the next hops of the longest prefix matching addr with at
+// least one active route at time now, sorted for determinism. ok is false if
+// nothing matches.
+func (t *Table) Lookup(addr packet.Addr, now float64) (nhs []NodeID, matched packet.Prefix, ok bool) {
+	n := t.root
+	var bestNode *trieNode
+	var bestBits int
+	if hasActive(n, now) {
+		bestNode, bestBits = n, 0
+	}
+	for i := 0; i < 32 && n != nil; i++ {
+		bit := (uint32(addr) >> (31 - i)) & 1
+		n = n.children[bit]
+		if n != nil && hasActive(n, now) {
+			bestNode, bestBits = n, i+1
+		}
+	}
+	if bestNode == nil {
+		return nil, packet.Prefix{}, false
+	}
+	for nh, st := range bestNode.routes {
+		if st.active(now) {
+			nhs = append(nhs, nh)
+		}
+	}
+	sort.Slice(nhs, func(i, j int) bool { return nhs[i] < nhs[j] })
+	return nhs, packet.PrefixFrom(addr, bestBits), true
+}
+
+func hasActive(n *trieNode, now float64) bool {
+	for _, st := range n.routes {
+		if st.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// WithdrawAll withdraws every route announced by nexthop anywhere in the
+// table, effective at effectiveAt — what the fabric does when it detects a
+// dead HMux (paper §5.1 "HMux failure").
+func (t *Table) WithdrawAll(nh NodeID, effectiveAt float64) {
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if st, ok := n.routes[nh]; ok {
+			if effectiveAt < st.withdrawnAt {
+				st.withdrawnAt = effectiveAt
+			}
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(t.root)
+}
+
+// Routes returns all (prefix, nexthop) pairs active at time now, mainly for
+// diagnostics and tests. Output is sorted by prefix then nexthop.
+func (t *Table) Routes(now float64) []Route {
+	var out []Route
+	var walk func(n *trieNode, addr uint32, bits int)
+	walk = func(n *trieNode, addr uint32, bits int) {
+		if n == nil {
+			return
+		}
+		for nh, st := range n.routes {
+			if st.active(now) {
+				out = append(out, Route{
+					Prefix:  packet.PrefixFrom(packet.Addr(addr), bits),
+					NextHop: nh,
+				})
+			}
+		}
+		if bits < 32 {
+			walk(n.children[0], addr, bits+1)
+			walk(n.children[1], addr|1<<(31-bits), bits+1)
+		}
+	}
+	walk(t.root, 0, 0)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr != out[j].Prefix.Addr {
+			return out[i].Prefix.Addr < out[j].Prefix.Addr
+		}
+		if out[i].Prefix.Bits != out[j].Prefix.Bits {
+			return out[i].Prefix.Bits < out[j].Prefix.Bits
+		}
+		return out[i].NextHop < out[j].NextHop
+	})
+	return out
+}
+
+// Route is one active (prefix, nexthop) pair.
+type Route struct {
+	Prefix  packet.Prefix
+	NextHop NodeID
+}

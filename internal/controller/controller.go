@@ -1,0 +1,246 @@
+// Package controller implements the Duet controller (paper §6, Figure 9):
+// datacenter monitoring feeds the Duet engine (the VIP assignment algorithm
+// of internal/assign), and the assignment updater translates the engine's
+// decisions into switch-agent and SMux operations — always migrating VIPs
+// through the SMux stepping stone so no make-before-break memory deadlock
+// can occur (§4.2, Figure 4).
+package controller
+
+import (
+	"fmt"
+
+	"duet/internal/assign"
+	"duet/internal/core"
+	"duet/internal/healthd"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+// Controller drives a cluster from a workload trace.
+type Controller struct {
+	Cluster *core.Cluster
+	Opts    assign.Options
+
+	prev    *assign.Assignment
+	indexOf map[packet.Addr]int // VIP addr → workload index
+	snat    *SNATRanges         // §5.2 SNAT port-range allocator
+
+	// health integration (health.go)
+	prober   *healthd.Prober
+	vipOfDIP map[packet.Addr]packet.Addr
+	benched  map[packet.Addr]service.Backend
+}
+
+// New creates a controller over a cluster.
+func New(c *core.Cluster, opts assign.Options) *Controller {
+	return &Controller{
+		Cluster: c,
+		Opts:    opts,
+		indexOf: make(map[packet.Addr]int),
+	}
+}
+
+// Previous returns the last computed assignment (nil before the first
+// epoch).
+func (ct *Controller) Previous() *assign.Assignment { return ct.prev }
+
+// SyncVIPs configures every workload VIP on the cluster (landing on the
+// SMuxes, per §5.2 "VIP addition"), generating nDIPs backend addresses per
+// VIP with mkBackend. Pass a small cap to keep table programming cheap in
+// examples; the assignment algorithm still sees the true DIP counts from
+// the workload.
+func (ct *Controller) SyncVIPs(w *workload.Workload, maxBackends int, mkBackend func(vip int, dip int) packet.Addr) error {
+	if mkBackend == nil {
+		mkBackend = func(vip, dip int) packet.Addr {
+			return packet.AddrFrom4(100, byte(vip>>8), byte(vip), byte(dip+1))
+		}
+	}
+	for i := range w.VIPs {
+		v := &w.VIPs[i]
+		ct.indexOf[v.Addr] = i
+		if _, ok := ct.Cluster.VIP(v.Addr); ok {
+			continue
+		}
+		n := v.NumDIPs()
+		if maxBackends > 0 && n > maxBackends {
+			n = maxBackends
+		}
+		backends := make([]service.Backend, n)
+		for d := 0; d < n; d++ {
+			backends[d] = service.Backend{Addr: mkBackend(i, d), Weight: 1}
+		}
+		if err := ct.Cluster.AddVIP(&service.VIP{Addr: v.Addr, Backends: backends}); err != nil {
+			return fmt.Errorf("controller: add VIP %s: %w", v.Addr, err)
+		}
+	}
+	return nil
+}
+
+// EpochReport summarizes one controller cycle.
+type EpochReport struct {
+	Epoch            int
+	AssignedFraction float64
+	NumAssigned      int
+	Moved            int
+	ShuffledRate     float64
+	MRU              float64
+}
+
+// RunEpoch runs one monitoring→engine→updater cycle for trace epoch e:
+// computes the (sticky) assignment and migrates every moved VIP through the
+// SMux stepping stone.
+func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, error) {
+	next, err := assign.ComputeSticky(ct.Cluster.Net, w, epoch, ct.prev, ct.Opts)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	rep := EpochReport{
+		Epoch:            epoch,
+		AssignedFraction: next.AssignedFraction(),
+		NumAssigned:      next.NumAssigned,
+		MRU:              next.MRU,
+	}
+	if ct.prev != nil {
+		rep.ShuffledRate = assign.ShuffledRate(ct.prev, next, w.Rates[epoch])
+	}
+
+	// Updater: apply moves. Step 1 — withdraw every VIP that is moving or
+	// becoming SMux-hosted (their traffic falls to the SMux backstop).
+	// Step 2 — announce the new homes. Because every move transits the
+	// SMuxes, no switch ever needs to hold both old and new state (the
+	// Figure 4 deadlock cannot arise).
+	type move struct {
+		addr packet.Addr
+		to   int32
+	}
+	var moves []move
+	for i := range w.VIPs {
+		addr := w.VIPs[i].Addr
+		if _, ok := ct.Cluster.VIP(addr); !ok {
+			continue // not configured on this cluster (scaled-down demo)
+		}
+		from := assign.Unassigned
+		if cur, ok := ct.Cluster.HomeOf(addr); ok {
+			from = int32(cur)
+		}
+		to := next.SwitchOf[i]
+		if from == to {
+			continue
+		}
+		if from != assign.Unassigned {
+			if err := ct.Cluster.WithdrawFromHMux(addr); err != nil {
+				return rep, fmt.Errorf("controller: withdraw %s: %w", addr, err)
+			}
+		}
+		if to != assign.Unassigned {
+			moves = append(moves, move{addr: addr, to: to})
+		}
+		rep.Moved++
+	}
+	for _, m := range moves {
+		if err := ct.Cluster.AssignToHMux(m.addr, topology.SwitchID(m.to)); err != nil {
+			// Table contention on the target switch (the engine models the
+			// paper's memory resource, not exact table dedup): leave the VIP
+			// on the SMuxes rather than fail the epoch.
+			continue
+		}
+	}
+	ct.prev = next
+	return rep, nil
+}
+
+// AddDIP grows a VIP's backend set (§5.2 "DIP addition"): if the VIP lives
+// on an HMux it is first withdrawn so the SMuxes' connection state masks the
+// hash change; the next epoch migrates it back.
+func (ct *Controller) AddDIP(vip packet.Addr, b service.Backend) error {
+	v, ok := ct.Cluster.VIP(vip)
+	if !ok {
+		return core.ErrVIPUnknown
+	}
+	if _, onHMux := ct.Cluster.HomeOf(vip); onHMux {
+		if err := ct.Cluster.WithdrawFromHMux(vip); err != nil {
+			return err
+		}
+		if i, ok := ct.indexOf[vip]; ok && ct.prev != nil {
+			ct.prev.SwitchOf[i] = assign.Unassigned
+		}
+	}
+	v.Backends = append(v.Backends, b)
+	for _, sm := range ct.Cluster.SMuxes {
+		if err := sm.UpdateVIP(v); err != nil {
+			return err
+		}
+	}
+	if _, ok := ct.Cluster.Agent(b.Addr); !ok {
+		if err := ct.Cluster.RegisterHost(b.Addr, vip, []packet.Addr{b.Addr}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveDIP shrinks a VIP's backend set in place (§5.2 "DIP removal" /
+// §5.1 "DIP failure"): resilient hashing on both mux types keeps surviving
+// connections intact; connections to the removed DIP are terminated.
+func (ct *Controller) RemoveDIP(vip, dip packet.Addr) error {
+	v, ok := ct.Cluster.VIP(vip)
+	if !ok {
+		return core.ErrVIPUnknown
+	}
+	if sw, onHMux := ct.Cluster.HomeOf(vip); onHMux {
+		if err := ct.Cluster.HMuxes[sw].RemoveBackend(vip, dip); err != nil {
+			return err
+		}
+	}
+	for _, sm := range ct.Cluster.SMuxes {
+		if err := sm.RemoveBackend(vip, dip); err != nil {
+			return err
+		}
+	}
+	for i, b := range v.Backends {
+		if b.Addr == dip {
+			v.Backends = append(v.Backends[:i], v.Backends[i+1:]...)
+			break
+		}
+	}
+	ct.ReleaseSNATRanges(vip, dip)
+	return nil
+}
+
+// HealthSweep polls every backend's host agent and removes DIPs reported
+// unhealthy (§6: the controller receives VIP health from the host agents).
+// It returns the removed (vip, dip) pairs.
+func (ct *Controller) HealthSweep() ([][2]packet.Addr, error) {
+	var removed [][2]packet.Addr
+	for _, vipAddr := range ct.Cluster.VIPs() {
+		v, _ := ct.Cluster.VIP(vipAddr)
+		for _, b := range append([]service.Backend(nil), v.Backends...) {
+			agent, ok := ct.Cluster.Agent(b.Addr)
+			if !ok || agent.Healthy(b.Addr) {
+				continue
+			}
+			if err := ct.RemoveDIP(vipAddr, b.Addr); err != nil {
+				return removed, err
+			}
+			removed = append(removed, [2]packet.Addr{vipAddr, b.Addr})
+		}
+	}
+	return removed, nil
+}
+
+// HandleSwitchFailure reacts to an HMux failure (§5.1): the fabric withdraws
+// its routes (done inside Cluster.FailSwitch) and the controller marks its
+// VIPs SMux-hosted so the next epoch re-places them.
+func (ct *Controller) HandleSwitchFailure(sw topology.SwitchID) {
+	ct.Cluster.FailSwitch(sw)
+	if ct.prev == nil {
+		return
+	}
+	for i, s := range ct.prev.SwitchOf {
+		if s == int32(sw) {
+			ct.prev.SwitchOf[i] = assign.Unassigned
+		}
+	}
+}

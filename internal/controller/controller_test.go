@@ -1,0 +1,399 @@
+package controller
+
+import (
+	"testing"
+
+	"duet/internal/assign"
+	"duet/internal/core"
+	"duet/internal/healthd"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+func world(t testing.TB, numVIPs int, rate float64, seed int64) (*core.Cluster, *workload.Workload, *Controller) {
+	t.Helper()
+	topoCfg := topology.Config{
+		Containers:       2,
+		ToRsPerContainer: 4,
+		AggsPerContainer: 2,
+		Cores:            4,
+		ServersPerToR:    10,
+	}
+	c, err := core.New(core.Config{
+		Topology:  topoCfg,
+		NumSMuxes: 3,
+		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(workload.Config{
+		NumVIPs: numVIPs, TotalRate: rate, Epochs: 4, Seed: seed,
+		TrafficSkew: 1.6, MaxDIPs: 60, InternetFrac: 0.3, ChurnStdDev: 0.3,
+	}, c.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := New(c, assign.DefaultOptions())
+	if err := ct.SyncVIPs(w, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c, w, ct
+}
+
+func clientPkt(vip packet.Addr, i uint32) []byte {
+	return packet.BuildTCP(packet.FiveTuple{
+		Src: packet.AddrFrom4(30, 0, byte(i>>8), byte(i)), Dst: vip,
+		SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+}
+
+func TestRunEpochPlacesVIPs(t *testing.T) {
+	c, w, ct := world(t, 60, 5e10, 1)
+	rep, err := ct.RunEpoch(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumAssigned == 0 {
+		t.Fatal("no VIPs assigned")
+	}
+	if rep.AssignedFraction < 0.8 {
+		t.Fatalf("fraction = %.3f", rep.AssignedFraction)
+	}
+	// Cluster state must agree with the engine's output.
+	onHMux := 0
+	for _, addr := range c.VIPs() {
+		if _, ok := c.HomeOf(addr); ok {
+			onHMux++
+		}
+	}
+	if onHMux == 0 {
+		t.Fatal("engine said assigned but cluster has nothing on HMuxes")
+	}
+	// Every VIP still deliverable.
+	for i := range w.VIPs {
+		if _, err := c.Deliver(clientPkt(w.VIPs[i].Addr, uint32(i))); err != nil {
+			t.Fatalf("VIP %s undeliverable after epoch: %v", w.VIPs[i].Addr, err)
+		}
+	}
+}
+
+func TestSecondEpochSticky(t *testing.T) {
+	_, w, ct := world(t, 60, 5e10, 2)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ct.RunEpoch(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sticky: the vast majority of VIPs stay put between epochs.
+	if rep.Moved > len(w.VIPs)/2 {
+		t.Fatalf("%d of %d VIPs moved — sticky not sticking", rep.Moved, len(w.VIPs))
+	}
+	if ct.Previous() == nil {
+		t.Fatal("previous assignment not recorded")
+	}
+}
+
+func TestConnectionsSurviveEpochMigration(t *testing.T) {
+	c, w, ct := world(t, 40, 5e10, 3)
+	// Establish flows while everything is on the SMuxes.
+	before := make(map[uint32]packet.Addr)
+	vip := w.VIPs[0].Addr
+	for i := uint32(0); i < 200; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = d.DIP
+	}
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// After the epoch (VIP likely moved to an HMux), flows keep their DIPs.
+	for i := uint32(0); i < 200; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DIP != before[i] {
+			t.Fatalf("flow %d remapped across controller migration", i)
+		}
+	}
+}
+
+func TestAddDIPBouncesThroughSMux(t *testing.T) {
+	c, w, ct := world(t, 40, 5e10, 4)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Find a VIP on an HMux.
+	var vip packet.Addr
+	for _, a := range c.VIPs() {
+		if _, ok := c.HomeOf(a); ok {
+			vip = a
+			break
+		}
+	}
+	if vip.IsZero() {
+		t.Skip("no HMux-assigned VIP in this seed")
+	}
+	newDIP := packet.MustParseAddr("100.99.0.1")
+	if err := ct.AddDIP(vip, service.Backend{Addr: newDIP, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// §5.2: the VIP must be off the HMux now (SMux masks the hash change).
+	if _, ok := c.HomeOf(vip); ok {
+		t.Fatal("VIP still on HMux right after DIP addition")
+	}
+	v, _ := c.VIP(vip)
+	found := false
+	for _, b := range v.Backends {
+		if b.Addr == newDIP {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("backend not recorded")
+	}
+	// Deliverable, and eventually some flow reaches the new DIP.
+	hit := false
+	for i := uint32(5000); i < 9000 && !hit; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit = d.DIP == newDIP
+	}
+	if !hit {
+		t.Fatal("new DIP never selected")
+	}
+	// Next epoch migrates the VIP back to an HMux.
+	if _, err := ct.RunEpoch(w, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDIPInPlace(t *testing.T) {
+	c, w, ct := world(t, 40, 5e10, 5)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	var vip packet.Addr
+	for _, a := range c.VIPs() {
+		v, _ := c.VIP(a)
+		if _, ok := c.HomeOf(a); ok && len(v.Backends) >= 2 {
+			vip = a
+			break
+		}
+	}
+	if vip.IsZero() {
+		t.Skip("no suitable VIP")
+	}
+	v, _ := c.VIP(vip)
+	victim := v.Backends[0].Addr
+	nBefore := len(v.Backends)
+	if err := ct.RemoveDIP(vip, victim); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Backends) != nBefore-1 {
+		t.Fatal("backend list not shrunk")
+	}
+	// VIP stays on its HMux (in-place resilient removal).
+	if _, ok := c.HomeOf(vip); !ok {
+		t.Fatal("VIP fell off HMux on DIP removal")
+	}
+	for i := uint32(0); i < 300; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DIP == victim {
+			t.Fatal("removed DIP still selected")
+		}
+	}
+}
+
+func TestHealthSweep(t *testing.T) {
+	c, w, ct := world(t, 30, 4e10, 6)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	vip := w.VIPs[0].Addr
+	v, _ := c.VIP(vip)
+	if len(v.Backends) < 2 {
+		t.Skip("VIP too small")
+	}
+	sick := v.Backends[0].Addr
+	agent, ok := c.Agent(sick)
+	if !ok {
+		t.Fatal("no agent")
+	}
+	if err := agent.SetHealth(sick, false); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := ct.HealthSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0][1] != sick {
+		t.Fatalf("removed = %v", removed)
+	}
+	// Sweep is idempotent.
+	removed, err = ct.HealthSweep()
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("second sweep removed %v, err %v", removed, err)
+	}
+}
+
+func TestHandleSwitchFailureThenReassign(t *testing.T) {
+	c, w, ct := world(t, 60, 5e10, 7)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the switch with the most VIPs.
+	counts := make(map[topology.SwitchID]int)
+	for _, a := range c.VIPs() {
+		if sw, ok := c.HomeOf(a); ok {
+			counts[sw]++
+		}
+	}
+	var worst topology.SwitchID = -1
+	best := 0
+	for sw, n := range counts {
+		if n > best {
+			worst, best = sw, n
+		}
+	}
+	if worst < 0 {
+		t.Skip("nothing assigned")
+	}
+	ct.HandleSwitchFailure(worst)
+	// All VIPs still deliverable (SMux backstop).
+	for i := range w.VIPs {
+		if _, err := c.Deliver(clientPkt(w.VIPs[i].Addr, uint32(i))); err != nil {
+			t.Fatalf("VIP %s dead after switch failure: %v", w.VIPs[i].Addr, err)
+		}
+	}
+	// Next epoch re-places the orphaned VIPs on other switches.
+	rep, err := ct.RunEpoch(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.VIPs() {
+		if sw, ok := c.HomeOf(a); ok && sw == worst {
+			t.Fatal("VIP re-placed on failed switch")
+		}
+	}
+	if rep.NumAssigned == 0 {
+		t.Fatal("no VIPs assigned after failure")
+	}
+}
+
+func TestAddDIPUnknownVIP(t *testing.T) {
+	_, _, ct := world(t, 10, 1e10, 8)
+	err := ct.AddDIP(packet.MustParseAddr("9.9.9.9"), service.Backend{Addr: 1, Weight: 1})
+	if err != core.ErrVIPUnknown {
+		t.Fatalf("got %v", err)
+	}
+	if err := ct.RemoveDIP(packet.MustParseAddr("9.9.9.9"), 1); err != core.ErrVIPUnknown {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestHealthProberIntegration drives the full §5.1 DIP-failure loop with
+// flap damping: probe failures bench the DIP; recovery restores it through
+// the SMux-bounce DIP-addition path.
+func TestHealthProberIntegration(t *testing.T) {
+	c, w, ct := world(t, 20, 2e10, 40)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	var vip packet.Addr
+	for _, a := range c.VIPs() {
+		v, _ := c.VIP(a)
+		if len(v.Backends) >= 3 {
+			vip = a
+			break
+		}
+	}
+	if vip.IsZero() {
+		t.Skip("no VIP with ≥3 backends")
+	}
+	v, _ := c.VIP(vip)
+	sick := v.Backends[0].Addr
+	nBefore := len(v.Backends)
+
+	healthState := map[packet.Addr]bool{}
+	probe := func(d packet.Addr) bool {
+		up, ok := healthState[d]
+		return !ok || up
+	}
+	p := ct.AttachHealthProber(healthd.Config{Interval: 1, DownAfter: 3, UpAfter: 2}, probe, 0)
+
+	// One bad probe: damped, nothing happens.
+	healthState[sick] = false
+	p.Tick(0)
+	if got, _ := c.VIP(vip); len(got.Backends) != nBefore {
+		t.Fatal("single failure benched the DIP")
+	}
+	// Two more: benched.
+	p.Tick(1)
+	p.Tick(2)
+	if got, _ := c.VIP(vip); len(got.Backends) != nBefore-1 {
+		t.Fatalf("DIP not benched after damping: %d backends", len(got.Backends))
+	}
+	if len(ct.BenchedDIPs()) != 1 || ct.BenchedDIPs()[0] != sick {
+		t.Fatalf("benched = %v", ct.BenchedDIPs())
+	}
+	// All traffic avoids the benched DIP.
+	for i := uint32(0); i < 200; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DIP == sick {
+			t.Fatal("benched DIP still receiving traffic")
+		}
+	}
+	// Recovery: two good probes restore it (via the SMux-bounce add path).
+	healthState[sick] = true
+	p.Tick(3)
+	p.Tick(4)
+	if got, _ := c.VIP(vip); len(got.Backends) != nBefore {
+		t.Fatalf("DIP not restored: %d backends", len(got.Backends))
+	}
+	if len(ct.BenchedDIPs()) != 0 {
+		t.Fatal("bench list not cleared")
+	}
+	// §5.2: restoration bounces the VIP off its HMux.
+	if _, onHMux := c.HomeOf(vip); onHMux {
+		t.Fatal("VIP still on HMux right after DIP restoration")
+	}
+}
+
+func TestHealthProberDefaultProbeUsesAgents(t *testing.T) {
+	c, w, ct := world(t, 10, 1e10, 41)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	vip := w.VIPs[0].Addr
+	v, _ := c.VIP(vip)
+	if len(v.Backends) < 2 {
+		t.Skip("need multiple backends")
+	}
+	sick := v.Backends[0].Addr
+	p := ct.AttachHealthProber(healthd.Config{Interval: 1, DownAfter: 2, UpAfter: 1}, nil, 0)
+	agent, _ := c.Agent(sick)
+	if err := agent.SetHealth(sick, false); err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0)
+	p.Tick(1)
+	if len(ct.BenchedDIPs()) != 1 {
+		t.Fatalf("agent-driven probe did not bench: %v", ct.BenchedDIPs())
+	}
+}

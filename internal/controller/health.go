@@ -1,0 +1,79 @@
+package controller
+
+import (
+	"duet/internal/healthd"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// Health integration (§5.1 "DIP failure", §6): the controller attaches a
+// flap-damped prober over every backend. When the prober declares a DIP
+// down, the controller removes it from its VIP in place (resilient hashing
+// keeps the surviving connections); when the DIP recovers, the controller
+// adds it back through the §5.2 DIP-addition path (bounce via SMuxes).
+
+// AttachHealthProber builds a prober over every currently configured
+// backend. probe is the raw health check; pass nil to consult the host
+// agents' recorded health bits (hostagent.SetHealth).
+func (ct *Controller) AttachHealthProber(cfg healthd.Config, probe healthd.Probe, now float64) *healthd.Prober {
+	if probe == nil {
+		probe = func(dip packet.Addr) bool {
+			agent, ok := ct.Cluster.Agent(dip)
+			return ok && agent.Healthy(dip)
+		}
+	}
+	p := healthd.New(cfg, probe)
+	if ct.vipOfDIP == nil {
+		ct.vipOfDIP = make(map[packet.Addr]packet.Addr)
+	}
+	if ct.benched == nil {
+		ct.benched = make(map[packet.Addr]service.Backend)
+	}
+	for _, vipAddr := range ct.Cluster.VIPs() {
+		v, _ := ct.Cluster.VIP(vipAddr)
+		for _, b := range v.Backends {
+			ct.vipOfDIP[b.Addr] = vipAddr
+			p.Register(b.Addr, now)
+		}
+	}
+	p.Subscribe(func(dip packet.Addr, healthy bool) {
+		ct.onHealthChange(dip, healthy)
+	})
+	ct.prober = p
+	return p
+}
+
+// onHealthChange benches a failed DIP and restores it on recovery.
+func (ct *Controller) onHealthChange(dip packet.Addr, healthy bool) {
+	vip, ok := ct.vipOfDIP[dip]
+	if !ok {
+		return
+	}
+	if !healthy {
+		v, ok := ct.Cluster.VIP(vip)
+		if !ok {
+			return
+		}
+		for _, b := range v.Backends {
+			if b.Addr == dip {
+				ct.benched[dip] = b
+				break
+			}
+		}
+		_ = ct.RemoveDIP(vip, dip)
+		return
+	}
+	if b, wasBenched := ct.benched[dip]; wasBenched {
+		delete(ct.benched, dip)
+		_ = ct.AddDIP(vip, b)
+	}
+}
+
+// BenchedDIPs returns the DIPs currently removed for health reasons.
+func (ct *Controller) BenchedDIPs() []packet.Addr {
+	out := make([]packet.Addr, 0, len(ct.benched))
+	for d := range ct.benched {
+		out = append(out, d)
+	}
+	return out
+}

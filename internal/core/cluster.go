@@ -1,0 +1,461 @@
+// Package core assembles the Duet system (paper §3, §6): a datacenter
+// fabric whose switches each run an HMux, a small SMux fleet announcing the
+// VIP aggregate as a backstop, host agents on the servers, a BGP-style
+// routing view with longest-prefix-match preference, and the controller
+// machinery (see internal/controller) that places and migrates VIPs.
+//
+// Cluster offers a byte-accurate datapath: Deliver pushes a real IPv4 packet
+// through route lookup, mux selection, IP-in-IP encapsulation (including TIP
+// indirection) and host-agent decapsulation, returning the delivery the
+// destination server observes.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/bgp"
+	"duet/internal/ecmp"
+	"duet/internal/hmux"
+	"duet/internal/hostagent"
+	"duet/internal/netsim"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/smux"
+	"duet/internal/topology"
+)
+
+// Errors returned by the cluster.
+var (
+	ErrNoRoute      = errors.New("core: no route for destination")
+	ErrVIPUnknown   = errors.New("core: VIP not configured")
+	ErrVIPExists    = errors.New("core: VIP already configured")
+	ErrSwitchDown   = errors.New("core: switch is down")
+	ErrNoSuchSwitch = errors.New("core: no such switch")
+)
+
+// smuxNodeBase offsets SMux IDs in the routing table (switches use their
+// SwitchID directly).
+const smuxNodeBase bgp.NodeID = 1 << 20
+
+// Config sizes a cluster.
+type Config struct {
+	Topology topology.Config
+	// NumSMuxes is the backstop fleet size (use internal/provision to pick).
+	NumSMuxes int
+	// Aggregate is the VIP prefix the SMuxes announce.
+	Aggregate packet.Prefix
+	// HMuxTables overrides switch table sizes (zero = paper defaults).
+	HMuxTables hmux.Config
+}
+
+// DefaultConfig returns a cluster matching the scaled-down default fabric
+// with a small SMux fleet.
+func DefaultConfig() Config {
+	return Config{
+		Topology:  topology.DefaultConfig(),
+		NumSMuxes: 8,
+		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+	}
+}
+
+// Cluster is a fully wired Duet deployment.
+type Cluster struct {
+	Topo   *topology.Topology
+	Net    *netsim.Network
+	Routes *bgp.Table
+
+	HMuxes []*hmux.Mux // per switch
+	SMuxes []*smux.Mux
+	// SMuxRacks locates the SMux servers.
+	SMuxRacks []int
+
+	agents map[packet.Addr]*hostagent.Agent // host addr → agent
+
+	vips     map[packet.Addr]*service.VIP
+	hmuxHome map[packet.Addr]topology.SwitchID   // VIP → switch, if assigned
+	replicas map[packet.Addr][]topology.SwitchID // §9 replicated VIPs
+
+	switchUp []bool
+	tableCfg hmux.Config // per-switch table sizing, for reboot re-creation
+	now      float64     // logical route clock; every mutation advances it
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumSMuxes <= 0 {
+		cfg.NumSMuxes = 1
+	}
+	if cfg.Aggregate.Bits == 0 && cfg.Aggregate.Addr == 0 {
+		cfg.Aggregate = packet.MustParsePrefix("10.0.0.0/8")
+	}
+	c := &Cluster{
+		Topo:     topo,
+		Net:      netsim.New(topo),
+		Routes:   bgp.NewTable(),
+		HMuxes:   make([]*hmux.Mux, topo.NumSwitches()),
+		agents:   make(map[packet.Addr]*hostagent.Agent),
+		vips:     make(map[packet.Addr]*service.VIP),
+		hmuxHome: make(map[packet.Addr]topology.SwitchID),
+		replicas: make(map[packet.Addr][]topology.SwitchID),
+		switchUp: make([]bool, topo.NumSwitches()),
+	}
+	c.tableCfg = cfg.HMuxTables
+	for s := range c.HMuxes {
+		tcfg := cfg.HMuxTables
+		tcfg.SelfAddr = switchAddr(s)
+		c.HMuxes[s] = hmux.New(tcfg)
+		c.switchUp[s] = true
+	}
+	racks := topo.NumRacks()
+	for i := 0; i < cfg.NumSMuxes; i++ {
+		sm := smux.New(smux.DefaultConfig(packet.AddrFrom4(192, 168, byte(i>>8), byte(i))))
+		c.SMuxes = append(c.SMuxes, sm)
+		c.SMuxRacks = append(c.SMuxRacks, (i*(racks/cfg.NumSMuxes+1))%racks)
+		c.Routes.Announce(cfg.Aggregate, smuxNodeBase+bgp.NodeID(i), 0)
+	}
+	return c, nil
+}
+
+// switchAddr derives a switch's loopback address from its ID.
+func switchAddr(s int) packet.Addr {
+	return packet.AddrFrom4(172, 16, byte(s>>8), byte(s))
+}
+
+func (c *Cluster) tick() float64 {
+	c.now++
+	return c.now
+}
+
+// Now returns the logical route clock.
+func (c *Cluster) Now() float64 { return c.now }
+
+// AddVIP configures a new VIP: per §5.2 it lands on the SMuxes first; the
+// controller may later migrate it to an HMux.
+func (c *Cluster) AddVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, ok := c.vips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	for _, sm := range c.SMuxes {
+		if err := sm.AddVIP(v); err != nil {
+			return err
+		}
+	}
+	cp := *v
+	c.vips[v.Addr] = &cp
+	// Every backend gets a host agent (one host per DIP unless the caller
+	// registered a virtualized host explicitly via RegisterHost).
+	for _, b := range allBackends(v) {
+		if _, ok := c.agents[b.Addr]; !ok {
+			a := hostagent.New(b.Addr)
+			if err := a.RegisterDIP(v.Addr, b.Addr); err != nil {
+				return err
+			}
+			c.agents[b.Addr] = a
+		} else if err := c.agents[b.Addr].RegisterDIP(v.Addr, b.Addr); err != nil {
+			return err
+		}
+	}
+	c.tick()
+	return nil
+}
+
+func allBackends(v *service.VIP) []service.Backend {
+	out := append([]service.Backend(nil), v.Backends...)
+	for _, pr := range v.Ports {
+		out = append(out, pr.Backends...)
+	}
+	return out
+}
+
+// RegisterHost attaches a virtualized host running several VM DIPs for a VIP
+// (Figure 6). The VIP's backend list should reference hostAddr (the HIP),
+// possibly multiple times for weighting.
+func (c *Cluster) RegisterHost(hostAddr packet.Addr, vip packet.Addr, vmDIPs []packet.Addr) error {
+	a, ok := c.agents[hostAddr]
+	if !ok {
+		a = hostagent.New(hostAddr)
+		c.agents[hostAddr] = a
+	}
+	for _, d := range vmDIPs {
+		if err := a.RegisterDIP(vip, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveVIP withdraws a VIP everywhere (§5.2 "VIP removal").
+func (c *Cluster) RemoveVIP(addr packet.Addr) error {
+	if _, ok := c.vips[addr]; !ok {
+		return ErrVIPUnknown
+	}
+	if sw, ok := c.hmuxHome[addr]; ok {
+		_ = c.HMuxes[sw].RemoveVIP(addr)
+		c.Routes.Withdraw(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
+		delete(c.hmuxHome, addr)
+	}
+	if _, ok := c.replicas[addr]; ok {
+		_ = c.WithdrawReplicas(addr)
+	}
+	for _, sm := range c.SMuxes {
+		_ = sm.RemoveVIP(addr)
+	}
+	delete(c.vips, addr)
+	c.tick()
+	return nil
+}
+
+// VIP returns the configuration of a VIP.
+func (c *Cluster) VIP(addr packet.Addr) (*service.VIP, bool) {
+	v, ok := c.vips[addr]
+	return v, ok
+}
+
+// VIPs returns all configured VIP addresses.
+func (c *Cluster) VIPs() []packet.Addr {
+	out := make([]packet.Addr, 0, len(c.vips))
+	for a := range c.vips {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HomeOf returns the switch hosting a VIP's HMux entry, or false if the VIP
+// is served by the SMuxes.
+func (c *Cluster) HomeOf(addr packet.Addr) (topology.SwitchID, bool) {
+	sw, ok := c.hmuxHome[addr]
+	return sw, ok
+}
+
+// AssignToHMux programs a VIP onto a switch and announces its /32 route —
+// the raw operation underneath the controller's migration (make-after-
+// withdraw happens in the controller).
+func (c *Cluster) AssignToHMux(addr packet.Addr, sw topology.SwitchID) error {
+	v, ok := c.vips[addr]
+	if !ok {
+		return ErrVIPUnknown
+	}
+	if int(sw) < 0 || int(sw) >= len(c.HMuxes) {
+		return ErrNoSuchSwitch
+	}
+	if !c.switchUp[sw] {
+		return ErrSwitchDown
+	}
+	if cur, ok := c.hmuxHome[addr]; ok {
+		if cur == sw {
+			return nil
+		}
+		return fmt.Errorf("core: VIP %s already on switch %d; withdraw first", addr, cur)
+	}
+	if c.replicas[addr] != nil {
+		return fmt.Errorf("core: VIP %s is replicated; withdraw replicas first", addr)
+	}
+	if err := c.HMuxes[sw].AddVIP(v); err != nil {
+		return err
+	}
+	c.hmuxHome[addr] = sw
+	c.Routes.Announce(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
+	return nil
+}
+
+// WithdrawFromHMux removes a VIP from its switch; traffic falls back to the
+// SMuxes (the stepping-stone state of §4.2).
+func (c *Cluster) WithdrawFromHMux(addr packet.Addr) error {
+	sw, ok := c.hmuxHome[addr]
+	if !ok {
+		return ErrVIPUnknown
+	}
+	if c.switchUp[sw] {
+		if err := c.HMuxes[sw].RemoveVIP(addr); err != nil {
+			return err
+		}
+	}
+	c.Routes.Withdraw(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
+	delete(c.hmuxHome, addr)
+	return nil
+}
+
+// FailSwitch kills a switch: dataplane stops and all its routes are
+// withdrawn (the cluster facade converges instantly; timed convergence is
+// the testbed's domain).
+func (c *Cluster) FailSwitch(sw topology.SwitchID) {
+	if !c.switchUp[sw] {
+		return
+	}
+	c.switchUp[sw] = false
+	c.Net.FailSwitch(sw)
+	c.Routes.WithdrawAll(bgp.NodeID(sw), c.tick())
+	// VIPs homed there are now SMux-served; forget the stale home.
+	for vip, home := range c.hmuxHome {
+		if home == sw {
+			delete(c.hmuxHome, vip)
+		}
+	}
+	c.dropReplicaOn(sw)
+}
+
+// RecoverSwitch brings a switch back. A rebooted switch loses its tables
+// (§5.1), so the HMux is re-created blank; the controller re-runs
+// assignment to repopulate it.
+func (c *Cluster) RecoverSwitch(sw topology.SwitchID) {
+	if c.switchUp[sw] {
+		return
+	}
+	tcfg := c.tableCfg
+	tcfg.SelfAddr = switchAddr(int(sw))
+	c.HMuxes[sw] = hmux.New(tcfg)
+	c.switchUp[sw] = true
+	c.Net.RecoverSwitch(sw)
+	c.tick()
+}
+
+// SwitchUp reports switch liveness.
+func (c *Cluster) SwitchUp(sw topology.SwitchID) bool { return c.switchUp[sw] }
+
+// Agent returns the host agent of a host address.
+func (c *Cluster) Agent(host packet.Addr) (*hostagent.Agent, bool) {
+	a, ok := c.agents[host]
+	return a, ok
+}
+
+// Hop describes one step a packet took through the datapath.
+type Hop struct {
+	Kind string // "hmux", "smux", "tip", "agent"
+	Node string // description of the entity
+}
+
+// Delivery is the end-to-end result of Deliver.
+type Delivery struct {
+	VIP    packet.Addr
+	DIP    packet.Addr
+	Host   packet.Addr
+	Packet []byte // the packet as the server receives it
+	Hops   []Hop
+}
+
+// Deliver pushes a VIP-addressed packet through the full datapath and
+// returns what the backend server receives. It mutates real mux state (SMux
+// connection tables) exactly as production traffic would.
+func (c *Cluster) Deliver(data []byte) (Delivery, error) {
+	tuple, err := packet.ExtractFiveTuple(data)
+	if err != nil {
+		return Delivery{}, err
+	}
+	nhs, _, ok := c.Routes.Lookup(tuple.Dst, c.now)
+	if !ok || len(nhs) == 0 {
+		return Delivery{}, ErrNoRoute
+	}
+	nh := nhs[int(ecmp.Hash(tuple)%uint64(len(nhs)))]
+
+	var (
+		encapped []byte
+		hops     []Hop
+	)
+	if nh >= smuxNodeBase {
+		sm := c.SMuxes[int(nh-smuxNodeBase)]
+		res, err := sm.Process(data, nil)
+		if err != nil {
+			return Delivery{}, err
+		}
+		encapped = res.Packet
+		hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
+	} else {
+		sw := topology.SwitchID(nh)
+		if !c.switchUp[sw] {
+			return Delivery{}, ErrSwitchDown
+		}
+		hm := c.HMuxes[sw]
+		if !hm.HasVIP(tuple.Dst) {
+			// FIB miss during migration: fall through to the SMux layer.
+			sm := c.SMuxes[int(ecmp.Hash(tuple)%uint64(len(c.SMuxes)))]
+			res, err := sm.Process(data, nil)
+			if err != nil {
+				return Delivery{}, err
+			}
+			encapped = res.Packet
+			hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
+		} else {
+			res, err := hm.Process(data, nil)
+			if err != nil {
+				return Delivery{}, err
+			}
+			encapped = res.Packet
+			hops = append(hops, Hop{Kind: "hmux", Node: c.Topo.Switch(sw).Name})
+			// TIP indirection: the outer destination may be a TIP hosted on
+			// another switch (§5.2, Figure 7).
+			if tipSwitch, ok := c.tipHome(res.Encap); ok {
+				res2, err := c.HMuxes[tipSwitch].Process(encapped, nil)
+				if err != nil {
+					return Delivery{}, err
+				}
+				encapped = res2.Packet
+				hops = append(hops, Hop{Kind: "tip", Node: c.Topo.Switch(tipSwitch).Name})
+			}
+		}
+	}
+
+	// Host agent receive.
+	var outer packet.IPv4
+	if err := outer.DecodeFromBytes(encapped); err != nil {
+		return Delivery{}, err
+	}
+	agent, ok := c.agents[outer.Dst]
+	if !ok {
+		return Delivery{}, fmt.Errorf("core: no host agent at %s", outer.Dst)
+	}
+	d, err := agent.Receive(encapped, nil)
+	if err != nil {
+		return Delivery{}, err
+	}
+	hops = append(hops, Hop{Kind: "agent", Node: outer.Dst.String()})
+	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
+}
+
+// tipHome finds the switch hosting a TIP partition.
+func (c *Cluster) tipHome(addr packet.Addr) (topology.SwitchID, bool) {
+	for s, hm := range c.HMuxes {
+		if c.switchUp[s] && hm.HasTIP(addr) {
+			return topology.SwitchID(s), true
+		}
+	}
+	return 0, false
+}
+
+// InstallTIP programs a TIP partition on a switch and records it for
+// datapath resolution.
+func (c *Cluster) InstallTIP(tip packet.Addr, sw topology.SwitchID, backends []service.Backend) error {
+	if !c.switchUp[sw] {
+		return ErrSwitchDown
+	}
+	for _, b := range backends {
+		if _, ok := c.agents[b.Addr]; !ok {
+			a := hostagent.New(b.Addr)
+			c.agents[b.Addr] = a
+		}
+	}
+	return c.HMuxes[sw].AddTIP(tip, backends)
+}
+
+// RegisterTIPBackends attaches the TIP partition's DIPs to a VIP on the host
+// agents (so Receive accepts the inner packets).
+func (c *Cluster) RegisterTIPBackends(vip packet.Addr, backends []service.Backend) error {
+	for _, b := range backends {
+		a, ok := c.agents[b.Addr]
+		if !ok {
+			a = hostagent.New(b.Addr)
+			c.agents[b.Addr] = a
+		}
+		if err := a.RegisterDIP(vip, b.Addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/topology"
+)
+
+func testCluster(t testing.TB) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Topology:  topology.TestbedConfig(),
+		NumSMuxes: 3,
+		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mkVIP(i int, dips ...string) *service.VIP {
+	bs := make([]service.Backend, len(dips))
+	for j, d := range dips {
+		bs[j] = service.Backend{Addr: packet.MustParseAddr(d), Weight: 1}
+	}
+	return &service.VIP{Addr: packet.AddrFrom4(10, 0, 0, byte(i+1)), Backends: bs}
+}
+
+func clientPkt(vip packet.Addr, i uint32) []byte {
+	return packet.BuildTCP(packet.FiveTuple{
+		Src: packet.AddrFrom4(30, 0, byte(i>>8), byte(i)), Dst: vip,
+		SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, []byte("GET /"))
+}
+
+func TestDeliverViaSMux(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[packet.Addr]int)
+	for i := uint32(0); i < 1000; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.VIP != v.Addr {
+			t.Fatalf("delivery VIP %s", d.VIP)
+		}
+		if len(d.Hops) != 2 || d.Hops[0].Kind != "smux" || d.Hops[1].Kind != "agent" {
+			t.Fatalf("hops = %+v", d.Hops)
+		}
+		counts[d.DIP]++
+		// The packet the server receives is addressed to the DIP.
+		var ip packet.IPv4
+		if err := ip.DecodeFromBytes(d.Packet); err != nil {
+			t.Fatal(err)
+		}
+		if ip.Dst != d.DIP {
+			t.Fatal("delivered packet not rewritten to DIP")
+		}
+	}
+	for _, b := range v.Backends {
+		frac := float64(counts[b.Addr]) / 1000
+		if math.Abs(frac-0.5) > 0.08 {
+			t.Fatalf("DIP %s got %.3f", b.Addr, frac)
+		}
+	}
+}
+
+func TestDeliverViaHMux(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Topo.TorID(0, 0)
+	if err := c.AssignToHMux(v.Addr, sw); err != nil {
+		t.Fatal(err)
+	}
+	if home, ok := c.HomeOf(v.Addr); !ok || home != sw {
+		t.Fatal("HomeOf wrong")
+	}
+	d, err := c.Deliver(clientPkt(v.Addr, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hops[0].Kind != "hmux" {
+		t.Fatalf("first hop = %+v, want hmux (LPM /32 preference)", d.Hops[0])
+	}
+}
+
+func TestHMuxAndSMuxPickSameDIP(t *testing.T) {
+	// The migration invariant at the cluster level: the DIP chosen for a
+	// tuple must not change when the VIP moves from SMux to HMux.
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[uint32]packet.Addr)
+	for i := uint32(0); i < 300; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = d.DIP
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.AggID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 300; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DIP != before[i] {
+			t.Fatalf("flow %d remapped %s→%s across migration", i, before[i], d.DIP)
+		}
+	}
+}
+
+func TestWithdrawFallsBackToSMux(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Topo.TorID(0, 0)
+	if err := c.AssignToHMux(v.Addr, sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WithdrawFromHMux(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Deliver(clientPkt(v.Addr, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hops[0].Kind != "smux" {
+		t.Fatalf("hops after withdraw = %+v", d.Hops)
+	}
+	if err := c.WithdrawFromHMux(v.Addr); err != ErrVIPUnknown {
+		t.Fatalf("double withdraw: %v", err)
+	}
+}
+
+func TestFailSwitchFailsOver(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Topo.TorID(0, 0)
+	if err := c.AssignToHMux(v.Addr, sw); err != nil {
+		t.Fatal(err)
+	}
+	c.FailSwitch(sw)
+	if c.SwitchUp(sw) {
+		t.Fatal("switch still up")
+	}
+	if _, ok := c.HomeOf(v.Addr); ok {
+		t.Fatal("failed switch still recorded as home")
+	}
+	d, err := c.Deliver(clientPkt(v.Addr, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hops[0].Kind != "smux" {
+		t.Fatalf("failover hops = %+v", d.Hops)
+	}
+	// Recovery: switch comes back empty; VIP stays on SMux until the
+	// controller reassigns.
+	c.RecoverSwitch(sw)
+	if !c.SwitchUp(sw) {
+		t.Fatal("switch did not recover")
+	}
+	d, err = c.Deliver(clientPkt(v.Addr, 2))
+	if err != nil || d.Hops[0].Kind != "smux" {
+		t.Fatalf("post-recovery delivery: %+v %v", d.Hops, err)
+	}
+	// Double fail/recover are no-ops.
+	c.RecoverSwitch(sw)
+	c.FailSwitch(sw)
+	c.FailSwitch(sw)
+}
+
+func TestAssignErrors(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AssignToHMux(v.Addr, 0); err != ErrVIPUnknown {
+		t.Fatalf("unknown VIP: %v", err)
+	}
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVIP(v); err != ErrVIPExists {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := c.AssignToHMux(v.Addr, topology.SwitchID(999)); err != ErrNoSuchSwitch {
+		t.Fatalf("bad switch: %v", err)
+	}
+	sw := c.Topo.TorID(0, 0)
+	if err := c.AssignToHMux(v.Addr, sw); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent same-switch assign.
+	if err := c.AssignToHMux(v.Addr, sw); err != nil {
+		t.Fatalf("same-switch reassign: %v", err)
+	}
+	// Direct move without withdraw is refused (the controller must use the
+	// stepping stone).
+	if err := c.AssignToHMux(v.Addr, c.Topo.TorID(0, 1)); err == nil {
+		t.Fatal("direct move accepted")
+	}
+	other := c.Topo.TorID(1, 0)
+	c.FailSwitch(other)
+	v2 := mkVIP(1, "100.0.1.1")
+	if err := c.AddVIP(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(v2.Addr, other); err != ErrSwitchDown {
+		t.Fatalf("down switch: %v", err)
+	}
+}
+
+func TestRemoveVIP(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.TorID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveVIP(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deliver(clientPkt(v.Addr, 1)); err == nil {
+		t.Fatal("removed VIP still deliverable")
+	}
+	if err := c.RemoveVIP(v.Addr); err != ErrVIPUnknown {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestDeliverNoRoute(t *testing.T) {
+	c := testCluster(t)
+	// Address outside the SMux aggregate.
+	pkt := clientPkt(packet.MustParseAddr("99.0.0.1"), 1)
+	if _, err := c.Deliver(pkt); err != ErrNoRoute {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTIPIndirectionEndToEnd(t *testing.T) {
+	c := testCluster(t)
+	// VIP whose "backends" are two TIPs hosted on other switches.
+	tip1 := packet.MustParseAddr("20.0.0.1")
+	tip2 := packet.MustParseAddr("20.0.0.2")
+	v := &service.VIP{Addr: packet.AddrFrom4(10, 0, 0, 9), Backends: []service.Backend{
+		{Addr: tip1, Weight: 1}, {Addr: tip2, Weight: 1},
+	}}
+	part1 := []service.Backend{{Addr: packet.MustParseAddr("100.0.0.1"), Weight: 1}}
+	part2 := []service.Backend{{Addr: packet.MustParseAddr("100.0.0.2"), Weight: 1}}
+
+	// The VIP must ride an HMux for TIP encapsulation (SMuxes would need the
+	// flat list); install everything.
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.CoreID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallTIP(tip1, c.Topo.AggID(0, 0), part1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallTIP(tip2, c.Topo.AggID(1, 0), part2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTIPBackends(v.Addr, part1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTIPBackends(v.Addr, part2); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[packet.Addr]bool)
+	for i := uint32(0); i < 400; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Hops) != 3 || d.Hops[1].Kind != "tip" {
+			t.Fatalf("hops = %+v, want hmux→tip→agent", d.Hops)
+		}
+		seen[d.DIP] = true
+	}
+	if !seen[packet.MustParseAddr("100.0.0.1")] || !seen[packet.MustParseAddr("100.0.0.2")] {
+		t.Fatalf("TIP partitions not both used: %v", seen)
+	}
+}
+
+func TestVirtualizedHost(t *testing.T) {
+	c := testCluster(t)
+	host := packet.MustParseAddr("20.0.1.1")
+	vip := packet.AddrFrom4(10, 0, 0, 5)
+	vms := []packet.Addr{packet.MustParseAddr("100.1.0.1"), packet.MustParseAddr("100.1.0.2")}
+	// The VIP's backend is the HIP (twice, one tunnel entry per VM DIP —
+	// Figure 6); the host agent fans out to the VMs.
+	v := &service.VIP{Addr: vip, Backends: []service.Backend{{Addr: host, Weight: 2}}}
+	if err := c.RegisterHost(host, vip, vms); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[packet.Addr]bool)
+	for i := uint32(0); i < 500; i++ {
+		d, err := c.Deliver(clientPkt(vip, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Host != host {
+			t.Fatalf("host = %s", d.Host)
+		}
+		seen[d.DIP] = true
+	}
+	if !seen[vms[0]] || !seen[vms[1]] {
+		t.Fatalf("VM fan-out degenerate: %v", seen)
+	}
+}
+
+func TestVIPsListing(t *testing.T) {
+	c := testCluster(t)
+	dips := []string{"100.0.0.1", "100.0.0.2", "100.0.0.3"}
+	for i := 0; i < 3; i++ {
+		if err := c.AddVIP(mkVIP(i, dips[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.VIPs()) != 3 {
+		t.Fatalf("VIPs = %d", len(c.VIPs()))
+	}
+	if _, ok := c.VIP(packet.AddrFrom4(10, 0, 0, 1)); !ok {
+		t.Fatal("VIP lookup failed")
+	}
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	c := testCluster(b)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2")
+	if err := c.AddVIP(v); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.TorID(0, 0)); err != nil {
+		b.Fatal(err)
+	}
+	pkt := clientPkt(v.Addr, 7)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Deliver(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRebootWipesTables pins the §5.1 reboot semantics the chaos test
+// uncovered: a recovered switch must come back with BLANK tables. A VIP
+// withdrawn while its replica switch was down must be re-assignable there
+// after recovery.
+func TestRebootWipesTables(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Topo.AggID(0, 0)
+	other := c.Topo.AggID(1, 0)
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{sw, other}); err != nil {
+		t.Fatal(err)
+	}
+	// The replica switch dies; the operator withdraws the replicas while it
+	// is down (only the live one can be cleaned).
+	c.FailSwitch(sw)
+	if err := c.WithdrawReplicas(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	c.RecoverSwitch(sw)
+	// Rebooted switch: blank tables, so re-assignment must succeed.
+	if c.HMuxes[sw].HasVIP(v.Addr) {
+		t.Fatal("rebooted switch kept stale tables")
+	}
+	if st := c.HMuxes[sw].Stats(); st.HostUsed != 0 || st.ECMPUsed != 0 || st.TunnelUsed != 0 {
+		t.Fatalf("rebooted switch tables not blank: %+v", st)
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{sw}); err != nil {
+		t.Fatalf("re-assignment after reboot failed: %v", err)
+	}
+	if _, err := c.Deliver(clientPkt(v.Addr, 1)); err != nil {
+		t.Fatal(err)
+	}
+}

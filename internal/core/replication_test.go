@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/packet"
+	"duet/internal/topology"
+)
+
+func TestReplicatedVIPSplitsAcrossSwitches(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	reps := []topology.SwitchID{c.Topo.AggID(0, 0), c.Topo.AggID(1, 0)}
+	if err := c.AssignReplicated(v.Addr, reps); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Replicas(v.Addr); len(got) != 2 {
+		t.Fatalf("replicas = %v", got)
+	}
+	// Both replica switches should receive traffic (ECMP over /32 routes).
+	seen := make(map[string]int)
+	for i := uint32(0); i < 2000; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hops[0].Kind != "hmux" {
+			t.Fatalf("replicated VIP served by %v", d.Hops[0])
+		}
+		seen[d.Hops[0].Node]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("traffic used %d replicas, want 2: %v", len(seen), seen)
+	}
+	for name, n := range seen {
+		if n < 400 {
+			t.Fatalf("replica %s got only %d/2000 flows", name, n)
+		}
+	}
+}
+
+// TestReplicaFailureNoSMuxNoRemap is the §9 trade-off: with replication, a
+// switch failure is absorbed by the surviving replica — no SMux involvement
+// and, thanks to the shared hash, no connection remaps.
+func TestReplicaFailureNoSMuxNoRemap(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2", "100.0.0.3")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	reps := []topology.SwitchID{c.Topo.AggID(0, 0), c.Topo.AggID(1, 0)}
+	if err := c.AssignReplicated(v.Addr, reps); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[uint32]packet.Addr)
+	for i := uint32(0); i < 1000; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = d.DIP
+	}
+	c.FailSwitch(reps[0])
+	surviving := c.Topo.Switch(reps[1]).Name
+	for i := uint32(0); i < 1000; i++ {
+		d, err := c.Deliver(clientPkt(v.Addr, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hops[0].Kind != "hmux" || d.Hops[0].Node != surviving {
+			t.Fatalf("flow %d not absorbed by surviving replica: %+v", i, d.Hops[0])
+		}
+		if d.DIP != before[i] {
+			t.Fatalf("flow %d remapped %s→%s on replica failure", i, before[i], d.DIP)
+		}
+	}
+	if got := c.Replicas(v.Addr); len(got) != 1 || got[0] != reps[1] {
+		t.Fatalf("replica bookkeeping after failure: %v", got)
+	}
+}
+
+func TestReplicationErrors(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{0}); err != ErrVIPUnknown {
+		t.Fatalf("unknown VIP: %v", err)
+	}
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignReplicated(v.Addr, nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{999}); err != ErrNoSuchSwitch {
+		t.Fatalf("bad switch: %v", err)
+	}
+	dup := c.Topo.AggID(0, 0)
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{dup, dup}); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	down := c.Topo.AggID(1, 1)
+	c.FailSwitch(down)
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{down}); err != ErrSwitchDown {
+		t.Fatalf("down switch: %v", err)
+	}
+
+	// Single-home then replicate is refused, and vice versa.
+	if err := c.AssignToHMux(v.Addr, c.Topo.AggID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{c.Topo.AggID(1, 0)}); err == nil {
+		t.Fatal("replicating a homed VIP accepted")
+	}
+	if err := c.WithdrawFromHMux(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{c.Topo.AggID(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.AggID(0, 0)); err == nil {
+		t.Fatal("homing a replicated VIP accepted")
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{c.Topo.AggID(0, 1)}); err == nil {
+		t.Fatal("double replication accepted")
+	}
+}
+
+func TestWithdrawReplicasFallsBackToSMux(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	reps := []topology.SwitchID{c.Topo.AggID(0, 0), c.Topo.CoreID(0)}
+	if err := c.AssignReplicated(v.Addr, reps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WithdrawReplicas(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Deliver(clientPkt(v.Addr, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hops[0].Kind != "smux" {
+		t.Fatalf("after withdraw: %+v", d.Hops)
+	}
+	// Switch tables released.
+	for _, sw := range reps {
+		if c.HMuxes[sw].HasVIP(v.Addr) {
+			t.Fatal("replica table entry leaked")
+		}
+	}
+	if err := c.WithdrawReplicas(v.Addr); err != ErrVIPUnknown {
+		t.Fatalf("double withdraw: %v", err)
+	}
+}
+
+func TestRemoveVIPCleansReplicas(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignReplicated(v.Addr, []topology.SwitchID{c.Topo.AggID(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveVIP(v.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Replicas(v.Addr); got != nil && len(got) != 0 {
+		t.Fatalf("replicas leaked: %v", got)
+	}
+	if c.HMuxes[c.Topo.AggID(0, 0)].HasVIP(v.Addr) {
+		t.Fatal("switch table leaked")
+	}
+}
+
+func TestReplicationAtomicRollback(t *testing.T) {
+	// Second replica's tables are full → the whole operation rolls back.
+	cfg := Config{
+		Topology:  topology.TestbedConfig(),
+		NumSMuxes: 2,
+		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+	}
+	cfg.HMuxTables.TunnelTableSize = 2
+	cfg.HMuxTables.ECMPTableSize = 4
+	cfg.HMuxTables.HostTableSize = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := mkVIP(5, "100.0.9.1", "100.0.9.2")
+	if err := c.AddVIP(filler); err != nil {
+		t.Fatal(err)
+	}
+	full := c.Topo.AggID(1, 0)
+	if err := c.AssignToHMux(filler.Addr, full); err != nil {
+		t.Fatal(err)
+	}
+
+	v := mkVIP(0, "100.0.0.1", "100.0.0.2")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	empty := c.Topo.AggID(0, 0)
+	err = c.AssignReplicated(v.Addr, []topology.SwitchID{empty, full})
+	if err == nil {
+		t.Fatal("expected table-full error")
+	}
+	if c.HMuxes[empty].HasVIP(v.Addr) {
+		t.Fatal("rollback left state on the first replica")
+	}
+	if c.Replicas(v.Addr) != nil {
+		t.Fatal("rollback left replica bookkeeping")
+	}
+}

@@ -1,0 +1,192 @@
+package ecmp
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/packet"
+)
+
+// Errors returned by group operations.
+var (
+	ErrEmptyGroup     = errors.New("ecmp: group has no members")
+	ErrMemberNotFound = errors.New("ecmp: member not found")
+	ErrBadWeight      = errors.New("ecmp: weight must be positive")
+)
+
+// DefaultSlots is the default resilient-hashing slot count per group. Real
+// switch ASICs use a fixed small power of two per ECMP group; 256 keeps the
+// remap granularity fine enough that removing one of up to 512 members only
+// touches that member's slots.
+const DefaultSlots = 256
+
+// Group is an ECMP selection group implementing resilient hashing in the
+// style of Broadcom Smart-Hash (paper §5.1 [2]): a fixed-size slot table maps
+// hash(tuple) % slots → member. Removing a member rewrites only the failed
+// member's slots, so connections to the surviving members keep their mapping.
+// Adding a member rebuilds the table (resilient hashing only protects
+// removal — which is exactly why Duet bounces a VIP through the SMux when
+// adding a DIP, paper §5.2 "DIP addition").
+type Group struct {
+	members []uint32 // member IDs in insertion order (tunnel table indices, DIP ids, ...)
+	weights []uint32 // parallel to members; WCMP weights, 1 = equal
+	slots   []int32  // slot table; value is an index into members, -1 if empty
+}
+
+// NewGroup creates a group with the default slot count.
+func NewGroup() *Group { return NewGroupSlots(DefaultSlots) }
+
+// NewGroupSlots creates a group with a specific slot-table size.
+func NewGroupSlots(slots int) *Group {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	g := &Group{slots: make([]int32, slots)}
+	for i := range g.slots {
+		g.slots[i] = -1
+	}
+	return g
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Members returns a copy of the member IDs in insertion order.
+func (g *Group) Members() []uint32 {
+	out := make([]uint32, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+// Add appends a member with weight 1 and rebuilds the slot table.
+func (g *Group) Add(member uint32) { g.AddWeighted(member, 1) }
+
+// AddWeighted appends a member with the given WCMP weight (paper §5.2
+// "Heterogeneity among servers") and rebuilds the slot table.
+func (g *Group) AddWeighted(member uint32, weight uint32) {
+	if weight == 0 {
+		weight = 1
+	}
+	g.members = append(g.members, member)
+	g.weights = append(g.weights, weight)
+	g.rebuild()
+}
+
+// Remove deletes a member resiliently: only slots that pointed at the
+// removed member are remapped (round-robin over the survivors), so flows
+// hashing to surviving members are untouched.
+func (g *Group) Remove(member uint32) error {
+	idx := -1
+	for i, m := range g.members {
+		if m == member {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return ErrMemberNotFound
+	}
+	g.members = append(g.members[:idx], g.members[idx+1:]...)
+	g.weights = append(g.weights[:idx], g.weights[idx+1:]...)
+	if len(g.members) == 0 {
+		for i := range g.slots {
+			g.slots[i] = -1
+		}
+		return nil
+	}
+	// Shift the member indices stored in surviving slots, then patch only
+	// the slots that pointed at the removed member.
+	next := 0
+	for i, s := range g.slots {
+		switch {
+		case s == int32(idx):
+			g.slots[i] = int32(next % len(g.members))
+			next++
+		case s > int32(idx):
+			g.slots[i] = s - 1
+		}
+	}
+	return nil
+}
+
+// rebuild fills the slot table proportionally to member weights. This is the
+// non-resilient full rehash a real ASIC performs on member addition.
+func (g *Group) rebuild() {
+	if len(g.members) == 0 {
+		return
+	}
+	var total uint64
+	for _, w := range g.weights {
+		total += uint64(w)
+	}
+	// Largest-remainder apportionment of slots to members keeps the split
+	// within one slot of the exact weight ratio.
+	n := len(g.slots)
+	counts := make([]int, len(g.members))
+	rem := make([]uint64, len(g.members))
+	assigned := 0
+	for i, w := range g.weights {
+		exact := uint64(n) * uint64(w)
+		counts[i] = int(exact / total)
+		rem[i] = exact % total
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = 0
+		assigned++
+	}
+	// Interleave members across the slot table so adjacent hash values do
+	// not all land on the same member.
+	pos := 0
+	for remaining := n; remaining > 0; {
+		progressed := false
+		for i := range counts {
+			if counts[i] > 0 {
+				g.slots[pos] = int32(i)
+				pos++
+				counts[i]--
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}
+
+// Select returns the member for a flow hash.
+func (g *Group) Select(hash uint64) (uint32, error) {
+	if len(g.members) == 0 {
+		return 0, ErrEmptyGroup
+	}
+	s := g.slots[hash%uint64(len(g.slots))]
+	if s < 0 || int(s) >= len(g.members) {
+		return 0, fmt.Errorf("ecmp: corrupt slot table entry %d", s)
+	}
+	return g.members[s], nil
+}
+
+// SelectTuple returns the member for a 5-tuple using the shared Hash.
+func (g *Group) SelectTuple(t packet.FiveTuple) (uint32, error) {
+	return g.Select(Hash(t))
+}
+
+// SlotOwners returns, for testing and diagnostics, how many slots each
+// member currently owns, keyed by member ID.
+func (g *Group) SlotOwners() map[uint32]int {
+	out := make(map[uint32]int, len(g.members))
+	for _, s := range g.slots {
+		if s >= 0 {
+			out[g.members[s]]++
+		}
+	}
+	return out
+}

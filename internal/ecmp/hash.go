@@ -1,0 +1,64 @@
+// Package ecmp implements the traffic-splitting primitives Duet builds on:
+// the 5-tuple flow hash, ECMP member-selection groups, Broadcom-style
+// resilient hashing, and WCMP weighted splitting.
+//
+// A single hash function is shared by every HMux and SMux in the deployment
+// (paper §3.3.1): because all muxes agree on hash(tuple) → DIP, existing
+// connections survive a VIP migrating between muxes or failing over from an
+// HMux to the SMux backstop.
+package ecmp
+
+import "duet/internal/packet"
+
+// Hash computes the flow hash of a 5-tuple. It is a 64-bit FNV-1a over the
+// tuple fields, chosen because it is cheap, stateless and identical across
+// every component — the property Duet's connection-preserving migration
+// depends on, not the specific hash family.
+func Hash(t packet.FiveTuple) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix32 := func(v uint32) {
+		mix(byte(v >> 24))
+		mix(byte(v >> 16))
+		mix(byte(v >> 8))
+		mix(byte(v))
+	}
+	mix32(uint32(t.Src))
+	mix32(uint32(t.Dst))
+	mix(byte(t.SrcPort >> 8))
+	mix(byte(t.SrcPort))
+	mix(byte(t.DstPort >> 8))
+	mix(byte(t.DstPort))
+	mix(t.Proto)
+	return fmix64(h)
+}
+
+// fmix64 is the murmur3 finalizer. FNV-1a alone leaves detectable structure
+// in the low bits for low-entropy inputs (sequential addresses/ports), which
+// would skew slot-table selection; the finalizer fully avalanches the state.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// HashSym computes a direction-symmetric flow hash: both directions of a
+// connection map to the same value. Used for metering and flow grouping,
+// never for DIP selection (DIP selection must see the client→VIP direction).
+func HashSym(t packet.FiveTuple) uint64 {
+	a, b := Hash(t), Hash(t.Reverse())
+	if a < b {
+		return a ^ b<<1
+	}
+	return b ^ a<<1
+}

@@ -1,0 +1,149 @@
+// Package healthd implements the DIP health monitoring of §5.1/§6: host
+// agents probe their local DIPs and report to the Duet controller, which
+// removes failed DIPs from their VIPs. The prober uses consecutive-result
+// flap damping — a single dropped probe must not trigger a DIP removal
+// (removal terminates that DIP's connections), and a single success must not
+// re-add a flapping server.
+//
+// The prober runs on a virtual clock (Tick), matching the deterministic
+// style of the rest of the repository; production use would drive Tick from
+// a time.Ticker.
+package healthd
+
+import (
+	"errors"
+	"sort"
+
+	"duet/internal/packet"
+)
+
+// Probe checks one DIP's health (e.g. a TCP connect or an HTTP ping issued
+// by the host agent). It must be side-effect free.
+type Probe func(dip packet.Addr) bool
+
+// Listener is notified when a DIP's damped state changes.
+type Listener func(dip packet.Addr, healthy bool)
+
+// Config tunes the prober.
+type Config struct {
+	// Interval is the per-DIP probe period in seconds (virtual time).
+	Interval float64
+	// DownAfter consecutive failed probes mark a DIP unhealthy.
+	DownAfter int
+	// UpAfter consecutive successful probes mark it healthy again.
+	UpAfter int
+}
+
+// DefaultConfig probes every 2 s, declaring down after 3 failures and up
+// after 2 successes — conventional load balancer health-check settings.
+func DefaultConfig() Config {
+	return Config{Interval: 2, DownAfter: 3, UpAfter: 2}
+}
+
+// ErrUnknownDIP is returned for operations on unregistered DIPs.
+var ErrUnknownDIP = errors.New("healthd: DIP not registered")
+
+type dipState struct {
+	healthy     bool
+	consecOK    int
+	consecFail  int
+	nextProbeAt float64
+}
+
+// Prober monitors a set of DIPs.
+type Prober struct {
+	cfg       Config
+	probe     Probe
+	state     map[packet.Addr]*dipState
+	listeners []Listener
+}
+
+// New creates a prober. probe must not be nil.
+func New(cfg Config, probe Probe) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.UpAfter <= 0 {
+		cfg.UpAfter = 2
+	}
+	return &Prober{
+		cfg:   cfg,
+		probe: probe,
+		state: make(map[packet.Addr]*dipState),
+	}
+}
+
+// Subscribe registers a state-change listener.
+func (p *Prober) Subscribe(l Listener) { p.listeners = append(p.listeners, l) }
+
+// Register starts monitoring a DIP; new DIPs start healthy (they were just
+// provisioned) with their first probe due immediately.
+func (p *Prober) Register(dip packet.Addr, now float64) {
+	if _, ok := p.state[dip]; ok {
+		return
+	}
+	p.state[dip] = &dipState{healthy: true, nextProbeAt: now}
+}
+
+// Unregister stops monitoring a DIP.
+func (p *Prober) Unregister(dip packet.Addr) {
+	delete(p.state, dip)
+}
+
+// Healthy reports the damped health of a DIP.
+func (p *Prober) Healthy(dip packet.Addr) (bool, error) {
+	st, ok := p.state[dip]
+	if !ok {
+		return false, ErrUnknownDIP
+	}
+	return st.healthy, nil
+}
+
+// Monitored returns the registered DIPs, sorted for determinism.
+func (p *Prober) Monitored() []packet.Addr {
+	out := make([]packet.Addr, 0, len(p.state))
+	for d := range p.state {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tick advances virtual time: every DIP whose probe is due is probed once
+// (catch-up probes are not replayed — a prober that stalls just resumes),
+// damping is applied, and listeners are notified of changes. It returns the
+// DIPs whose damped state changed this tick.
+func (p *Prober) Tick(now float64) []packet.Addr {
+	var changed []packet.Addr
+	for _, dip := range p.Monitored() {
+		st := p.state[dip]
+		if st == nil || now < st.nextProbeAt {
+			continue
+		}
+		st.nextProbeAt = now + p.cfg.Interval
+		if p.probe(dip) {
+			st.consecOK++
+			st.consecFail = 0
+			if !st.healthy && st.consecOK >= p.cfg.UpAfter {
+				st.healthy = true
+				changed = append(changed, dip)
+			}
+		} else {
+			st.consecFail++
+			st.consecOK = 0
+			if st.healthy && st.consecFail >= p.cfg.DownAfter {
+				st.healthy = false
+				changed = append(changed, dip)
+			}
+		}
+	}
+	for _, dip := range changed {
+		for _, l := range p.listeners {
+			l(dip, p.state[dip].healthy)
+		}
+	}
+	return changed
+}

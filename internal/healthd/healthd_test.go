@@ -1,0 +1,155 @@
+package healthd
+
+import (
+	"testing"
+
+	"duet/internal/packet"
+)
+
+var (
+	dipA = packet.MustParseAddr("100.0.0.1")
+	dipB = packet.MustParseAddr("100.0.0.2")
+)
+
+// scriptedProbe returns canned results per DIP, consumed in order; when the
+// script runs out it keeps returning the last value.
+type scriptedProbe map[packet.Addr][]bool
+
+func (s scriptedProbe) probe(dip packet.Addr) bool {
+	script := s[dip]
+	if len(script) == 0 {
+		return true
+	}
+	v := script[0]
+	if len(script) > 1 {
+		s[dip] = script[1:]
+	}
+	return v
+}
+
+func ticks(p *Prober, from float64, n int, step float64) []packet.Addr {
+	var changed []packet.Addr
+	for i := 0; i < n; i++ {
+		changed = append(changed, p.Tick(from+float64(i)*step)...)
+	}
+	return changed
+}
+
+func TestFlapDampingDown(t *testing.T) {
+	script := scriptedProbe{dipA: {false, true, false, false, false}}
+	p := New(DefaultConfig(), script.probe)
+	p.Register(dipA, 0)
+
+	// One failure then a success: still healthy (damped).
+	p.Tick(0)
+	p.Tick(2)
+	if h, _ := p.Healthy(dipA); !h {
+		t.Fatal("single failed probe marked DIP down")
+	}
+	// Three consecutive failures: down.
+	changed := ticks(p, 4, 3, 2)
+	if h, _ := p.Healthy(dipA); h {
+		t.Fatal("DIP still healthy after 3 consecutive failures")
+	}
+	if len(changed) != 1 || changed[0] != dipA {
+		t.Fatalf("changed = %v", changed)
+	}
+}
+
+func TestFlapDampingUp(t *testing.T) {
+	script := scriptedProbe{dipA: {false, false, false, true, false, true, true}}
+	p := New(DefaultConfig(), script.probe)
+	p.Register(dipA, 0)
+	ticks(p, 0, 3, 2) // down
+	if h, _ := p.Healthy(dipA); h {
+		t.Fatal("setup failed")
+	}
+	// success, failure (resets), success, success → up only at the end.
+	p.Tick(6)
+	if h, _ := p.Healthy(dipA); h {
+		t.Fatal("one success resurrected a down DIP")
+	}
+	p.Tick(8)  // failure resets consecOK
+	p.Tick(10) // success 1
+	if h, _ := p.Healthy(dipA); h {
+		t.Fatal("recovered too early")
+	}
+	p.Tick(12) // success 2 → up
+	if h, _ := p.Healthy(dipA); !h {
+		t.Fatal("DIP not recovered after UpAfter successes")
+	}
+}
+
+func TestProbeInterval(t *testing.T) {
+	calls := 0
+	p := New(Config{Interval: 2, DownAfter: 3, UpAfter: 2}, func(packet.Addr) bool {
+		calls++
+		return true
+	})
+	p.Register(dipA, 0)
+	p.Tick(0)   // due
+	p.Tick(0.5) // not due
+	p.Tick(1.9) // not due
+	p.Tick(2.0) // due
+	if calls != 2 {
+		t.Fatalf("probe calls = %d, want 2", calls)
+	}
+}
+
+func TestListeners(t *testing.T) {
+	script := scriptedProbe{dipA: {false, false, false, true, true}}
+	p := New(DefaultConfig(), script.probe)
+	p.Register(dipA, 0)
+	var events []bool
+	p.Subscribe(func(dip packet.Addr, healthy bool) {
+		if dip != dipA {
+			t.Fatalf("event for %s", dip)
+		}
+		events = append(events, healthy)
+	})
+	ticks(p, 0, 5, 2)
+	if len(events) != 2 || events[0] != false || events[1] != true {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	p := New(DefaultConfig(), func(packet.Addr) bool { return true })
+	p.Register(dipA, 0)
+	p.Register(dipA, 5) // idempotent; must not reset schedule/state
+	p.Register(dipB, 0)
+	if got := p.Monitored(); len(got) != 2 || got[0] != dipA || got[1] != dipB {
+		t.Fatalf("monitored = %v", got)
+	}
+	p.Unregister(dipA)
+	if _, err := p.Healthy(dipA); err != ErrUnknownDIP {
+		t.Fatalf("got %v", err)
+	}
+	if got := p.Monitored(); len(got) != 1 || got[0] != dipB {
+		t.Fatalf("monitored = %v", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Config{}, func(packet.Addr) bool { return true })
+	if p.cfg.Interval != 2 || p.cfg.DownAfter != 3 || p.cfg.UpAfter != 2 {
+		t.Fatalf("defaults: %+v", p.cfg)
+	}
+}
+
+func TestMultipleDIPsIndependent(t *testing.T) {
+	script := scriptedProbe{
+		dipA: {false, false, false},
+		dipB: {true, true, true},
+	}
+	p := New(DefaultConfig(), script.probe)
+	p.Register(dipA, 0)
+	p.Register(dipB, 0)
+	ticks(p, 0, 3, 2)
+	if h, _ := p.Healthy(dipA); h {
+		t.Fatal("dipA should be down")
+	}
+	if h, _ := p.Healthy(dipB); !h {
+		t.Fatal("dipB should be up")
+	}
+}

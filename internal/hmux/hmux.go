@@ -1,0 +1,459 @@
+// Package hmux implements Duet's hardware mux (paper §3.1): a commodity
+// switch whose host-forwarding, ECMP and tunneling tables are re-purposed to
+// hold VIP→DIP mappings, turning the switch into an in-situ load balancer.
+//
+// The three tables and their interaction mirror Figure 2:
+//
+//	host forwarding table:  VIP (/32 exact match) → ECMP group
+//	ECMP table:             group entries, selected by hash(5-tuple)
+//	tunneling table:        encap destination per entry, deduplicated by IP
+//
+// Resource limits are enforced exactly as on the paper's switches: 16K host
+// entries, 4K ECMP entries, 512 tunneling entries. VIPs with more than 512
+// DIPs are supported through TIP indirection (§5.2, Figure 7), and port-based
+// rules through an ACL stage ahead of the host table (§5.2, Figure 8).
+package hmux
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// Default table capacities from the paper (§3.1). The ECMP state is split
+// between a group table (one entry per VIP/rule, footnote 2) and the member
+// table (one entry per DIP); ACL rules implement port-based balancing and
+// are plentiful (§5.2: "typically the number of ACL rules supported is
+// larger than the tunneling table size, so it is not a bottleneck").
+const (
+	DefaultHostTableSize      = 16384
+	DefaultECMPTableSize      = 4096
+	DefaultECMPGroupTableSize = 1024
+	DefaultTunnelTableSize    = 512
+	DefaultACLTableSize       = 4096
+)
+
+// Errors returned by table programming.
+var (
+	ErrHostTableFull      = errors.New("hmux: host forwarding table full")
+	ErrECMPTableFull      = errors.New("hmux: ECMP table full")
+	ErrECMPGroupTableFull = errors.New("hmux: ECMP group table full")
+	ErrTunnelTableFull    = errors.New("hmux: tunneling table full")
+	ErrACLTableFull       = errors.New("hmux: ACL table full")
+	ErrVIPExists          = errors.New("hmux: VIP already programmed")
+	ErrVIPNotFound        = errors.New("hmux: VIP not programmed")
+	ErrNotOurVIP          = errors.New("hmux: packet does not match any VIP")
+)
+
+// Config sizes one HMux.
+type Config struct {
+	// SelfAddr is the switch's own routable address, used as the outer
+	// source of encapsulated packets.
+	SelfAddr packet.Addr
+
+	HostTableSize      int
+	ECMPTableSize      int
+	ECMPGroupTableSize int
+	TunnelTableSize    int
+	ACLTableSize       int
+}
+
+// DefaultConfig returns paper-accurate table sizes for a switch.
+func DefaultConfig(self packet.Addr) Config {
+	return Config{
+		SelfAddr:           self,
+		HostTableSize:      DefaultHostTableSize,
+		ECMPTableSize:      DefaultECMPTableSize,
+		ECMPGroupTableSize: DefaultECMPGroupTableSize,
+		TunnelTableSize:    DefaultTunnelTableSize,
+		ACLTableSize:       DefaultACLTableSize,
+	}
+}
+
+// vipEntry is the programmed state for one VIP (or one TIP partition).
+type vipEntry struct {
+	group    *ecmp.Group          // members are indices into encaps
+	encaps   []packet.Addr        // per-member encap destination
+	backends []service.Backend    // original configuration
+	ports    map[uint16]*vipEntry // ACL port rules (nil for TIPs)
+}
+
+// Mux is one hardware mux.
+type Mux struct {
+	cfg Config
+
+	vips map[packet.Addr]*vipEntry // host table: exact /32 match
+	tips map[packet.Addr]*vipEntry // TIP partitions hosted on this switch
+
+	ecmpUsed   int
+	groupsUsed int
+	aclUsed    int
+	tunnelRefs map[packet.Addr]int // encap IP → reference count
+
+	// decode scratch, reused across Process calls
+	ip packet.IPv4
+}
+
+// New creates an HMux with the given configuration.
+func New(cfg Config) *Mux {
+	if cfg.HostTableSize <= 0 {
+		cfg.HostTableSize = DefaultHostTableSize
+	}
+	if cfg.ECMPTableSize <= 0 {
+		cfg.ECMPTableSize = DefaultECMPTableSize
+	}
+	if cfg.ECMPGroupTableSize <= 0 {
+		cfg.ECMPGroupTableSize = DefaultECMPGroupTableSize
+	}
+	if cfg.TunnelTableSize <= 0 {
+		cfg.TunnelTableSize = DefaultTunnelTableSize
+	}
+	if cfg.ACLTableSize <= 0 {
+		cfg.ACLTableSize = DefaultACLTableSize
+	}
+	return &Mux{
+		cfg:        cfg,
+		vips:       make(map[packet.Addr]*vipEntry),
+		tips:       make(map[packet.Addr]*vipEntry),
+		tunnelRefs: make(map[packet.Addr]int),
+	}
+}
+
+// Self returns the mux's own address.
+func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
+
+// Stats reports table occupancy.
+type Stats struct {
+	HostUsed, HostCap     int
+	ECMPUsed, ECMPCap     int
+	GroupsUsed, GroupsCap int
+	TunnelUsed, TunnelCap int
+	ACLUsed, ACLCap       int
+	VIPs, TIPs            int
+}
+
+// Stats returns current table occupancy.
+func (m *Mux) Stats() Stats {
+	return Stats{
+		HostUsed: len(m.vips) + len(m.tips), HostCap: m.cfg.HostTableSize,
+		ECMPUsed: m.ecmpUsed, ECMPCap: m.cfg.ECMPTableSize,
+		GroupsUsed: m.groupsUsed, GroupsCap: m.cfg.ECMPGroupTableSize,
+		TunnelUsed: len(m.tunnelRefs), TunnelCap: m.cfg.TunnelTableSize,
+		ACLUsed: m.aclUsed, ACLCap: m.cfg.ACLTableSize,
+		VIPs: len(m.vips), TIPs: len(m.tips),
+	}
+}
+
+// Fits reports whether a backend set could currently be programmed: one host
+// entry, len(backends) ECMP entries and the new unique encap addresses must
+// all fit (paper §3.1: supported DIPs = min of free ECMP and tunnel entries).
+func (m *Mux) Fits(v *service.VIP) bool {
+	entries, newTunnels, groups, acls := m.cost(v)
+	return len(m.vips)+len(m.tips)+1 <= m.cfg.HostTableSize &&
+		m.ecmpUsed+entries <= m.cfg.ECMPTableSize &&
+		m.groupsUsed+groups <= m.cfg.ECMPGroupTableSize &&
+		m.aclUsed+acls <= m.cfg.ACLTableSize &&
+		len(m.tunnelRefs)+newTunnels <= m.cfg.TunnelTableSize
+}
+
+func (m *Mux) cost(v *service.VIP) (ecmpEntries, newTunnels, groups, acls int) {
+	count := func(bs []service.Backend) {
+		ecmpEntries += len(bs)
+		for _, b := range bs {
+			if m.tunnelRefs[b.Addr] == 0 {
+				newTunnels++
+			}
+		}
+	}
+	count(v.Backends)
+	groups = 1
+	for _, pr := range v.Ports {
+		count(pr.Backends)
+		groups++
+		acls++ // one (dst, port) match rule per port set (Figure 8)
+	}
+	return ecmpEntries, newTunnels, groups, acls
+}
+
+// AddVIP programs a VIP and all its port rules into the switch tables.
+func (m *Mux) AddVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.vips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	if _, ok := m.tips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	if len(m.vips)+len(m.tips)+1 > m.cfg.HostTableSize {
+		return ErrHostTableFull
+	}
+	entries, newTunnels, groups, acls := m.cost(v)
+	if m.ecmpUsed+entries > m.cfg.ECMPTableSize {
+		return ErrECMPTableFull
+	}
+	if m.groupsUsed+groups > m.cfg.ECMPGroupTableSize {
+		return ErrECMPGroupTableFull
+	}
+	if m.aclUsed+acls > m.cfg.ACLTableSize {
+		return ErrACLTableFull
+	}
+	if len(m.tunnelRefs)+newTunnels > m.cfg.TunnelTableSize {
+		return ErrTunnelTableFull
+	}
+
+	e := m.buildEntry(v.Backends)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*vipEntry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = m.buildEntry(pr.Backends)
+		}
+	}
+	m.aclUsed += acls
+	m.vips[v.Addr] = e
+	return nil
+}
+
+// buildEntry allocates the ECMP group and tunnel references for a backend
+// set. Callers must have verified capacity.
+func (m *Mux) buildEntry(backends []service.Backend) *vipEntry {
+	e := &vipEntry{
+		group:    ecmp.NewGroup(),
+		encaps:   make([]packet.Addr, len(backends)),
+		backends: append([]service.Backend(nil), backends...),
+	}
+	for i, b := range backends {
+		e.encaps[i] = b.Addr
+		e.group.AddWeighted(uint32(i), b.Weight)
+		m.tunnelRefs[b.Addr]++
+	}
+	m.ecmpUsed += len(backends)
+	m.groupsUsed++
+	return e
+}
+
+func (m *Mux) releaseEntry(e *vipEntry) {
+	for _, b := range e.backends {
+		if b.Addr.IsZero() { // slot already released by RemoveBackend
+			continue
+		}
+		if m.tunnelRefs[b.Addr]--; m.tunnelRefs[b.Addr] <= 0 {
+			delete(m.tunnelRefs, b.Addr)
+		}
+	}
+	m.ecmpUsed -= e.group.Size()
+	m.groupsUsed--
+	m.aclUsed -= len(e.ports)
+	for _, pe := range e.ports {
+		m.releaseEntry(pe)
+	}
+}
+
+// RemoveVIP withdraws a VIP from the switch, releasing its table entries.
+func (m *Mux) RemoveVIP(addr packet.Addr) error {
+	e, ok := m.vips[addr]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	m.releaseEntry(e)
+	delete(m.vips, addr)
+	return nil
+}
+
+// HasVIP reports whether the VIP is programmed here.
+func (m *Mux) HasVIP(addr packet.Addr) bool {
+	_, ok := m.vips[addr]
+	return ok
+}
+
+// VIPs returns the programmed VIP addresses (unordered).
+func (m *Mux) VIPs() []packet.Addr {
+	out := make([]packet.Addr, 0, len(m.vips))
+	for a := range m.vips {
+		out = append(out, a)
+	}
+	return out
+}
+
+// RemoveBackend removes one DIP from a VIP's default backend set using
+// resilient hashing: connections to surviving DIPs keep their mapping
+// (paper §5.1 "DIP failure"). The freed table entries are released.
+func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
+	e, ok := m.vips[vip]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	removed := false
+	for i, b := range e.backends {
+		if b.Addr != dip {
+			continue
+		}
+		if err := e.group.Remove(uint32(i)); err != nil {
+			return err
+		}
+		// Keep encaps indexed by original member id so surviving members'
+		// indices stay valid; just mark the slot dead and drop refs.
+		e.backends[i] = service.Backend{}
+		if m.tunnelRefs[dip]--; m.tunnelRefs[dip] <= 0 {
+			delete(m.tunnelRefs, dip)
+		}
+		m.ecmpUsed--
+		removed = true
+		break
+	}
+	if !removed {
+		return fmt.Errorf("hmux: DIP %s not found under VIP %s", dip, vip)
+	}
+	return nil
+}
+
+// AddTIP programs a transient-IP partition on this switch (paper §5.2,
+// Figure 7): packets arriving encapsulated to the TIP are decapsulated and
+// re-encapsulated to one of the partition's DIPs, selected by the hash of
+// the inner 5-tuple.
+func (m *Mux) AddTIP(tip packet.Addr, backends []service.Backend) error {
+	if _, ok := m.tips[tip]; ok {
+		return ErrVIPExists
+	}
+	if _, ok := m.vips[tip]; ok {
+		return ErrVIPExists
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("hmux: TIP %s has no backends", tip)
+	}
+	if len(m.vips)+len(m.tips)+1 > m.cfg.HostTableSize {
+		return ErrHostTableFull
+	}
+	if m.ecmpUsed+len(backends) > m.cfg.ECMPTableSize {
+		return ErrECMPTableFull
+	}
+	if m.groupsUsed+1 > m.cfg.ECMPGroupTableSize {
+		return ErrECMPGroupTableFull
+	}
+	newTunnels := 0
+	for _, b := range backends {
+		if m.tunnelRefs[b.Addr] == 0 {
+			newTunnels++
+		}
+	}
+	if len(m.tunnelRefs)+newTunnels > m.cfg.TunnelTableSize {
+		return ErrTunnelTableFull
+	}
+	m.tips[tip] = m.buildEntry(backends)
+	return nil
+}
+
+// RemoveTIP withdraws a TIP partition.
+func (m *Mux) RemoveTIP(tip packet.Addr) error {
+	e, ok := m.tips[tip]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	m.releaseEntry(e)
+	delete(m.tips, tip)
+	return nil
+}
+
+// HasTIP reports whether the TIP partition is programmed here.
+func (m *Mux) HasTIP(addr packet.Addr) bool {
+	_, ok := m.tips[addr]
+	return ok
+}
+
+// Result describes what Process did with a packet.
+type Result struct {
+	// Encap is the chosen encapsulation destination (DIP, HIP or TIP).
+	Encap packet.Addr
+	// Packet is the resulting wire bytes (appended to the out buffer).
+	Packet []byte
+	// ViaTIP reports that the pipeline performed TIP decap + re-encap.
+	ViaTIP bool
+}
+
+// Process runs one packet through the HMux pipeline. out is an optional
+// reuse buffer (pass nil or buf[:0]); the encapsulated packet is appended to
+// it. Packets whose destination matches no programmed VIP or TIP return
+// ErrNotOurVIP — the caller (the fabric) forwards them normally.
+//
+// This is the dataplane path, so it performs no allocation beyond growing
+// the caller's buffer.
+func (m *Mux) Process(data []byte, out []byte) (Result, error) {
+	if err := m.ip.DecodeFromBytes(data); err != nil {
+		return Result{}, err
+	}
+
+	// TIP stage: decapsulate and fall through to re-encapsulation with the
+	// inner packet (Figure 7's second hop).
+	if e, ok := m.tips[m.ip.Dst]; ok && m.ip.Protocol == packet.ProtoIPIP {
+		inner := m.ip.Payload()
+		tuple, err := packet.ExtractFiveTuple(inner)
+		if err != nil {
+			return Result{}, err
+		}
+		encap, err := m.selectEncap(e, tuple)
+		if err != nil {
+			return Result{}, err
+		}
+		pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, encap, inner, 64)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Encap: encap, Packet: pkt, ViaTIP: true}, nil
+	}
+
+	e, ok := m.vips[m.ip.Dst]
+	if !ok {
+		return Result{}, ErrNotOurVIP
+	}
+	tuple, err := packet.ExtractFiveTuple(data)
+	if err != nil {
+		return Result{}, err
+	}
+	// ACL stage: a port rule overrides the default backend set (Figure 8).
+	entry := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			entry = pe
+		}
+	}
+	encap, err := m.selectEncap(entry, tuple)
+	if err != nil {
+		return Result{}, err
+	}
+	pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, encap, data, 64)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Encap: encap, Packet: pkt}, nil
+}
+
+// selectEncap picks the encap destination for a tuple via the entry's ECMP
+// group.
+func (m *Mux) selectEncap(e *vipEntry, tuple packet.FiveTuple) (packet.Addr, error) {
+	member, err := e.group.SelectTuple(tuple)
+	if err != nil {
+		return 0, err
+	}
+	return e.encaps[member], nil
+}
+
+// Lookup returns the encap destination Process would choose for a tuple,
+// without building the packet. The controller and tests use it to reason
+// about mappings cheaply.
+func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
+	e, ok := m.vips[tuple.Dst]
+	if !ok {
+		return 0, ErrNotOurVIP
+	}
+	entry := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			entry = pe
+		}
+	}
+	return m.selectEncap(entry, tuple)
+}

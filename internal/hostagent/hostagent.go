@@ -1,0 +1,184 @@
+// Package hostagent implements the host agent (HA) that runs on every
+// server (paper §2.1, §5.2, §6). The HA terminates the load balancer's
+// encapsulation on the receive path, implements direct server return (DSR)
+// on the send path, meters per-VIP traffic for the controller, monitors DIP
+// health, and allocates SNAT ports that are consistent with the HMux hash so
+// outbound connections work without per-connection state on the switch.
+package hostagent
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+)
+
+// Errors returned by the agent.
+var (
+	ErrNotForThisHost = errors.New("hostagent: no local DIP serves the packet's VIP")
+	ErrUnknownDIP     = errors.New("hostagent: DIP not registered on this host")
+)
+
+// Meter accumulates per-VIP traffic counters, reported to the Duet
+// controller's datacenter-monitoring module.
+type Meter struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Agent is the host agent of one server (or one hypervisor host in
+// virtualized clusters, where several VM DIPs share it — Figure 6).
+type Agent struct {
+	hostAddr packet.Addr
+
+	// locals maps VIP → local DIPs for that VIP on this host. In the
+	// non-virtualized case each VIP has exactly one local DIP.
+	locals map[packet.Addr][]packet.Addr
+	vipOf  map[packet.Addr]packet.Addr // DIP → VIP, for DSR
+	health map[packet.Addr]bool        // DIP → healthy
+
+	meters map[packet.Addr]*Meter // per-VIP traffic metering
+
+	ip packet.IPv4 // decode scratch
+}
+
+// New creates the agent for a host.
+func New(hostAddr packet.Addr) *Agent {
+	return &Agent{
+		hostAddr: hostAddr,
+		locals:   make(map[packet.Addr][]packet.Addr),
+		vipOf:    make(map[packet.Addr]packet.Addr),
+		health:   make(map[packet.Addr]bool),
+		meters:   make(map[packet.Addr]*Meter),
+	}
+}
+
+// HostAddr returns the host's (native) address.
+func (a *Agent) HostAddr() packet.Addr { return a.hostAddr }
+
+// RegisterDIP attaches a local DIP serving vip to this host. Registering the
+// host's own address as the DIP models the non-virtualized case.
+func (a *Agent) RegisterDIP(vip, dip packet.Addr) error {
+	if v, ok := a.vipOf[dip]; ok && v != vip {
+		return fmt.Errorf("hostagent: DIP %s already registered for VIP %s", dip, v)
+	}
+	if _, ok := a.vipOf[dip]; !ok {
+		a.locals[vip] = append(a.locals[vip], dip)
+		a.vipOf[dip] = vip
+	}
+	a.health[dip] = true
+	return nil
+}
+
+// UnregisterDIP detaches a local DIP.
+func (a *Agent) UnregisterDIP(dip packet.Addr) error {
+	vip, ok := a.vipOf[dip]
+	if !ok {
+		return ErrUnknownDIP
+	}
+	delete(a.vipOf, dip)
+	delete(a.health, dip)
+	dips := a.locals[vip]
+	for i, d := range dips {
+		if d == dip {
+			a.locals[vip] = append(dips[:i], dips[i+1:]...)
+			break
+		}
+	}
+	if len(a.locals[vip]) == 0 {
+		delete(a.locals, vip)
+	}
+	return nil
+}
+
+// SetHealth records a DIP's health; the controller reads it via Healthy.
+func (a *Agent) SetHealth(dip packet.Addr, healthy bool) error {
+	if _, ok := a.vipOf[dip]; !ok {
+		return ErrUnknownDIP
+	}
+	a.health[dip] = healthy
+	return nil
+}
+
+// Healthy reports the recorded health of a local DIP.
+func (a *Agent) Healthy(dip packet.Addr) bool { return a.health[dip] }
+
+// Delivery is the result of Receive: the decapsulated packet rewritten to
+// the selected local DIP.
+type Delivery struct {
+	VIP    packet.Addr
+	DIP    packet.Addr
+	Packet []byte
+}
+
+// Receive processes one encapsulated packet arriving from a mux: it
+// decapsulates the IP-in-IP header, selects the local DIP (by the shared
+// 5-tuple hash when several VM DIPs share the host — Figure 6), rewrites the
+// inner destination to the DIP, and meters the traffic.
+//
+// The rewritten packet is appended to out.
+func (a *Agent) Receive(data, out []byte) (Delivery, error) {
+	inner, _, err := packet.Decapsulate(data)
+	if err != nil {
+		return Delivery{}, err
+	}
+	tuple, err := packet.ExtractFiveTuple(inner)
+	if err != nil {
+		return Delivery{}, err
+	}
+	vip := tuple.Dst
+	dips, ok := a.locals[vip]
+	if !ok || len(dips) == 0 {
+		return Delivery{}, ErrNotForThisHost
+	}
+	dip := dips[0]
+	if len(dips) > 1 {
+		dip = dips[ecmp.Hash(tuple)%uint64(len(dips))]
+	}
+
+	out = append(out, inner...)
+	if err := packet.RewriteDst(out, dip); err != nil {
+		return Delivery{}, err
+	}
+
+	m := a.meters[vip]
+	if m == nil {
+		m = &Meter{}
+		a.meters[vip] = m
+	}
+	m.Packets++
+	m.Bytes += uint64(len(inner))
+	return Delivery{VIP: vip, DIP: dip, Packet: out}, nil
+}
+
+// SendDSR implements direct server return: an outgoing response whose source
+// is a local DIP leaves with the VIP as its source address, bypassing the
+// load balancer entirely (paper §2.1).
+func (a *Agent) SendDSR(data, out []byte) ([]byte, error) {
+	if err := a.ip.DecodeFromBytes(data); err != nil {
+		return nil, err
+	}
+	vip, ok := a.vipOf[a.ip.Src]
+	if !ok {
+		return nil, ErrUnknownDIP
+	}
+	out = append(out, data...)
+	if err := packet.RewriteSrc(out, vip); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MeterSnapshot returns a copy of the per-VIP traffic counters and
+// optionally resets them (the agent reports deltas each monitoring period).
+func (a *Agent) MeterSnapshot(reset bool) map[packet.Addr]Meter {
+	out := make(map[packet.Addr]Meter, len(a.meters))
+	for vip, m := range a.meters {
+		out[vip] = *m
+	}
+	if reset {
+		a.meters = make(map[packet.Addr]*Meter)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package hostagent
+
+import (
+	"errors"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// SNAT errors.
+var (
+	ErrPortsExhausted = errors.New("hostagent: SNAT port range exhausted, request another from controller")
+	ErrNoRange        = errors.New("hostagent: no SNAT port range assigned")
+)
+
+// SNAT allocates source ports for outbound connections originating at a DIP
+// (paper §5.2 "SNAT"). Ananta keeps SNAT state on the SMuxes; Duet cannot,
+// because switches hold no connection state. Instead the host agent shares
+// the HMux hash function: when a DIP opens an outbound connection through
+// its VIP, the HA picks a source port such that the hash of the *inbound*
+// response 5-tuple selects this DIP's ECMP entry — so response packets
+// arriving at the HMux are tunneled straight back to us with no state.
+type SNAT struct {
+	vip      packet.Addr
+	self     packet.Addr // our DIP
+	group    *ecmp.Group
+	encaps   []packet.Addr
+	ranges   []portRange
+	used     map[uint16]bool
+	searched uint64 // total candidate ports probed (diagnostics)
+}
+
+type portRange struct{ lo, hi uint16 }
+
+// NewSNAT creates the allocator for one (VIP, DIP) pair given the VIP's
+// backend list exactly as programmed on the HMux (order matters — both sides
+// must build the identical ECMP group).
+func NewSNAT(vip, self packet.Addr, backends []service.Backend) *SNAT {
+	s := &SNAT{
+		vip:    vip,
+		self:   self,
+		group:  ecmp.NewGroup(),
+		encaps: make([]packet.Addr, len(backends)),
+		used:   make(map[uint16]bool),
+	}
+	for i, b := range backends {
+		s.encaps[i] = b.Addr
+		s.group.AddWeighted(uint32(i), b.Weight)
+	}
+	return s
+}
+
+// AssignRange hands the allocator a disjoint port range from the Duet
+// controller. Ranges accumulate: when one is exhausted the HA asks the
+// controller for another (paper §5.2).
+func (s *SNAT) AssignRange(lo, hi uint16) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	s.ranges = append(s.ranges, portRange{lo, hi})
+}
+
+// AllocatePort picks a free source port for an outbound connection to
+// remote:remotePort such that the response packet
+// (remote:remotePort → vip:port) hashes to this DIP on the HMux.
+func (s *SNAT) AllocatePort(remote packet.Addr, remotePort uint16, proto uint8) (uint16, error) {
+	if len(s.ranges) == 0 {
+		return 0, ErrNoRange
+	}
+	for _, r := range s.ranges {
+		for p := uint32(r.lo); p <= uint32(r.hi); p++ {
+			port := uint16(p)
+			if s.used[port] {
+				continue
+			}
+			s.searched++
+			// The inbound response as seen by the HMux.
+			resp := packet.FiveTuple{
+				Src: remote, Dst: s.vip,
+				SrcPort: remotePort, DstPort: port,
+				Proto: proto,
+			}
+			member, err := s.group.SelectTuple(resp)
+			if err != nil {
+				return 0, err
+			}
+			if s.encaps[member] == s.self {
+				s.used[port] = true
+				return port, nil
+			}
+		}
+	}
+	return 0, ErrPortsExhausted
+}
+
+// ReleasePort frees a previously allocated port.
+func (s *SNAT) ReleasePort(port uint16) { delete(s.used, port) }
+
+// Used returns the number of currently allocated ports.
+func (s *SNAT) Used() int { return len(s.used) }
+
+// Probed returns how many candidate ports have been hash-tested; the
+// expected value is ≈ len(backends) probes per allocation.
+func (s *SNAT) Probed() uint64 { return s.searched }

@@ -1,0 +1,241 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harnesses use to report results in the same form as the paper's figures:
+// CDFs (Figures 1a, 15), summary percentiles, and time series (Figures 11,
+// 12, 13, 20).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+	dirty  bool
+	data   []float64
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.data = append(c.data, v)
+	c.dirty = true
+}
+
+// AddAll appends many samples.
+func (c *CDF) AddAll(vs []float64) {
+	c.data = append(c.data, vs...)
+	c.dirty = true
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.data) }
+
+func (c *CDF) ensure() {
+	if c.dirty || c.sorted == nil {
+		c.sorted = append(c.sorted[:0], c.data...)
+		sort.Float64s(c.sorted)
+		c.dirty = false
+	}
+}
+
+// Quantile returns the p-quantile (p in [0,1]).
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.data) == 0 {
+		return math.NaN()
+	}
+	c.ensure()
+	idx := int(math.Round(p * float64(len(c.sorted)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.data) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range c.data {
+		sum += v
+	}
+	return sum / float64(len(c.data))
+}
+
+// Fraction returns P(X ≤ x).
+func (c *CDF) Fraction(x float64) float64 {
+	if len(c.data) == 0 {
+		return math.NaN()
+	}
+	c.ensure()
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Point is one (value, cumulative-probability) pair of a rendered CDF.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points renders n evenly spaced CDF points (by probability), suitable for
+// plotting a figure's curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.data) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensure()
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p := float64(i+1) / float64(n)
+		out[i] = Point{X: c.Quantile(p), P: p}
+	}
+	return out
+}
+
+// Summary is the standard five-number report used in tables.
+type Summary struct {
+	N                  int
+	Mean               float64
+	P50, P90, P99, Max float64
+}
+
+// Summarize computes a Summary.
+func (c *CDF) Summarize() Summary {
+	if len(c.data) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(c.data),
+		Mean: c.Mean(),
+		P50:  c.Quantile(0.5),
+		P90:  c.Quantile(0.9),
+		P99:  c.Quantile(0.99),
+		Max:  c.Quantile(1.0),
+	}
+}
+
+// TimeSeries is an append-only (t, value) sequence.
+type TimeSeries struct {
+	T []float64
+	V []float64
+}
+
+// Add appends a point; t must be non-decreasing for Window to be exact.
+func (ts *TimeSeries) Add(t, v float64) {
+	ts.T = append(ts.T, t)
+	ts.V = append(ts.V, v)
+}
+
+// Len returns the point count.
+func (ts *TimeSeries) Len() int { return len(ts.T) }
+
+// Window returns the values with t in [from, to).
+func (ts *TimeSeries) Window(from, to float64) []float64 {
+	var out []float64
+	for i, t := range ts.T {
+		if t >= from && t < to {
+			out = append(out, ts.V[i])
+		}
+	}
+	return out
+}
+
+// Bin aggregates the series into fixed-width time bins, reporting each bin's
+// mean; empty bins yield NaN.
+func (ts *TimeSeries) Bin(from, to, width float64) []float64 {
+	if width <= 0 || to <= from {
+		return nil
+	}
+	n := int(math.Ceil((to - from) / width))
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i, t := range ts.T {
+		if t < from || t >= to {
+			continue
+		}
+		b := int((t - from) / width)
+		if b >= n {
+			b = n - 1
+		}
+		sums[b] += ts.V[i]
+		counts[b]++
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// Sparkline renders values as a unicode mini-chart for terminal output.
+// NaNs render as spaces.
+func Sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(vs))
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case hi == lo:
+			b.WriteRune(ramp[0])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			b.WriteRune(ramp[i])
+		}
+	}
+	return b.String()
+}
+
+// FmtDuration renders seconds with an adaptive unit (µs/ms/s).
+func FmtDuration(sec float64) string {
+	abs := math.Abs(sec)
+	switch {
+	case abs < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// FmtRate renders bits/second with an adaptive unit.
+func FmtRate(bps float64) string {
+	abs := math.Abs(bps)
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2fTbps", bps/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fGbps", bps/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fMbps", bps/1e6)
+	default:
+		return fmt.Sprintf("%.0fbps", bps)
+	}
+}

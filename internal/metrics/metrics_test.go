@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if c.N() != 100 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := c.Quantile(0.5); math.Abs(q-50) > 1 {
+		t.Fatalf("median = %v", q)
+	}
+	if m := c.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) || !math.IsNaN(c.Fraction(1)) {
+		t.Fatal("empty CDF should be NaN")
+	}
+	if c.Points(5) != nil {
+		t.Fatal("empty Points should be nil")
+	}
+	s := c.Summarize()
+	if s.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestCDFFraction(t *testing.T) {
+	var c CDF
+	c.AddAll([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1}}
+	for _, cse := range cases {
+		if got := c.Fraction(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("Fraction(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFAddAfterQuery(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	_ = c.Quantile(0.5)
+	c.Add(100)
+	if q := c.Quantile(1); q != 100 {
+		t.Fatalf("stale sort: q1 = %v", q)
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			c.Add(v)
+		}
+		pts := c.Points(20)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 1000; i++ {
+		c.Add(float64(i))
+	}
+	s := c.Summarize()
+	if s.N != 1000 || s.Max != 1000 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.P90-900) > 2 || math.Abs(s.P99-990) > 2 {
+		t.Fatalf("percentiles %+v", s)
+	}
+}
+
+func TestTimeSeriesWindowAndBin(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 10; i++ {
+		ts.Add(float64(i), float64(i*10))
+	}
+	if ts.Len() != 10 {
+		t.Fatal("len wrong")
+	}
+	w := ts.Window(2, 5)
+	if len(w) != 3 || w[0] != 20 || w[2] != 40 {
+		t.Fatalf("window = %v", w)
+	}
+	bins := ts.Bin(0, 10, 5)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if math.Abs(bins[0]-20) > 1e-9 || math.Abs(bins[1]-70) > 1e-9 {
+		t.Fatalf("bin means = %v", bins)
+	}
+	// Empty bin → NaN.
+	var sparse TimeSeries
+	sparse.Add(0.5, 1)
+	b := sparse.Bin(0, 2, 1)
+	if !math.IsNaN(b[1]) {
+		t.Fatal("empty bin should be NaN")
+	}
+	if ts.Bin(0, 0, 1) != nil || ts.Bin(0, 10, 0) != nil {
+		t.Fatal("degenerate bins should be nil")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Fatalf("sparkline shape %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline %q", flat)
+	}
+	withNaN := Sparkline([]float64{1, math.NaN(), 2})
+	if []rune(withNaN)[1] != ' ' {
+		t.Fatalf("NaN sparkline %q", withNaN)
+	}
+	allNaN := Sparkline([]float64{math.NaN()})
+	if allNaN != " " {
+		t.Fatalf("all-NaN sparkline %q", allNaN)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtDuration(150e-6) != "150µs" {
+		t.Fatalf("%q", FmtDuration(150e-6))
+	}
+	if FmtDuration(2.5e-3) != "2.50ms" {
+		t.Fatalf("%q", FmtDuration(2.5e-3))
+	}
+	if FmtDuration(1.5) != "1.50s" {
+		t.Fatalf("%q", FmtDuration(1.5))
+	}
+	if FmtRate(10e12) != "10.00Tbps" {
+		t.Fatalf("%q", FmtRate(10e12))
+	}
+	if FmtRate(3.6e9) != "3.60Gbps" {
+		t.Fatalf("%q", FmtRate(3.6e9))
+	}
+	if FmtRate(5e6) != "5.00Mbps" {
+		t.Fatalf("%q", FmtRate(5e6))
+	}
+	if FmtRate(100) != "100bps" {
+		t.Fatalf("%q", FmtRate(100))
+	}
+}

@@ -1,0 +1,333 @@
+// Package netsim is the flow-level network simulator under Duet's VIP
+// assignment algorithm and the failure studies (paper §4, §8.5). Traffic is
+// treated as fluid: ECMP splits a flow equally across all shortest paths, so
+// a unit of demand between two fabric nodes becomes a sparse vector of
+// per-direction link loads. The assignment algorithm composes those vectors
+// into cumulative utilization and minimizes the maximum (MRU).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"duet/internal/topology"
+)
+
+// ErrUnreachable is returned when no path exists between two nodes (for
+// example when failures have partitioned them).
+var ErrUnreachable = errors.New("netsim: destination unreachable")
+
+// LinkFrac is one entry of a sparse unit-flow vector: the fraction of the
+// flow's rate crossing a directed link.
+type LinkFrac struct {
+	Dir  DirLink
+	Frac float64
+}
+
+// DirLink identifies a direction of a physical link: 2*LinkID for A→B,
+// 2*LinkID+1 for B→A.
+type DirLink int32
+
+// Forward returns the A→B direction of a link.
+func Forward(l topology.LinkID) DirLink { return DirLink(2 * l) }
+
+// Reverse returns the B→A direction of a link.
+func Reverse(l topology.LinkID) DirLink { return DirLink(2*l + 1) }
+
+// LinkOf returns the physical link of a directed link.
+func (d DirLink) LinkOf() topology.LinkID { return topology.LinkID(d / 2) }
+
+// Network wraps a topology with failure state and cached routing.
+type Network struct {
+	Topo *topology.Topology
+
+	downSwitch []bool
+	downLink   []bool
+	epoch      uint64 // bumped on every failure-state change
+
+	distCache map[topology.SwitchID][]int32
+	flowCache map[flowKey][]LinkFrac
+	inetCache map[topology.SwitchID][]LinkFrac
+}
+
+type flowKey struct {
+	src, dst topology.SwitchID
+}
+
+// New creates a Network over topo with no failures.
+func New(topo *topology.Topology) *Network {
+	return &Network{
+		Topo:       topo,
+		downSwitch: make([]bool, topo.NumSwitches()),
+		downLink:   make([]bool, topo.NumLinks()),
+		distCache:  make(map[topology.SwitchID][]int32),
+		flowCache:  make(map[flowKey][]LinkFrac),
+		inetCache:  make(map[topology.SwitchID][]LinkFrac),
+	}
+}
+
+// NumDirLinks returns the number of directed links (2 per physical link).
+func (n *Network) NumDirLinks() int { return 2 * n.Topo.NumLinks() }
+
+// Capacity returns the capacity of the physical link under a directed link.
+func (n *Network) Capacity(d DirLink) float64 {
+	return n.Topo.Link(d.LinkOf()).Capacity
+}
+
+// Epoch returns the failure-state version; it changes whenever failures are
+// added or cleared, invalidating previously computed flow vectors.
+func (n *Network) Epoch() uint64 { return n.epoch }
+
+func (n *Network) invalidate() {
+	n.epoch++
+	n.distCache = make(map[topology.SwitchID][]int32)
+	n.flowCache = make(map[flowKey][]LinkFrac)
+	n.inetCache = make(map[topology.SwitchID][]LinkFrac)
+}
+
+// FailSwitch marks a switch down. All its links stop carrying traffic.
+func (n *Network) FailSwitch(s topology.SwitchID) {
+	if !n.downSwitch[s] {
+		n.downSwitch[s] = true
+		n.invalidate()
+	}
+}
+
+// RecoverSwitch marks a switch up again.
+func (n *Network) RecoverSwitch(s topology.SwitchID) {
+	if n.downSwitch[s] {
+		n.downSwitch[s] = false
+		n.invalidate()
+	}
+}
+
+// FailLink marks a link down.
+func (n *Network) FailLink(l topology.LinkID) {
+	if !n.downLink[l] {
+		n.downLink[l] = true
+		n.invalidate()
+	}
+}
+
+// FailContainer fails every switch in container c (paper §8.5's container
+// failure scenario).
+func (n *Network) FailContainer(c int) {
+	for _, s := range n.Topo.ContainerSwitches(c) {
+		n.downSwitch[s] = true
+	}
+	n.invalidate()
+}
+
+// ClearFailures restores every switch and link.
+func (n *Network) ClearFailures() {
+	for i := range n.downSwitch {
+		n.downSwitch[i] = false
+	}
+	for i := range n.downLink {
+		n.downLink[i] = false
+	}
+	n.invalidate()
+}
+
+// SwitchUp reports whether a switch is alive.
+func (n *Network) SwitchUp(s topology.SwitchID) bool { return !n.downSwitch[s] }
+
+// linkUsable reports whether a link can carry traffic between two live
+// switches.
+func (n *Network) linkUsable(id topology.LinkID) bool {
+	if n.downLink[id] {
+		return false
+	}
+	l := n.Topo.Link(id)
+	return !n.downSwitch[l.A] && !n.downSwitch[l.B]
+}
+
+// dist returns (cached) hop distances from every switch to dst, or nil
+// entries (-1) for unreachable switches.
+func (n *Network) dist(dst topology.SwitchID) []int32 {
+	if d, ok := n.distCache[dst]; ok {
+		return d
+	}
+	d := make([]int32, n.Topo.NumSwitches())
+	for i := range d {
+		d[i] = -1
+	}
+	if n.downSwitch[dst] {
+		n.distCache[dst] = d
+		return d
+	}
+	queue := make([]topology.SwitchID, 0, 64)
+	d[dst] = 0
+	queue = append(queue, dst)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Topo.Neighbors[u] {
+			if !n.linkUsable(nb.Link) || d[nb.Peer] >= 0 {
+				continue
+			}
+			d[nb.Peer] = d[u] + 1
+			queue = append(queue, nb.Peer)
+		}
+	}
+	n.distCache[dst] = d
+	return d
+}
+
+// UnitFlow returns the sparse per-directed-link load vector for one unit of
+// traffic from src to dst, ECMP-split equally across all shortest paths.
+// The returned slice is cached and must not be mutated.
+func (n *Network) UnitFlow(src, dst topology.SwitchID) ([]LinkFrac, error) {
+	if src == dst {
+		return nil, nil
+	}
+	key := flowKey{src, dst}
+	if v, ok := n.flowCache[key]; ok {
+		return v, nil
+	}
+	if n.downSwitch[src] || n.downSwitch[dst] {
+		return nil, ErrUnreachable
+	}
+	d := n.dist(dst)
+	if d[src] < 0 {
+		return nil, ErrUnreachable
+	}
+
+	// Propagate fractional flow down the shortest-path DAG. Nodes are
+	// processed in order of decreasing distance so every node's inbound
+	// fraction is complete before it splits outward.
+	frac := map[topology.SwitchID]float64{src: 1}
+	order := []topology.SwitchID{src}
+	loads := map[DirLink]float64{}
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		f := frac[u]
+		// Count downhill neighbors.
+		var next []topology.Neighbor
+		for _, nb := range n.Topo.Neighbors[u] {
+			if n.linkUsable(nb.Link) && d[nb.Peer] == d[u]-1 {
+				next = append(next, nb)
+			}
+		}
+		if len(next) == 0 {
+			// Only possible at dst (d==0) on a consistent BFS tree.
+			continue
+		}
+		share := f / float64(len(next))
+		for _, nb := range next {
+			dir := n.direction(nb.Link, u)
+			loads[dir] += share
+			if _, seen := frac[nb.Peer]; !seen && nb.Peer != dst {
+				order = append(order, nb.Peer)
+			}
+			if nb.Peer != dst {
+				frac[nb.Peer] += share
+			}
+		}
+	}
+
+	out := make([]LinkFrac, 0, len(loads))
+	for dir, f := range loads {
+		out = append(out, LinkFrac{Dir: dir, Frac: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	n.flowCache[key] = out
+	return out, nil
+}
+
+// direction returns the DirLink for traversing link id out of switch from.
+func (n *Network) direction(id topology.LinkID, from topology.SwitchID) DirLink {
+	if n.Topo.Link(id).A == from {
+		return Forward(id)
+	}
+	return Reverse(id)
+}
+
+// Loads is a dense per-directed-link traffic map in bits/second.
+type Loads []float64
+
+// NewLoads allocates a zeroed load map for the network.
+func (n *Network) NewLoads() Loads { return make(Loads, n.NumDirLinks()) }
+
+// AddFlow adds rate bps of src→dst traffic to the load map.
+func (n *Network) AddFlow(l Loads, src, dst topology.SwitchID, rate float64) error {
+	vec, err := n.UnitFlow(src, dst)
+	if err != nil {
+		return err
+	}
+	for _, lf := range vec {
+		l[lf.Dir] += rate * lf.Frac
+	}
+	return nil
+}
+
+// MaxUtilization returns the highest per-direction link utilization in the
+// load map and the directed link where it occurs. An empty network returns 0.
+func (n *Network) MaxUtilization(l Loads) (float64, DirLink) {
+	best, bestDir := 0.0, DirLink(-1)
+	for dir := range l {
+		if l[dir] == 0 {
+			continue
+		}
+		u := l[dir] / n.Capacity(DirLink(dir))
+		if u > best {
+			best, bestDir = u, DirLink(dir)
+		}
+	}
+	return best, bestDir
+}
+
+// Utilization returns the utilization of one directed link.
+func (n *Network) Utilization(l Loads, d DirLink) float64 {
+	return l[d] / n.Capacity(d)
+}
+
+// String renders a directed link for diagnostics.
+func (n *Network) DirString(d DirLink) string {
+	link := n.Topo.Link(d.LinkOf())
+	a, b := n.Topo.Switch(link.A).Name, n.Topo.Switch(link.B).Name
+	if d%2 == 0 {
+		return fmt.Sprintf("%s→%s", a, b)
+	}
+	return fmt.Sprintf("%s→%s", b, a)
+}
+
+// InternetFlow returns the sparse load vector of one unit of Internet
+// ingress traffic destined to dst: the unit is spread equally over all live
+// core switches (where WAN traffic enters the fabric) and ECMP-routed to
+// dst. The result is cached per destination; callers must not mutate it.
+func (n *Network) InternetFlow(dst topology.SwitchID) ([]LinkFrac, error) {
+	if v, ok := n.inetCache[dst]; ok {
+		return v, nil
+	}
+	var cores []topology.SwitchID
+	for i := 0; i < n.Topo.Cfg.Cores; i++ {
+		if c := n.Topo.CoreID(i); n.SwitchUp(c) && c != dst {
+			cores = append(cores, c)
+		}
+	}
+	if len(cores) == 0 {
+		// dst is the only live core (or none are): ingress terminates there.
+		n.inetCache[dst] = nil
+		return nil, nil
+	}
+	acc := map[DirLink]float64{}
+	share := 1.0 / float64(n.Topo.Cfg.Cores)
+	for _, c := range cores {
+		vec, err := n.UnitFlow(c, dst)
+		if err != nil {
+			return nil, err
+		}
+		for _, lf := range vec {
+			acc[lf.Dir] += share * lf.Frac
+		}
+	}
+	out := make([]LinkFrac, 0, len(acc))
+	for dir, f := range acc {
+		out = append(out, LinkFrac{Dir: dir, Frac: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	n.inetCache[dst] = out
+	return out, nil
+}

@@ -1,0 +1,416 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/topology"
+)
+
+func defaultNet(t testing.TB) *Network {
+	t.Helper()
+	return New(topology.MustNew(topology.DefaultConfig()))
+}
+
+// intoDst sums the flow fractions arriving at dst.
+func intoDst(n *Network, vec []LinkFrac, dst topology.SwitchID) float64 {
+	var sum float64
+	for _, lf := range vec {
+		link := n.Topo.Link(lf.Dir.LinkOf())
+		to := link.B
+		if lf.Dir%2 == 1 {
+			to = link.A
+		}
+		if to == dst {
+			sum += lf.Frac
+		}
+	}
+	return sum
+}
+
+func TestUnitFlowSelf(t *testing.T) {
+	n := defaultNet(t)
+	vec, err := n.UnitFlow(5, 5)
+	if err != nil || len(vec) != 0 {
+		t.Fatalf("self flow = %v, %v; want empty", vec, err)
+	}
+}
+
+func TestUnitFlowSameContainer(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	dst := n.Topo.TorID(0, 1)
+	vec, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path ToR→Agg→ToR: one unit up split over 4 Aggs, one unit down.
+	if got := intoDst(n, vec, dst); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("flow into dst = %v, want 1", got)
+	}
+	// No core links should be touched.
+	for _, lf := range vec {
+		link := n.Topo.Link(lf.Dir.LinkOf())
+		if n.Topo.Switch(link.A).Kind == topology.Core || n.Topo.Switch(link.B).Kind == topology.Core {
+			t.Fatalf("intra-container flow crossed core link %s", n.DirString(lf.Dir))
+		}
+	}
+	// Up split equal across the 4 Aggs.
+	for _, lf := range vec {
+		if math.Abs(lf.Frac-0.25) > 1e-9 {
+			t.Fatalf("unexpected fraction %v on %s", lf.Frac, n.DirString(lf.Dir))
+		}
+	}
+	if len(vec) != 8 {
+		t.Fatalf("link count = %d, want 8 (4 up + 4 down)", len(vec))
+	}
+}
+
+func TestUnitFlowCrossContainer(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	dst := n.Topo.TorID(3, 7)
+	vec, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intoDst(n, vec, dst); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("flow into dst = %v, want 1", got)
+	}
+	// Conservation at every intermediate node: inflow == outflow.
+	in := make(map[topology.SwitchID]float64)
+	out := make(map[topology.SwitchID]float64)
+	for _, lf := range vec {
+		link := n.Topo.Link(lf.Dir.LinkOf())
+		from, to := link.A, link.B
+		if lf.Dir%2 == 1 {
+			from, to = to, from
+		}
+		out[from] += lf.Frac
+		in[to] += lf.Frac
+	}
+	for s, o := range out {
+		if s == src {
+			continue
+		}
+		if math.Abs(in[s]-o) > 1e-9 {
+			t.Fatalf("conservation violated at %s: in=%v out=%v", n.Topo.Switch(s).Name, in[s], o)
+		}
+	}
+	if math.Abs(out[src]-1) > 1e-9 {
+		t.Fatalf("src emits %v, want 1", out[src])
+	}
+}
+
+func TestUnitFlowToAggAndCore(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(2, 3)
+
+	// VIP assigned to an Agg in the same container: single hop.
+	agg := n.Topo.AggID(2, 1)
+	vec, err := n.UnitFlow(src, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || math.Abs(vec[0].Frac-1) > 1e-9 {
+		t.Fatalf("ToR→local Agg should be a single full link, got %v", vec)
+	}
+
+	// VIP assigned to a core switch.
+	core := n.Topo.CoreID(0)
+	vec, err = n.UnitFlow(src, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intoDst(n, vec, core); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("flow into core = %v, want 1", got)
+	}
+}
+
+func TestUnitFlowCachedAcrossCalls(t *testing.T) {
+	n := defaultNet(t)
+	a, err := n.UnitFlow(n.Topo.TorID(0, 0), n.Topo.TorID(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.UnitFlow(n.Topo.TorID(0, 0), n.Topo.TorID(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("expected cached slice to be returned")
+	}
+}
+
+func TestFailSwitchReroutes(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	dst := n.Topo.TorID(0, 1)
+
+	// Fail 3 of the 4 Aggs in container 0: all traffic should squeeze
+	// through the surviving Agg.
+	for j := 1; j < 4; j++ {
+		n.FailSwitch(n.Topo.AggID(0, j))
+	}
+	vec, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 {
+		t.Fatalf("links used = %d, want 2", len(vec))
+	}
+	for _, lf := range vec {
+		if math.Abs(lf.Frac-1) > 1e-9 {
+			t.Fatalf("surviving path should carry full unit, got %v", lf.Frac)
+		}
+	}
+}
+
+func TestFailSwitchUnreachable(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	dst := n.Topo.TorID(1, 0)
+
+	// Isolate the source rack by failing all its Aggs.
+	for j := 0; j < 4; j++ {
+		n.FailSwitch(n.Topo.AggID(0, j))
+	}
+	if _, err := n.UnitFlow(src, dst); err != ErrUnreachable {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+
+	// Destination down.
+	n.ClearFailures()
+	n.FailSwitch(dst)
+	if _, err := n.UnitFlow(src, dst); err != ErrUnreachable {
+		t.Fatalf("dst down: got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestFailLink(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	agg := n.Topo.AggID(0, 0)
+	// Find and fail the direct ToR-Agg link; traffic must detour (no other
+	// shortest path of length 1 exists, path length becomes 3).
+	var link topology.LinkID = -1
+	for _, nb := range n.Topo.Neighbors[src] {
+		if nb.Peer == agg {
+			link = nb.Link
+		}
+	}
+	if link < 0 {
+		t.Fatal("link not found")
+	}
+	n.FailLink(link)
+	vec, err := n.UnitFlow(src, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intoDst(n, vec, agg); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("flow into agg = %v, want 1", got)
+	}
+	for _, lf := range vec {
+		if lf.Dir.LinkOf() == link {
+			t.Fatal("failed link still carries traffic")
+		}
+	}
+}
+
+func TestFailContainer(t *testing.T) {
+	n := defaultNet(t)
+	n.FailContainer(0)
+	for _, s := range n.Topo.ContainerSwitches(0) {
+		if n.SwitchUp(s) {
+			t.Fatalf("switch %v still up after container failure", s)
+		}
+	}
+	// Cross-container traffic avoiding container 0 still works.
+	if _, err := n.UnitFlow(n.Topo.TorID(1, 0), n.Topo.TorID(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	n.ClearFailures()
+	if _, err := n.UnitFlow(n.Topo.TorID(0, 0), n.Topo.TorID(1, 0)); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestEpochBumpsOnFailureChange(t *testing.T) {
+	n := defaultNet(t)
+	e0 := n.Epoch()
+	n.FailSwitch(3)
+	if n.Epoch() == e0 {
+		t.Fatal("epoch did not change on failure")
+	}
+	e1 := n.Epoch()
+	n.FailSwitch(3) // no-op
+	if n.Epoch() != e1 {
+		t.Fatal("epoch changed on redundant failure")
+	}
+	n.RecoverSwitch(3)
+	if n.Epoch() == e1 {
+		t.Fatal("epoch did not change on recovery")
+	}
+}
+
+func TestLoadsAndMaxUtilization(t *testing.T) {
+	n := defaultNet(t)
+	loads := n.NewLoads()
+	src := n.Topo.TorID(0, 0)
+	agg := n.Topo.AggID(0, 0)
+
+	// 5 Gbps over a single 10 Gbps ToR→Agg link → 50% utilization.
+	if err := n.AddFlow(loads, src, agg, 5e9); err != nil {
+		t.Fatal(err)
+	}
+	u, dir := n.MaxUtilization(loads)
+	if math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("max util = %v, want 0.5", u)
+	}
+	if dir.LinkOf() < 0 || n.Utilization(loads, dir) != u {
+		t.Fatal("max link inconsistent")
+	}
+
+	// Adding the reverse flow should not change max (separate direction).
+	if err := n.AddFlow(loads, agg, src, 4e9); err != nil {
+		t.Fatal(err)
+	}
+	u2, _ := n.MaxUtilization(loads)
+	if math.Abs(u2-0.5) > 1e-9 {
+		t.Fatalf("max util after reverse flow = %v, want 0.5", u2)
+	}
+}
+
+func TestMaxUtilizationEmpty(t *testing.T) {
+	n := defaultNet(t)
+	u, dir := n.MaxUtilization(n.NewLoads())
+	if u != 0 || dir != -1 {
+		t.Fatalf("empty loads: %v, %v", u, dir)
+	}
+}
+
+func TestAddFlowUnreachable(t *testing.T) {
+	n := defaultNet(t)
+	n.FailSwitch(n.Topo.TorID(1, 1))
+	if err := n.AddFlow(n.NewLoads(), n.Topo.TorID(0, 0), n.Topo.TorID(1, 1), 1e9); err == nil {
+		t.Fatal("expected error adding flow to failed switch")
+	}
+}
+
+func TestDirLinkHelpers(t *testing.T) {
+	if Forward(3).LinkOf() != 3 || Reverse(3).LinkOf() != 3 {
+		t.Fatal("LinkOf wrong")
+	}
+	if Forward(3) == Reverse(3) {
+		t.Fatal("directions must differ")
+	}
+	n := defaultNet(t)
+	if n.DirString(Forward(0)) == n.DirString(Reverse(0)) {
+		t.Fatal("DirString should distinguish directions")
+	}
+}
+
+// Flow conservation across many random pairs.
+func TestUnitFlowConservationSweep(t *testing.T) {
+	n := defaultNet(t)
+	total := topology.SwitchID(n.Topo.NumSwitches())
+	for src := topology.SwitchID(0); src < total; src += 13 {
+		for dst := topology.SwitchID(1); dst < total; dst += 17 {
+			if src == dst {
+				continue
+			}
+			vec, err := n.UnitFlow(src, dst)
+			if err != nil {
+				t.Fatalf("%v→%v: %v", src, dst, err)
+			}
+			if got := intoDst(n, vec, dst); math.Abs(got-1) > 1e-9 {
+				t.Fatalf("%v→%v: into dst = %v", src, dst, got)
+			}
+		}
+	}
+}
+
+func BenchmarkUnitFlowCold(b *testing.B) {
+	n := defaultNet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.flowCache = make(map[flowKey][]LinkFrac)
+		if _, err := n.UnitFlow(n.Topo.TorID(0, 0), n.Topo.TorID(5, 3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnitFlowCached(b *testing.B) {
+	n := defaultNet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.UnitFlow(n.Topo.TorID(0, 0), n.Topo.TorID(5, 3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestInternetFlowConservation(t *testing.T) {
+	n := defaultNet(t)
+	for _, dst := range []topology.SwitchID{
+		n.Topo.TorID(3, 5), n.Topo.AggID(2, 1), n.Topo.CoreID(4),
+	} {
+		vec, err := n.InternetFlow(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One unit spread over all cores arrives in full at dst (minus the
+		// share originating AT dst if dst is a core).
+		got := intoDst(n, vec, dst)
+		want := 1.0
+		if n.Topo.Switch(dst).Kind == topology.Core {
+			want = 1.0 - 1.0/float64(n.Topo.Cfg.Cores)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("dst %s: internet inflow %v, want %v", n.Topo.Switch(dst).Name, got, want)
+		}
+	}
+}
+
+func TestInternetFlowCached(t *testing.T) {
+	n := defaultNet(t)
+	a, err := n.InternetFlow(n.Topo.TorID(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.InternetFlow(n.Topo.TorID(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("InternetFlow not cached")
+	}
+	// Failure invalidates the cache.
+	n.FailSwitch(n.Topo.CoreID(0))
+	c, err := n.InternetFlow(n.Topo.TorID(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == 0 {
+		t.Fatal("no flow after single core failure")
+	}
+	for _, lf := range c {
+		link := n.Topo.Link(lf.Dir.LinkOf())
+		if link.A == n.Topo.CoreID(0) || link.B == n.Topo.CoreID(0) {
+			t.Fatal("failed core still carries internet ingress")
+		}
+	}
+}
+
+func TestInternetFlowAllCoresDown(t *testing.T) {
+	n := defaultNet(t)
+	for i := 0; i < n.Topo.Cfg.Cores; i++ {
+		n.FailSwitch(n.Topo.CoreID(i))
+	}
+	// All ingress points dead: no flow, no error (the traffic is gone).
+	vec, err := n.InternetFlow(n.Topo.TorID(0, 0))
+	if err != nil || vec != nil {
+		t.Fatalf("got %v, %v; want nil, nil", vec, err)
+	}
+}

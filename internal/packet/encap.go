@@ -1,0 +1,115 @@
+package packet
+
+import "fmt"
+
+// Encapsulate wraps inner (a complete IPv4 packet) in an outer IPv4 header
+// with the given source and destination — the IP-in-IP operation the HMux
+// performs in the switch dataplane and the SMux performs in software
+// (paper §3.1, Figure 2). The result is appended to dst and returned, so
+// callers can reuse a buffer across packets.
+func Encapsulate(dst []byte, src, outerDst Addr, inner []byte, ttl uint8) ([]byte, error) {
+	total := HeaderLen + len(inner)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: encapsulated packet too large: %d", total)
+	}
+	outer := IPv4{
+		TTL:      ttl,
+		Protocol: ProtoIPIP,
+		Length:   uint16(total),
+		Src:      src,
+		Dst:      outerDst,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	if _, err := outer.SerializeTo(dst[off:]); err != nil {
+		return nil, err
+	}
+	return append(dst, inner...), nil
+}
+
+// Decapsulate strips the outer IP-in-IP header and returns the inner packet
+// bytes (aliasing data) together with the decoded outer header. This is the
+// host agent's receive-side operation (paper §2.1).
+func Decapsulate(data []byte) (inner []byte, outer IPv4, err error) {
+	if err = outer.DecodeFromBytes(data); err != nil {
+		return nil, outer, err
+	}
+	if outer.Protocol != ProtoIPIP {
+		return nil, outer, fmt.Errorf("packet: not IP-in-IP (proto %d)", outer.Protocol)
+	}
+	return outer.Payload(), outer, nil
+}
+
+// BuildUDP constructs a complete IPv4+UDP packet with the given 5-tuple and
+// payload. Traffic generators and tests use it; the tuple's Proto field is
+// ignored (forced to UDP).
+func BuildUDP(t FiveTuple, payload []byte) []byte {
+	udpLen := UDPHeaderLen + len(payload)
+	total := HeaderLen + udpLen
+	buf := make([]byte, total)
+	ip := IPv4{
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Length:   uint16(total),
+		Src:      t.Src,
+		Dst:      t.Dst,
+	}
+	if _, err := ip.SerializeTo(buf); err != nil {
+		panic(err) // buffer is sized correctly by construction
+	}
+	u := UDP{SrcPort: t.SrcPort, DstPort: t.DstPort, Length: uint16(udpLen)}
+	if _, err := u.SerializeTo(buf[HeaderLen:]); err != nil {
+		panic(err)
+	}
+	copy(buf[HeaderLen+UDPHeaderLen:], payload)
+	return buf
+}
+
+// BuildTCP constructs a complete IPv4+TCP packet with the given 5-tuple,
+// flags and payload.
+func BuildTCP(t FiveTuple, flags uint8, payload []byte) []byte {
+	total := HeaderLen + TCPHeaderLen + len(payload)
+	buf := make([]byte, total)
+	ip := IPv4{
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Length:   uint16(total),
+		Src:      t.Src,
+		Dst:      t.Dst,
+	}
+	if _, err := ip.SerializeTo(buf); err != nil {
+		panic(err)
+	}
+	tcp := TCP{SrcPort: t.SrcPort, DstPort: t.DstPort, Flags: flags, Window: 65535}
+	if _, err := tcp.SerializeTo(buf[HeaderLen:]); err != nil {
+		panic(err)
+	}
+	copy(buf[HeaderLen+TCPHeaderLen:], payload)
+	return buf
+}
+
+// RewriteDst rewrites the destination address of the outermost IPv4 header
+// in place and fixes the checksum. The host agent uses it when translating
+// a decapsulated VIP packet to the local DIP.
+func RewriteDst(data []byte, dst Addr) error {
+	var ip IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	ip.Dst = dst
+	_, err := ip.SerializeTo(data)
+	return err
+}
+
+// RewriteSrc rewrites the source address of the outermost IPv4 header in
+// place and fixes the checksum. The host agent uses it for direct server
+// return: responses leave the DIP carrying the VIP as their source.
+func RewriteSrc(data []byte, src Addr) error {
+	var ip IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	ip.Src = src
+	_, err := ip.SerializeTo(data)
+	return err
+}

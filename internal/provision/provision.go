@@ -1,0 +1,158 @@
+// Package provision implements the SMux-fleet sizing model of the paper's
+// evaluation (§8.2, Figure 16 and Figure 20c): Ananta needs enough SMuxes to
+// carry ALL VIP traffic, while Duet needs them only as a backstop, sized by
+// the maximum of (a) the traffic of VIPs the assignment left on SMuxes,
+// (b) the failover traffic under the provisioning failure model (a full
+// container failure or three random switch failures, whichever is worse),
+// and (c) the traffic in transit through SMuxes during migration.
+package provision
+
+import (
+	"math"
+	"sort"
+
+	"duet/internal/assign"
+	"duet/internal/latmodel"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+// SMuxSpec describes the per-SMux capacity used for sizing.
+type SMuxSpec struct {
+	// CapacityBps is the traffic one SMux can carry (3.6 Gbps on the
+	// production SKU; 10 Gbps if the NIC, not the CPU, were the limit).
+	CapacityBps float64
+}
+
+// ProductionSMux is the paper's measured 3.6 Gbps SMux.
+func ProductionSMux() SMuxSpec { return SMuxSpec{CapacityBps: latmodel.SMuxCapacityBps} }
+
+// TenGigSMux is the optimistic 10 Gbps SMux variant used in Figure 16.
+func TenGigSMux() SMuxSpec { return SMuxSpec{CapacityBps: 10e9} }
+
+// count converts a traffic volume to an SMux count (at least 1 if any
+// traffic exists — the backstop is never empty).
+func (s SMuxSpec) count(rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	return int(math.Ceil(rate / s.CapacityBps))
+}
+
+// Ananta returns the SMuxes a pure software deployment needs: every byte of
+// VIP traffic crosses an SMux.
+func Ananta(totalRate float64, spec SMuxSpec) int {
+	return spec.count(totalRate)
+}
+
+// FailureModel is the paper's provisioning failure model (§8.2, citing
+// [13, 21]): the worse of one full container failure or three simultaneous
+// switch failures.
+type FailureModel struct {
+	SwitchFailures   int  // simultaneous random switch failures (paper: 3)
+	ContainerFailure bool // also consider losing one full container
+}
+
+// DefaultFailureModel returns the paper's model.
+func DefaultFailureModel() FailureModel {
+	return FailureModel{SwitchFailures: 3, ContainerFailure: true}
+}
+
+// Breakdown reports why Duet needs its SMuxes.
+type Breakdown struct {
+	// LeftoverRate is the traffic of VIPs not assigned to any HMux.
+	LeftoverRate float64
+	// WorstFailureRate is the worst-case failover traffic under the model.
+	WorstFailureRate float64
+	// TransitRate is the migration-transit traffic (0 if not provided).
+	TransitRate float64
+
+	// ForLeftover, ForFailure, ForTransit are the component SMux counts;
+	// Total is the fleet size: count(leftover + worstFailure) and transit
+	// are alternatives — migration is deferred under failure — so Total is
+	// the max of the combined steady-state+failure need and the transit need.
+	ForLeftover, ForFailure, ForTransit, Total int
+}
+
+// Duet sizes the SMux fleet for an assignment. transitRate is the traffic
+// simultaneously in flight through the SMux stepping stone during migration
+// (use assign.ShuffledRate; pass 0 to ignore migration).
+func Duet(asg *assign.Assignment, w *workload.Workload, epoch int, topo *topology.Topology, spec SMuxSpec, fm FailureModel, transitRate float64) Breakdown {
+	b := Breakdown{
+		LeftoverRate: asg.UnassignedRate(),
+		TransitRate:  transitRate,
+	}
+	per := asg.RatePerSwitch(w, epoch, topo.NumSwitches())
+
+	// Worst container failure: all VIPs hosted inside fail over at once.
+	var worstContainer float64
+	if fm.ContainerFailure {
+		for c := 0; c < topo.Cfg.Containers; c++ {
+			var sum float64
+			for _, s := range topo.ContainerSwitches(c) {
+				sum += per[s]
+			}
+			if sum > worstContainer {
+				worstContainer = sum
+			}
+		}
+	}
+	// Worst k simultaneous switch failures: the k most loaded switches.
+	var worstSwitches float64
+	if fm.SwitchFailures > 0 {
+		rates := append([]float64(nil), per...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+		k := fm.SwitchFailures
+		if k > len(rates) {
+			k = len(rates)
+		}
+		for i := 0; i < k; i++ {
+			worstSwitches += rates[i]
+		}
+	}
+	b.WorstFailureRate = math.Max(worstContainer, worstSwitches)
+
+	b.ForLeftover = spec.count(b.LeftoverRate)
+	b.ForFailure = spec.count(b.WorstFailureRate)
+	b.ForTransit = spec.count(b.TransitRate)
+
+	steady := spec.count(b.LeftoverRate + b.WorstFailureRate)
+	b.Total = steady
+	if b.ForTransit+b.ForLeftover > b.Total {
+		b.Total = b.ForTransit + b.ForLeftover
+	}
+	if b.Total == 0 && asg.TotalRate > 0 {
+		b.Total = 1 // the backstop always exists
+	}
+	return b
+}
+
+// LatencyVsSMuxes returns Ananta's median added latency when totalRate is
+// spread over n SMuxes (the Figure 17 curve): per-SMux packet rate drives
+// the Figure 1 queueing model.
+func LatencyVsSMuxes(totalRate float64, meanPacketBytes float64, n int, m latmodel.SMuxModel) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	pps := totalRate / (8 * meanPacketBytes) / float64(n)
+	return m.MedianLatency(pps)
+}
+
+// DuetMedianLatency returns the median added latency of Duet's traffic
+// mixture (the Figure 17 point). HMux-assigned traffic sees switch latency
+// plus the indirection propagation; leftover traffic sees SMux latency at
+// the backstop's operating point. The median of the mixture is the HMux
+// latency whenever HMuxes carry the majority of traffic — which is why the
+// paper's Duet point sits at ~474 µs RTT while Ananta with the same fleet
+// sits above 6 ms.
+func DuetMedianLatency(asg *assign.Assignment, nSMux int, meanPacketBytes float64, sm latmodel.SMuxModel, hm latmodel.HMuxModel) float64 {
+	var smuxLat float64
+	if nSMux > 0 {
+		pps := asg.UnassignedRate() / (8 * meanPacketBytes) / float64(nSMux)
+		smuxLat = sm.MedianLatency(pps)
+	}
+	if asg.AssignedFraction() >= 0.5 {
+		return hm.Latency + latmodel.IndirectionDelay
+	}
+	return smuxLat
+}

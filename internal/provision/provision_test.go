@@ -1,0 +1,164 @@
+package provision
+
+import (
+	"testing"
+
+	"duet/internal/assign"
+	"duet/internal/latmodel"
+	"duet/internal/netsim"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+func world(t testing.TB, totalRate float64, seed int64) (*netsim.Network, *workload.Workload, *assign.Assignment) {
+	t.Helper()
+	topo := topology.MustNew(topology.Config{
+		Containers:       4,
+		ToRsPerContainer: 8,
+		AggsPerContainer: 4,
+		Cores:            8,
+		ServersPerToR:    20,
+	})
+	net := netsim.New(topo)
+	w, err := workload.Generate(workload.Config{
+		NumVIPs: 300, TotalRate: totalRate, Epochs: 2, Seed: seed,
+		TrafficSkew: 1.6, MaxDIPs: 400, InternetFrac: 0.3, ChurnStdDev: 0.25,
+	}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := assign.Compute(net, w, 0, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, w, asg
+}
+
+func TestAnantaScalesWithTraffic(t *testing.T) {
+	spec := ProductionSMux()
+	if got := Ananta(3.6e9, spec); got != 1 {
+		t.Fatalf("1-SMux traffic needs %d", got)
+	}
+	if got := Ananta(10e12, spec); got < 2700 {
+		t.Fatalf("10Tbps needs %d SMuxes, want ≥2700 (paper: >4000 at 15T)", got)
+	}
+	if Ananta(0, spec) != 0 {
+		t.Fatal("zero traffic needs zero SMuxes")
+	}
+}
+
+// TestDuetFarFewerSMuxes is Figure 16's headline: Duet needs order(s) of
+// magnitude fewer SMuxes than Ananta for the same traffic.
+func TestDuetFarFewerSMuxes(t *testing.T) {
+	net, w, asg := world(t, 4e11, 1)
+	spec := ProductionSMux()
+	ananta := Ananta(asg.TotalRate, spec)
+	duet := Duet(asg, w, 0, net.Topo, spec, DefaultFailureModel(), 0)
+	if duet.Total >= ananta {
+		t.Fatalf("Duet %d SMuxes vs Ananta %d — no reduction", duet.Total, ananta)
+	}
+	ratio := float64(ananta) / float64(duet.Total)
+	if ratio < 3 {
+		t.Fatalf("reduction only %.1fx, want ≥3x (paper: 12-24x at scale)", ratio)
+	}
+	t.Logf("Ananta=%d Duet=%d (%.1fx fewer; failure need %d, leftover need %d)",
+		ananta, duet.Total, ratio, duet.ForFailure, duet.ForLeftover)
+}
+
+func TestDuetFailureDominates(t *testing.T) {
+	// Paper §8.2: "majority of the SMuxes needed by DUET were needed to
+	// handle failure".
+	net, w, asg := world(t, 4e11, 2)
+	b := Duet(asg, w, 0, net.Topo, ProductionSMux(), DefaultFailureModel(), 0)
+	if b.ForFailure < b.ForLeftover {
+		t.Fatalf("failure need %d < leftover need %d; expected failure-dominated sizing",
+			b.ForFailure, b.ForLeftover)
+	}
+	if b.WorstFailureRate <= 0 {
+		t.Fatal("no failure traffic computed")
+	}
+}
+
+func TestDuetTransitRaisesTotal(t *testing.T) {
+	net, w, asg := world(t, 4e11, 3)
+	spec := ProductionSMux()
+	base := Duet(asg, w, 0, net.Topo, spec, DefaultFailureModel(), 0)
+	huge := Duet(asg, w, 0, net.Topo, spec, DefaultFailureModel(), 1e12)
+	if huge.Total <= base.Total {
+		t.Fatalf("transit traffic did not grow the fleet: %d vs %d", huge.Total, base.Total)
+	}
+	if huge.ForTransit == 0 {
+		t.Fatal("transit component missing")
+	}
+}
+
+func TestFailureModelVariants(t *testing.T) {
+	net, w, asg := world(t, 4e11, 4)
+	spec := ProductionSMux()
+	none := Duet(asg, w, 0, net.Topo, spec, FailureModel{}, 0)
+	if none.WorstFailureRate != 0 {
+		t.Fatal("empty failure model produced failure traffic")
+	}
+	oneSwitch := Duet(asg, w, 0, net.Topo, spec, FailureModel{SwitchFailures: 1}, 0)
+	threeSwitch := Duet(asg, w, 0, net.Topo, spec, FailureModel{SwitchFailures: 3}, 0)
+	if threeSwitch.WorstFailureRate < oneSwitch.WorstFailureRate {
+		t.Fatal("3-switch failure smaller than 1-switch")
+	}
+	container := Duet(asg, w, 0, net.Topo, spec, FailureModel{ContainerFailure: true}, 0)
+	if container.WorstFailureRate <= 0 {
+		t.Fatal("container failure produced no traffic")
+	}
+}
+
+func TestTenGigSpecNeedsFewer(t *testing.T) {
+	net, w, asg := world(t, 4e11, 5)
+	fm := DefaultFailureModel()
+	prod := Duet(asg, w, 0, net.Topo, ProductionSMux(), fm, 0)
+	ten := Duet(asg, w, 0, net.Topo, TenGigSMux(), fm, 0)
+	if ten.Total > prod.Total {
+		t.Fatalf("10G SMuxes (%d) need more than 3.6G (%d)", ten.Total, prod.Total)
+	}
+}
+
+func TestLatencyVsSMuxesShape(t *testing.T) {
+	// Figure 17: latency falls as the SMux fleet grows; with few SMuxes the
+	// per-SMux load saturates and latency is tens of ms.
+	m := latmodel.DefaultSMuxModel()
+	total := 10e12
+	few := LatencyVsSMuxes(total, 800, 230, m)
+	many := LatencyVsSMuxes(total, 800, 15000, m)
+	if few <= many {
+		t.Fatalf("latency with 230 SMuxes (%v) should exceed 15000 SMuxes (%v)", few, many)
+	}
+	if few < 5e-3 {
+		t.Fatalf("Ananta at 230 SMuxes: %.1fms, paper reports >6ms", few*1e3)
+	}
+	if many > 1e-3 {
+		t.Fatalf("Ananta at 15000 SMuxes: %.2fms, paper reports ~DUET-level", many*1e3)
+	}
+	if LatencyVsSMuxes(total, 800, 0, m) != latencyInf() {
+		t.Fatal("0 SMuxes should be infinite latency")
+	}
+}
+
+func latencyInf() float64 {
+	return LatencyVsSMuxes(1, 800, 0, latmodel.DefaultSMuxModel())
+}
+
+// TestDuetLatencyBeatsAnanta is Figure 17's point-vs-curve comparison.
+func TestDuetLatencyBeatsAnanta(t *testing.T) {
+	net, w, asg := world(t, 4e11, 6)
+	sm := latmodel.DefaultSMuxModel()
+	hm := latmodel.DefaultHMuxModel()
+	b := Duet(asg, w, 0, net.Topo, ProductionSMux(), DefaultFailureModel(), 0)
+	duetLat := DuetMedianLatency(asg, b.Total, 800, sm, hm)
+	anantaLat := LatencyVsSMuxes(asg.TotalRate, 800, b.Total, sm)
+	if duetLat >= anantaLat {
+		t.Fatalf("Duet %.0fµs not better than Ananta %.0fµs at equal fleet", duetLat*1e6, anantaLat*1e6)
+	}
+	// With >90% of traffic on HMuxes, Duet's added latency is tens of µs.
+	if duetLat > 100e-6 {
+		t.Fatalf("Duet added latency %.0fµs, want well under SMux's 196µs", duetLat*1e6)
+	}
+	_ = net
+}

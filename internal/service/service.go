@@ -1,0 +1,87 @@
+// Package service defines the VIP→DIP mapping types shared by every Duet
+// component: the controller distributes these, and HMuxes, SMuxes and host
+// agents all program their tables from them.
+package service
+
+import (
+	"fmt"
+
+	"duet/internal/packet"
+)
+
+// Backend is one DIP (or host IP, in virtualized clusters) behind a VIP,
+// with its WCMP weight (1 = equal share; paper §5.2 "Heterogeneity among
+// servers").
+type Backend struct {
+	Addr   packet.Addr
+	Weight uint32
+}
+
+// PortRule maps one destination port of a VIP to its own backend set
+// (paper §5.2 "Port-based load balancing", Figure 8).
+type PortRule struct {
+	Port     uint16
+	Backends []Backend
+}
+
+// VIP is the full configuration of one virtual IP.
+type VIP struct {
+	Addr     packet.Addr
+	Backends []Backend  // default backend set
+	Ports    []PortRule // optional per-port overrides
+}
+
+// Validate checks the configuration is self-consistent.
+func (v *VIP) Validate() error {
+	if v.Addr.IsZero() {
+		return fmt.Errorf("service: VIP address must be set")
+	}
+	if len(v.Backends) == 0 && len(v.Ports) == 0 {
+		return fmt.Errorf("service: VIP %s has no backends", v.Addr)
+	}
+	seen := make(map[uint16]bool)
+	for _, pr := range v.Ports {
+		if len(pr.Backends) == 0 {
+			return fmt.Errorf("service: VIP %s port %d has no backends", v.Addr, pr.Port)
+		}
+		if seen[pr.Port] {
+			return fmt.Errorf("service: VIP %s has duplicate rule for port %d", v.Addr, pr.Port)
+		}
+		seen[pr.Port] = true
+	}
+	return nil
+}
+
+// Addrs returns the default backend addresses in order.
+func Addrs(backends []Backend) []packet.Addr {
+	out := make([]packet.Addr, len(backends))
+	for i, b := range backends {
+		out[i] = b.Addr
+	}
+	return out
+}
+
+// Equal reports whether two backend sets are identical (same order,
+// addresses and weights).
+func Equal(a, b []Backend) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UniqueAddrs returns the number of distinct backend addresses — the number
+// of tunneling-table entries a backend set costs on a switch (entries are
+// deduplicated per encap address).
+func UniqueAddrs(backends []Backend) int {
+	seen := make(map[packet.Addr]struct{}, len(backends))
+	for _, b := range backends {
+		seen[b.Addr] = struct{}{}
+	}
+	return len(seen)
+}

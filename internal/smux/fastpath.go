@@ -1,0 +1,50 @@
+package smux
+
+import "duet/internal/packet"
+
+// Ananta's fast path (paper §2.1): once a connection between two intra-DC
+// services is established through the mux, the mux can tell the source's
+// host agent the actual DIP so subsequent packets flow directly, bypassing
+// the load balancer entirely. It scales Ananta but "negates the benefits of
+// the VIP indirection" — ACLs must then be expressed in DIPs — which is why
+// Duet does not rely on it. It is implemented here so the trade-off is
+// explorable.
+
+// FastPathOffer tells a source host agent to send the rest of a flow
+// directly to the DIP.
+type FastPathOffer struct {
+	Flow packet.FiveTuple
+	DIP  packet.Addr
+}
+
+// EnableFastPath turns on fast-path offers for intra-DC sources matching
+// the given predicate (e.g. "source address is inside the DC"). Pass nil to
+// offer for every source.
+func (m *Mux) EnableFastPath(isIntraDC func(src packet.Addr) bool) {
+	m.fastPathOn = true
+	m.fastPathPred = isIntraDC
+}
+
+// DisableFastPath turns fast-path offers off.
+func (m *Mux) DisableFastPath() {
+	m.fastPathOn = false
+	m.fastPathPred = nil
+}
+
+// fastPathOffer decides whether to emit an offer for a flow.
+func (m *Mux) fastPathOffer(tuple packet.FiveTuple, dip packet.Addr) *FastPathOffer {
+	if !m.fastPathOn {
+		return nil
+	}
+	if m.fastPathPred != nil && !m.fastPathPred(tuple.Src) {
+		return nil
+	}
+	if m.offered == nil {
+		m.offered = make(map[packet.FiveTuple]bool)
+	}
+	if m.offered[tuple] {
+		return nil // offer once per flow
+	}
+	m.offered[tuple] = true
+	return &FastPathOffer{Flow: tuple, DIP: dip}
+}

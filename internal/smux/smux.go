@@ -1,0 +1,310 @@
+// Package smux implements the Ananta-style software mux (paper §2.1) that
+// Duet deploys as a backstop: a commodity server that stores the complete
+// VIP→DIP mapping in main memory, announces every VIP (in aggregate
+// prefixes), splits traffic with the same hash function as the HMuxes, and
+// encapsulates packets in software.
+//
+// Unlike the HMux, the SMux keeps per-connection state. That is what lets
+// Ananta add DIPs to a VIP without remapping existing connections — the
+// reason Duet bounces a VIP through the SMuxes during DIP addition
+// (paper §5.2).
+package smux
+
+import (
+	"errors"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// DefaultCapacityPPS is the packet rate at which one SMux saturates its CPU
+// (paper §2.2: 300K packets/sec on the production SKU).
+const DefaultCapacityPPS = 300_000
+
+// Errors returned by the SMux.
+var (
+	ErrVIPNotFound = errors.New("smux: packet does not match any VIP")
+	ErrVIPExists   = errors.New("smux: VIP already configured")
+)
+
+// Config parameterizes one SMux instance.
+type Config struct {
+	// SelfAddr is the server's address, used as the outer source of
+	// encapsulated packets.
+	SelfAddr packet.Addr
+
+	// CapacityPPS is the CPU saturation point. It does not gate Process —
+	// the latency model in internal/latmodel consumes it — but it is carried
+	// here so deployments can mix SKUs.
+	CapacityPPS float64
+
+	// MaxConnections bounds the connection table; 0 means the default
+	// (1M entries). When full, new connections are served stateless (pure
+	// hash) rather than dropped.
+	MaxConnections int
+
+	// DisableConnTracking turns off per-connection state entirely; every
+	// packet is mapped by hash alone. Used by ablation experiments.
+	DisableConnTracking bool
+}
+
+// DefaultConfig returns a production-like SMux configuration.
+func DefaultConfig(self packet.Addr) Config {
+	return Config{SelfAddr: self, CapacityPPS: DefaultCapacityPPS}
+}
+
+type entry struct {
+	group    *ecmp.Group
+	encaps   []packet.Addr
+	backends []service.Backend
+	ports    map[uint16]*entry
+}
+
+// Mux is one software mux.
+type Mux struct {
+	cfg  Config
+	vips map[packet.Addr]*entry
+
+	// conns pins established flows to their DIP so backend-set changes do
+	// not remap them (Ananta semantics).
+	conns     map[packet.FiveTuple]packet.Addr
+	connOrder []packet.FiveTuple // FIFO eviction order
+
+	processed uint64 // packets processed (for CPU accounting)
+
+	// fast path state (§2.1, see fastpath.go)
+	fastPathOn   bool
+	fastPathPred func(packet.Addr) bool
+	offered      map[packet.FiveTuple]bool
+
+	ip packet.IPv4 // decode scratch
+}
+
+// New creates an SMux.
+func New(cfg Config) *Mux {
+	if cfg.CapacityPPS <= 0 {
+		cfg.CapacityPPS = DefaultCapacityPPS
+	}
+	if cfg.MaxConnections <= 0 {
+		cfg.MaxConnections = 1 << 20
+	}
+	return &Mux{
+		cfg:   cfg,
+		vips:  make(map[packet.Addr]*entry),
+		conns: make(map[packet.FiveTuple]packet.Addr),
+	}
+}
+
+// Self returns the mux's address.
+func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
+
+// CapacityPPS returns the configured CPU saturation point.
+func (m *Mux) CapacityPPS() float64 { return m.cfg.CapacityPPS }
+
+// Processed returns the number of packets processed since creation.
+func (m *Mux) Processed() uint64 { return m.processed }
+
+// Connections returns the current connection-table size.
+func (m *Mux) Connections() int { return len(m.conns) }
+
+func buildEntry(backends []service.Backend) *entry {
+	e := &entry{
+		group:    ecmp.NewGroup(),
+		encaps:   make([]packet.Addr, len(backends)),
+		backends: append([]service.Backend(nil), backends...),
+	}
+	for i, b := range backends {
+		e.encaps[i] = b.Addr
+		e.group.AddWeighted(uint32(i), b.Weight)
+	}
+	return e
+}
+
+// AddVIP installs a VIP. Unlike the HMux there is no capacity limit: the
+// mapping lives in server memory (paper §2.1 "essentially an unlimited
+// number of VIPs and DIPs").
+func (m *Mux) AddVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.vips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	e := buildEntry(v.Backends)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*entry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = buildEntry(pr.Backends)
+		}
+	}
+	m.vips[v.Addr] = e
+	return nil
+}
+
+// UpdateVIP replaces a VIP's backend set in place. Existing connections keep
+// flowing to their pinned DIPs through the connection table, so DIP addition
+// does not remap them.
+func (m *Mux) UpdateVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.vips[v.Addr]; !ok {
+		return ErrVIPNotFound
+	}
+	e := buildEntry(v.Backends)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*entry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = buildEntry(pr.Backends)
+		}
+	}
+	m.vips[v.Addr] = e
+	return nil
+}
+
+// RemoveVIP withdraws a VIP and drops its pinned connections.
+func (m *Mux) RemoveVIP(addr packet.Addr) error {
+	if _, ok := m.vips[addr]; !ok {
+		return ErrVIPNotFound
+	}
+	delete(m.vips, addr)
+	for t := range m.conns {
+		if t.Dst == addr {
+			delete(m.conns, t)
+		}
+	}
+	return nil
+}
+
+// HasVIP reports whether the VIP is configured.
+func (m *Mux) HasVIP(addr packet.Addr) bool {
+	_, ok := m.vips[addr]
+	return ok
+}
+
+// NumVIPs returns the configured VIP count.
+func (m *Mux) NumVIPs() int { return len(m.vips) }
+
+// RemoveBackend removes a DIP resiliently (same semantics as the HMux) and
+// terminates connections pinned to it (paper §5.1 "DIP failure": existing
+// connections to the failed DIP are necessarily terminated).
+func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
+	e, ok := m.vips[vip]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	for i, b := range e.backends {
+		if b.Addr != dip {
+			continue
+		}
+		if err := e.group.Remove(uint32(i)); err != nil {
+			return err
+		}
+		e.backends[i] = service.Backend{}
+		for t, d := range m.conns {
+			if t.Dst == vip && d == dip {
+				delete(m.conns, t)
+			}
+		}
+		return nil
+	}
+	return ErrVIPNotFound
+}
+
+// Result describes the outcome of Process.
+type Result struct {
+	Encap  packet.Addr
+	Packet []byte
+	// Pinned reports the DIP came from the connection table rather than a
+	// fresh hash.
+	Pinned bool
+	// FastPath, when non-nil, is an offer for the source's host agent to
+	// bypass the mux for the rest of this flow (Ananta's fast path, §2.1).
+	FastPath *FastPathOffer
+}
+
+// Process load-balances one packet: decode, look up the VIP, select the DIP
+// (connection table first, then shared hash), encapsulate. The encapsulated
+// packet is appended to out.
+func (m *Mux) Process(data []byte, out []byte) (Result, error) {
+	m.processed++
+	if err := m.ip.DecodeFromBytes(data); err != nil {
+		return Result{}, err
+	}
+	e, ok := m.vips[m.ip.Dst]
+	if !ok {
+		return Result{}, ErrVIPNotFound
+	}
+	tuple, err := packet.ExtractFiveTuple(data)
+	if err != nil {
+		return Result{}, err
+	}
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+
+	var dip packet.Addr
+	pinned := false
+	if !m.cfg.DisableConnTracking {
+		if d, ok := m.conns[tuple]; ok {
+			dip, pinned = d, true
+		}
+	}
+	if !pinned {
+		member, err := sel.group.SelectTuple(tuple)
+		if err != nil {
+			return Result{}, err
+		}
+		dip = sel.encaps[member]
+		if !m.cfg.DisableConnTracking && len(m.conns) < m.cfg.MaxConnections {
+			m.conns[tuple] = dip
+			m.connOrder = append(m.connOrder, tuple)
+			m.evictIfNeeded()
+		}
+	}
+
+	pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, dip, data, 64)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Encap: dip, Packet: pkt, Pinned: pinned, FastPath: m.fastPathOffer(tuple, dip)}, nil
+}
+
+// evictIfNeeded trims stale FIFO entries whose connections have already been
+// removed, keeping connOrder from growing unboundedly.
+func (m *Mux) evictIfNeeded() {
+	for len(m.connOrder) > 2*m.cfg.MaxConnections {
+		t := m.connOrder[0]
+		m.connOrder = m.connOrder[1:]
+		delete(m.conns, t)
+	}
+}
+
+// Lookup returns the DIP Process would pick for a tuple without mutating
+// connection state.
+func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
+	e, ok := m.vips[tuple.Dst]
+	if !ok {
+		return 0, ErrVIPNotFound
+	}
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+	if !m.cfg.DisableConnTracking {
+		if d, ok := m.conns[tuple]; ok {
+			return d, nil
+		}
+	}
+	member, err := sel.group.SelectTuple(tuple)
+	if err != nil {
+		return 0, err
+	}
+	return sel.encaps[member], nil
+}

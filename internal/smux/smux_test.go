@@ -1,0 +1,404 @@
+package smux
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/hmux"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+var (
+	vipAddr  = packet.MustParseAddr("10.0.0.1")
+	selfAddr = packet.MustParseAddr("192.168.0.1")
+)
+
+func backends(addrs ...string) []service.Backend {
+	out := make([]service.Backend, len(addrs))
+	for i, a := range addrs {
+		out[i] = service.Backend{Addr: packet.MustParseAddr(a), Weight: 1}
+	}
+	return out
+}
+
+func vipPacket(i uint32, dstPort uint16) []byte {
+	return packet.BuildTCP(packet.FiveTuple{
+		Src: packet.Addr(0x14000000 + i), Dst: vipAddr,
+		SrcPort: uint16(1024 + i%40000), DstPort: dstPort, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+}
+
+func TestAddVIPAndProcess(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	bs := backends("100.0.0.1", "100.0.0.2")
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[packet.Addr]int)
+	for i := uint32(0); i < 4000; i++ {
+		res, err := m.Process(vipPacket(i, 80), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Encap]++
+		inner, outer, err := packet.Decapsulate(res.Packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outer.Src != selfAddr || outer.Dst != res.Encap {
+			t.Fatalf("outer header wrong: %+v", outer)
+		}
+		it, err := packet.ExtractFiveTuple(inner)
+		if err != nil || it.Dst != vipAddr {
+			t.Fatal("inner packet corrupted")
+		}
+	}
+	for _, b := range bs {
+		frac := float64(counts[b.Addr]) / 4000
+		if math.Abs(frac-0.5) > 0.05 {
+			t.Fatalf("DIP %s got %.3f", b.Addr, frac)
+		}
+	}
+	if m.Processed() != 4000 {
+		t.Fatalf("processed = %d", m.Processed())
+	}
+}
+
+func TestProcessUnknownVIP(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if _, err := m.Process(vipPacket(0, 80), nil); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDuplicateAdd(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	v := &service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}
+	if err := m.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddVIP(v); err != ErrVIPExists {
+		t.Fatalf("got %v", err)
+	}
+	if m.NumVIPs() != 1 || !m.HasVIP(vipAddr) {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestRemoveVIPDropsConnections(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if _, err := m.Process(vipPacket(i, 80), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Connections() != 10 {
+		t.Fatalf("connections = %d", m.Connections())
+	}
+	if err := m.RemoveVIP(vipAddr); err != nil {
+		t.Fatal(err)
+	}
+	if m.Connections() != 0 {
+		t.Fatal("connections not dropped with VIP")
+	}
+	if err := m.RemoveVIP(vipAddr); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestDIPAdditionKeepsConnections is the Ananta property Duet leans on for
+// DIP addition (paper §5.2): connection state pins established flows even
+// when the hash ring changes.
+func TestDIPAdditionKeepsConnections(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3")
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[uint32]packet.Addr)
+	for i := uint32(0); i < 2000; i++ {
+		res, err := m.Process(vipPacket(i, 80), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = res.Encap
+	}
+	// Add a DIP: full rehash of the group, but pinned flows must not move.
+	grown := backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4")
+	if err := m.UpdateVIP(&service.VIP{Addr: vipAddr, Backends: grown}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 2000; i++ {
+		res, err := m.Process(vipPacket(i, 80), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Encap != before[i] {
+			t.Fatalf("flow %d remapped %s→%s after DIP addition", i, before[i], res.Encap)
+		}
+		if !res.Pinned {
+			t.Fatalf("flow %d not served from connection table", i)
+		}
+	}
+	// New flows can land on the new DIP.
+	newDIP := packet.MustParseAddr("100.0.0.4")
+	found := false
+	for i := uint32(10000); i < 14000 && !found; i++ {
+		res, err := m.Process(vipPacket(i, 80), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = res.Encap == newDIP
+	}
+	if !found {
+		t.Fatal("no new flow reached the added DIP")
+	}
+}
+
+func TestUpdateVIPUnknown(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	err := m.UpdateVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")})
+	if err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRemoveBackendTerminatesPinnedConns(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	bs := backends("100.0.0.1", "100.0.0.2")
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	victim := packet.MustParseAddr("100.0.0.1")
+	pinnedToVictim := 0
+	for i := uint32(0); i < 1000; i++ {
+		res, err := m.Process(vipPacket(i, 80), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Encap == victim {
+			pinnedToVictim++
+		}
+	}
+	if err := m.RemoveBackend(vipAddr, victim); err != nil {
+		t.Fatal(err)
+	}
+	if m.Connections() != 1000-pinnedToVictim {
+		t.Fatalf("connections = %d, want %d", m.Connections(), 1000-pinnedToVictim)
+	}
+	// Re-processing a victim flow gets a surviving DIP.
+	res, err := m.Process(vipPacket(0, 80), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Encap == victim {
+		t.Fatal("flow still mapped to removed DIP")
+	}
+}
+
+func TestRemoveBackendErrors(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.RemoveBackend(vipAddr, 1); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveBackend(vipAddr, packet.MustParseAddr("6.6.6.6")); err == nil {
+		t.Fatal("unknown DIP accepted")
+	}
+}
+
+// TestSharedHashWithHMux is the central migration invariant (paper §3.3.1):
+// for the same VIP and backend list, an SMux and an HMux pick the SAME DIP
+// for the same 5-tuple, so failover H→S and migration S→H preserve
+// connections.
+func TestSharedHashWithHMux(t *testing.T) {
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4", "100.0.0.5")
+	sm := New(Config{SelfAddr: selfAddr, DisableConnTracking: true})
+	hm := hmux.New(hmux.DefaultConfig(packet.MustParseAddr("172.16.0.1")))
+	if err := sm.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hm.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 5000; i++ {
+		tuple, err := packet.ExtractFiveTuple(vipPacket(i, 80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err1 := sm.Lookup(tuple)
+		h, err2 := hm.Lookup(tuple)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if s != h {
+			t.Fatalf("SMux and HMux disagree for %v: %s vs %s", tuple, s, h)
+		}
+	}
+}
+
+func TestPortRules(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	v := &service.VIP{
+		Addr:     vipAddr,
+		Backends: backends("100.0.0.1"),
+		Ports:    []service.PortRule{{Port: 80, Backends: backends("100.0.1.1")}},
+	}
+	if err := m.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Process(vipPacket(0, 80), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Encap != packet.MustParseAddr("100.0.1.1") {
+		t.Fatalf("port rule not applied: %s", res.Encap)
+	}
+	res, err = m.Process(vipPacket(0, 22), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Encap != packet.MustParseAddr("100.0.0.1") {
+		t.Fatalf("default set not applied: %s", res.Encap)
+	}
+}
+
+func TestConnTableBounded(t *testing.T) {
+	m := New(Config{SelfAddr: selfAddr, MaxConnections: 100})
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if _, err := m.Process(vipPacket(i, 80), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Connections() > 200 {
+		t.Fatalf("connection table unbounded: %d", m.Connections())
+	}
+}
+
+func TestDisableConnTracking(t *testing.T) {
+	m := New(Config{SelfAddr: selfAddr, DisableConnTracking: true})
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if _, err := m.Process(vipPacket(i, 80), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Connections() != 0 {
+		t.Fatal("connection state recorded despite DisableConnTracking")
+	}
+}
+
+func TestCapacityDefault(t *testing.T) {
+	m := New(Config{SelfAddr: selfAddr})
+	if m.CapacityPPS() != DefaultCapacityPPS {
+		t.Fatalf("capacity = %v", m.CapacityPPS())
+	}
+	if m.Self() != selfAddr {
+		t.Fatal("Self wrong")
+	}
+}
+
+func TestLookupDoesNotMutate(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	tuple, _ := packet.ExtractFiveTuple(vipPacket(0, 80))
+	if _, err := m.Lookup(tuple); err != nil {
+		t.Fatal(err)
+	}
+	if m.Connections() != 0 {
+		t.Fatal("Lookup created connection state")
+	}
+	if _, err := m.Lookup(packet.FiveTuple{Dst: packet.MustParseAddr("9.9.9.9")}); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	m := New(DefaultConfig(selfAddr))
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4")
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		b.Fatal(err)
+	}
+	pkt := vipPacket(7, 80)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Process(pkt, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFastPathOffers(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	// Off by default.
+	res, err := m.Process(vipPacket(1, 80), nil)
+	if err != nil || res.FastPath != nil {
+		t.Fatalf("fast path offered while disabled: %+v, %v", res.FastPath, err)
+	}
+	// Only intra-DC sources (20.0.0.0/8 in this test) get offers.
+	intra := func(src packet.Addr) bool {
+		o0, _, _, _ := src.Octets()
+		return o0 == 20
+	}
+	m.EnableFastPath(intra)
+	res, err = m.Process(vipPacket(2, 80), nil) // sources are 20.x
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath == nil {
+		t.Fatal("no offer for intra-DC source")
+	}
+	if res.FastPath.DIP != res.Encap {
+		t.Fatal("offer DIP disagrees with encap DIP")
+	}
+	// Offered exactly once per flow.
+	res, err = m.Process(vipPacket(2, 80), nil)
+	if err != nil || res.FastPath != nil {
+		t.Fatalf("second offer for the same flow: %+v, %v", res.FastPath, err)
+	}
+	// External sources never get offers.
+	ext := packet.BuildTCP(packet.FiveTuple{
+		Src: packet.MustParseAddr("8.8.8.8"), Dst: vipAddr,
+		SrcPort: 9999, DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+	res, err = m.Process(ext, nil)
+	if err != nil || res.FastPath != nil {
+		t.Fatalf("offer for Internet source: %+v, %v", res.FastPath, err)
+	}
+	// Disable stops offers for fresh flows.
+	m.DisableFastPath()
+	res, err = m.Process(vipPacket(3, 80), nil)
+	if err != nil || res.FastPath != nil {
+		t.Fatal("offer after disable")
+	}
+}
+
+func TestFastPathNilPredicateOffersAll(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	m.EnableFastPath(nil)
+	res, err := m.Process(vipPacket(1, 80), nil)
+	if err != nil || res.FastPath == nil {
+		t.Fatalf("nil predicate should offer for everyone: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package switchagent implements the switch agent of Figure 9: the
+// per-switch daemon that receives VIP/DIP (re)configuration requests from
+// the Duet controller's assignment updater, programs the switch's ECMP and
+// tunneling tables through the vendor API, and fires routing updates over
+// BGP whenever a VIP appears or disappears.
+//
+// The agent models what §7.3 measures: table programming takes real time
+// (the FIB VIP operation dominates, Figure 14), operations on one switch
+// apply strictly in order, and a request is acknowledged only after the
+// tables AND the route announcement have been issued. Operations are
+// journaled so a restarted agent can replay its state onto a blank switch —
+// the recovery path after the switch reboots (§5.1).
+package switchagent
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/hmux"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// Op kinds accepted by the agent (the "RESTful API" of §6).
+type OpKind uint8
+
+const (
+	// OpAddVIP programs a VIP's ECMP+tunnel entries and announces its /32.
+	OpAddVIP OpKind = iota
+	// OpRemoveVIP withdraws the /32 and releases the VIP's entries.
+	OpRemoveVIP
+	// OpRemoveDIP removes one DIP resiliently, keeping the VIP in place.
+	OpRemoveDIP
+	// OpAddTIP programs a TIP partition (§5.2 large fanout).
+	OpAddTIP
+	// OpRemoveTIP removes a TIP partition.
+	OpRemoveTIP
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpAddVIP:
+		return "add-vip"
+	case OpRemoveVIP:
+		return "remove-vip"
+	case OpRemoveDIP:
+		return "remove-dip"
+	case OpAddTIP:
+		return "add-tip"
+	case OpRemoveTIP:
+		return "remove-tip"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one configuration request.
+type Op struct {
+	Kind     OpKind
+	VIP      *service.VIP      // OpAddVIP
+	Addr     packet.Addr       // OpRemoveVIP / OpRemoveDIP (VIP) / TIP ops
+	DIP      packet.Addr       // OpRemoveDIP
+	Backends []service.Backend // OpAddTIP
+}
+
+// Announcer receives the agent's routing-side effects; the fabric's BGP
+// layer implements it.
+type Announcer interface {
+	Announce(p packet.Prefix, visibleAt float64)
+	Withdraw(p packet.Prefix, effectiveAt float64)
+}
+
+// Timing models programming latency in seconds (Figure 14 calibration).
+type Timing struct {
+	AddVIPFIB    float64
+	RemoveVIPFIB float64
+	AddDIPs      float64
+	RemoveDIPs   float64
+	BGP          float64
+}
+
+// DefaultTiming returns the §7.3 measurements.
+func DefaultTiming() Timing {
+	return Timing{
+		AddVIPFIB:    0.400,
+		RemoveVIPFIB: 0.350,
+		AddDIPs:      0.060,
+		RemoveDIPs:   0.050,
+		BGP:          0.035,
+	}
+}
+
+// Instant returns zero-latency timing (for control-plane unit tests).
+func Instant() Timing { return Timing{} }
+
+// Ack reports a completed operation.
+type Ack struct {
+	Op Op
+	// DoneAt is when the tables were programmed; RoutedAt is when the
+	// route change has converged fabric-wide.
+	DoneAt, RoutedAt float64
+	Err              error
+}
+
+// Agent drives one switch.
+type Agent struct {
+	mux      *hmux.Mux
+	announce Announcer
+	timing   Timing
+
+	// busyUntil serializes table programming on the switch ASIC.
+	busyUntil float64
+
+	journal []Op // successfully applied ops, for replay
+
+	acks []Ack // completed operations, drained by Acks()
+}
+
+// ErrNoMux is returned when the agent has no switch attached.
+var ErrNoMux = errors.New("switchagent: no switch attached")
+
+// New creates an agent for a switch. announcer may be nil (no routing side
+// effects — useful for table-only tests).
+func New(mux *hmux.Mux, announcer Announcer, timing Timing) *Agent {
+	return &Agent{mux: mux, announce: announcer, timing: timing}
+}
+
+// Mux exposes the attached switch (tests and the datapath need it).
+func (a *Agent) Mux() *hmux.Mux { return a.mux }
+
+// Submit applies one operation at virtual time now. It returns the ack,
+// which is also appended to the drainable ack log. Operations serialize:
+// if the ASIC is still busy from a previous op, this one queues behind it.
+func (a *Agent) Submit(op Op, now float64) Ack {
+	if a.mux == nil {
+		return a.fail(op, now, ErrNoMux)
+	}
+	start := now
+	if a.busyUntil > start {
+		start = a.busyUntil
+	}
+	var tableDelay float64
+	var err error
+	var route func(doneAt float64)
+
+	switch op.Kind {
+	case OpAddVIP:
+		tableDelay = a.timing.AddDIPs + a.timing.AddVIPFIB
+		err = a.mux.AddVIP(op.VIP)
+		if err == nil {
+			addr := op.VIP.Addr
+			route = func(doneAt float64) {
+				if a.announce != nil {
+					a.announce.Announce(packet.HostPrefix(addr), doneAt+a.timing.BGP)
+				}
+			}
+		}
+	case OpRemoveVIP:
+		tableDelay = a.timing.RemoveDIPs + a.timing.RemoveVIPFIB
+		err = a.mux.RemoveVIP(op.Addr)
+		if err == nil {
+			addr := op.Addr
+			route = func(doneAt float64) {
+				if a.announce != nil {
+					a.announce.Withdraw(packet.HostPrefix(addr), doneAt+a.timing.BGP)
+				}
+			}
+		}
+	case OpRemoveDIP:
+		tableDelay = a.timing.RemoveDIPs
+		err = a.mux.RemoveBackend(op.Addr, op.DIP)
+	case OpAddTIP:
+		tableDelay = a.timing.AddDIPs
+		err = a.mux.AddTIP(op.Addr, op.Backends)
+		if err == nil {
+			addr := op.Addr
+			route = func(doneAt float64) {
+				if a.announce != nil {
+					a.announce.Announce(packet.HostPrefix(addr), doneAt+a.timing.BGP)
+				}
+			}
+		}
+	case OpRemoveTIP:
+		tableDelay = a.timing.RemoveDIPs
+		err = a.mux.RemoveTIP(op.Addr)
+		if err == nil {
+			addr := op.Addr
+			route = func(doneAt float64) {
+				if a.announce != nil {
+					a.announce.Withdraw(packet.HostPrefix(addr), doneAt+a.timing.BGP)
+				}
+			}
+		}
+	default:
+		return a.fail(op, now, fmt.Errorf("switchagent: unknown op %v", op.Kind))
+	}
+
+	if err != nil {
+		return a.fail(op, now, err)
+	}
+	doneAt := start + tableDelay
+	a.busyUntil = doneAt
+	routedAt := doneAt
+	if route != nil {
+		route(doneAt)
+		routedAt = doneAt + a.timing.BGP
+	}
+	a.journal = append(a.journal, op)
+	ack := Ack{Op: op, DoneAt: doneAt, RoutedAt: routedAt}
+	a.acks = append(a.acks, ack)
+	return ack
+}
+
+func (a *Agent) fail(op Op, now float64, err error) Ack {
+	ack := Ack{Op: op, DoneAt: now, RoutedAt: now, Err: err}
+	a.acks = append(a.acks, ack)
+	return ack
+}
+
+// Acks drains the completed-operation log.
+func (a *Agent) Acks() []Ack {
+	out := a.acks
+	a.acks = nil
+	return out
+}
+
+// JournalLen reports the number of applied operations.
+func (a *Agent) JournalLen() int { return len(a.journal) }
+
+// Replay re-applies the journal onto a fresh switch — the §5.1 recovery path
+// after a switch reboot wipes its tables. Route announcements are re-issued
+// with the given base time. Replay stops at the first error.
+func (a *Agent) Replay(fresh *hmux.Mux, now float64) error {
+	old := a.journal
+	a.mux = fresh
+	a.journal = nil
+	a.busyUntil = now
+	for _, op := range old {
+		if ack := a.Submit(op, now); ack.Err != nil {
+			// Errors for state that later ops already removed are expected
+			// during replay (e.g. add then remove): the journal is a log,
+			// not a snapshot. Only structural errors abort.
+			if errors.Is(ack.Err, hmux.ErrVIPNotFound) {
+				continue
+			}
+			return fmt.Errorf("switchagent: replay %v: %w", op.Kind, ack.Err)
+		}
+	}
+	return nil
+}

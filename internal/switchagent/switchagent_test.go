@@ -1,0 +1,233 @@
+package switchagent
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/hmux"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+var vip = packet.MustParseAddr("10.0.0.1")
+
+func backends(addrs ...string) []service.Backend {
+	out := make([]service.Backend, len(addrs))
+	for i, a := range addrs {
+		out[i] = service.Backend{Addr: packet.MustParseAddr(a), Weight: 1}
+	}
+	return out
+}
+
+// recorder captures routing side effects.
+type recorder struct {
+	announced []event
+	withdrawn []event
+}
+
+type event struct {
+	p  packet.Prefix
+	at float64
+}
+
+func (r *recorder) Announce(p packet.Prefix, at float64) {
+	r.announced = append(r.announced, event{p, at})
+}
+func (r *recorder) Withdraw(p packet.Prefix, at float64) {
+	r.withdrawn = append(r.withdrawn, event{p, at})
+}
+
+func newAgent(t *testing.T, timing Timing) (*Agent, *recorder) {
+	t.Helper()
+	rec := &recorder{}
+	mux := hmux.New(hmux.DefaultConfig(packet.MustParseAddr("172.16.0.1")))
+	return New(mux, rec, timing), rec
+}
+
+func TestAddVIPProgramsAndAnnounces(t *testing.T) {
+	a, rec := newAgent(t, DefaultTiming())
+	ack := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1")}}, 1.0)
+	if ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	// Figure 14: done after DIPs + FIB; routed BGP later.
+	wantDone := 1.0 + 0.060 + 0.400
+	if math.Abs(ack.DoneAt-wantDone) > 1e-9 {
+		t.Fatalf("DoneAt = %v, want %v", ack.DoneAt, wantDone)
+	}
+	if math.Abs(ack.RoutedAt-(wantDone+0.035)) > 1e-9 {
+		t.Fatalf("RoutedAt = %v", ack.RoutedAt)
+	}
+	if !a.Mux().HasVIP(vip) {
+		t.Fatal("tables not programmed")
+	}
+	if len(rec.announced) != 1 || rec.announced[0].p != packet.HostPrefix(vip) {
+		t.Fatalf("announcements: %+v", rec.announced)
+	}
+	if math.Abs(rec.announced[0].at-ack.RoutedAt) > 1e-9 {
+		t.Fatal("announcement visibility != RoutedAt")
+	}
+}
+
+func TestOpsSerializeOnASIC(t *testing.T) {
+	a, _ := newAgent(t, DefaultTiming())
+	ack1 := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1")}}, 0)
+	// Second op submitted while the first is still programming: it queues.
+	vip2 := packet.MustParseAddr("10.0.0.2")
+	ack2 := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip2, Backends: backends("100.0.0.2")}}, 0.001)
+	if ack2.DoneAt <= ack1.DoneAt {
+		t.Fatalf("ops did not serialize: %v then %v", ack1.DoneAt, ack2.DoneAt)
+	}
+	if math.Abs(ack2.DoneAt-(ack1.DoneAt+0.460)) > 1e-9 {
+		t.Fatalf("queued op timing wrong: %v", ack2.DoneAt)
+	}
+}
+
+func TestRemoveVIPWithdraws(t *testing.T) {
+	a, rec := newAgent(t, DefaultTiming())
+	if ack := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1")}}, 0); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	ack := a.Submit(Op{Kind: OpRemoveVIP, Addr: vip}, 2.0)
+	if ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if a.Mux().HasVIP(vip) {
+		t.Fatal("VIP still in tables")
+	}
+	if len(rec.withdrawn) != 1 {
+		t.Fatalf("withdrawals: %+v", rec.withdrawn)
+	}
+}
+
+func TestRemoveDIPNoRouteChurn(t *testing.T) {
+	a, rec := newAgent(t, DefaultTiming())
+	if ack := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1", "100.0.0.2")}}, 0); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	before := len(rec.announced) + len(rec.withdrawn)
+	ack := a.Submit(Op{Kind: OpRemoveDIP, Addr: vip, DIP: packet.MustParseAddr("100.0.0.1")}, 2.0)
+	if ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if len(rec.announced)+len(rec.withdrawn) != before {
+		t.Fatal("DIP removal churned routes; it must be table-only")
+	}
+	if ack.RoutedAt != ack.DoneAt {
+		t.Fatal("table-only op should have RoutedAt == DoneAt")
+	}
+}
+
+func TestTIPLifecycle(t *testing.T) {
+	a, rec := newAgent(t, DefaultTiming())
+	tip := packet.MustParseAddr("20.0.0.1")
+	if ack := a.Submit(Op{Kind: OpAddTIP, Addr: tip, Backends: backends("100.0.0.1")}, 0); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if !a.Mux().HasTIP(tip) {
+		t.Fatal("TIP not programmed")
+	}
+	if len(rec.announced) != 1 {
+		t.Fatal("TIP must be announced (it is a routable IP, §5.2)")
+	}
+	if ack := a.Submit(Op{Kind: OpRemoveTIP, Addr: tip}, 1); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if a.Mux().HasTIP(tip) || len(rec.withdrawn) != 1 {
+		t.Fatal("TIP removal incomplete")
+	}
+}
+
+func TestErrorsAcked(t *testing.T) {
+	a, _ := newAgent(t, Instant())
+	ack := a.Submit(Op{Kind: OpRemoveVIP, Addr: vip}, 0)
+	if ack.Err == nil {
+		t.Fatal("removing unknown VIP should fail")
+	}
+	ack = a.Submit(Op{Kind: OpKind(99)}, 0)
+	if ack.Err == nil {
+		t.Fatal("unknown op should fail")
+	}
+	// Failed ops never enter the journal.
+	if a.JournalLen() != 0 {
+		t.Fatalf("journal = %d", a.JournalLen())
+	}
+	nilAgent := New(nil, nil, Instant())
+	if ack := nilAgent.Submit(Op{Kind: OpAddVIP}, 0); ack.Err != ErrNoMux {
+		t.Fatalf("got %v", ack.Err)
+	}
+}
+
+func TestAcksDrain(t *testing.T) {
+	a, _ := newAgent(t, Instant())
+	a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1")}}, 0)
+	a.Submit(Op{Kind: OpRemoveVIP, Addr: vip}, 1)
+	acks := a.Acks()
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	if len(a.Acks()) != 0 {
+		t.Fatal("acks not drained")
+	}
+}
+
+// TestReplayRebuildsState is the §5.1 reboot-recovery path: a fresh (blank)
+// switch replays the journal and ends with identical tables.
+func TestReplayRebuildsState(t *testing.T) {
+	a, _ := newAgent(t, Instant())
+	vips := []packet.Addr{vip, packet.MustParseAddr("10.0.0.2"), packet.MustParseAddr("10.0.0.3")}
+	for i, addr := range vips {
+		op := Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: addr, Backends: backends(
+			packet.AddrFrom4(100, 0, byte(i), 1).String(),
+			packet.AddrFrom4(100, 0, byte(i), 2).String(),
+		)}}
+		if ack := a.Submit(op, 0); ack.Err != nil {
+			t.Fatal(ack.Err)
+		}
+	}
+	// Remove the middle one and a DIP from the first — the journal must
+	// replay the full history correctly.
+	if ack := a.Submit(Op{Kind: OpRemoveVIP, Addr: vips[1]}, 1); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if ack := a.Submit(Op{Kind: OpRemoveDIP, Addr: vips[0], DIP: packet.AddrFrom4(100, 0, 0, 1)}, 2); ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	wantStats := a.Mux().Stats()
+
+	fresh := hmux.New(hmux.DefaultConfig(packet.MustParseAddr("172.16.0.1")))
+	if err := a.Replay(fresh, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Mux().Stats()
+	if got.VIPs != wantStats.VIPs || got.ECMPUsed != wantStats.ECMPUsed || got.TunnelUsed != wantStats.TunnelUsed {
+		t.Fatalf("replayed stats %+v != original %+v", got, wantStats)
+	}
+	if a.Mux().HasVIP(vips[1]) {
+		t.Fatal("removed VIP resurrected by replay")
+	}
+	if !a.Mux().HasVIP(vips[0]) || !a.Mux().HasVIP(vips[2]) {
+		t.Fatal("live VIPs missing after replay")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpAddVIP, OpRemoveVIP, OpRemoveDIP, OpAddTIP, OpRemoveTIP, OpKind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty name for %d", k)
+		}
+	}
+}
+
+func TestNilAnnouncerTableOnly(t *testing.T) {
+	mux := hmux.New(hmux.DefaultConfig(packet.MustParseAddr("172.16.0.1")))
+	a := New(mux, nil, Instant())
+	ack := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: vip, Backends: backends("100.0.0.1")}}, 0)
+	if ack.Err != nil {
+		t.Fatal(ack.Err)
+	}
+	if !mux.HasVIP(vip) {
+		t.Fatal("tables not programmed without announcer")
+	}
+}

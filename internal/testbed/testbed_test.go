@@ -1,0 +1,433 @@
+package testbed
+
+import (
+	"testing"
+
+	"duet/internal/latmodel"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+func vipN(i int) packet.Addr { return packet.AddrFrom4(10, 0, 0, byte(i+1)) }
+
+func backendsFor(i int) []service.Backend {
+	return []service.Backend{
+		{Addr: packet.AddrFrom4(100, 0, byte(i), 1), Weight: 1},
+		{Addr: packet.AddrFrom4(100, 0, byte(i), 2), Weight: 1},
+	}
+}
+
+func probeTuple(i uint32) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.AddrFrom4(30, 0, byte(i>>8), byte(i)), Dst: 0, // Dst set by caller
+		SrcPort: uint16(1024 + i), DstPort: 7, Proto: packet.ProtoUDP,
+	}
+}
+
+// pingSeries probes a VIP every 3 ms over [from, to) and returns results.
+func pingSeries(tb *Testbed, vip packet.Addr, from, to float64) []PingResult {
+	var out []PingResult
+	i := uint32(0)
+	for t := from; t < to; t += 0.003 {
+		tb.RunUntil(t)
+		tuple := probeTuple(i)
+		tuple.Dst = vip
+		out = append(out, tb.Ping(vip, tuple))
+		i++
+	}
+	return out
+}
+
+func TestPingOnSMux(t *testing.T) {
+	tb := New(1)
+	v := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	if err := tb.AddVIPToSMuxes(v); err != nil {
+		t.Fatal(err)
+	}
+	res := pingSeries(tb, v.Addr, 0, 0.3)
+	for _, r := range res {
+		if r.Lost {
+			t.Fatal("unloaded SMux VIP lost pings")
+		}
+		if !r.ViaSMux {
+			t.Fatal("SMux VIP not served by SMux")
+		}
+		if r.RTT < latmodel.BaseRTT {
+			t.Fatal("RTT below base")
+		}
+	}
+}
+
+func TestPingOnHMuxFastPath(t *testing.T) {
+	tb := New(2)
+	v := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	if err := tb.AssignVIPToHMux(v, tb.Topo.TorID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunUntil(1.0)
+	res := pingSeries(tb, v.Addr, 1.0, 1.3)
+	for _, r := range res {
+		if r.Lost || r.ViaSMux {
+			t.Fatalf("HMux VIP mis-served: %+v", r)
+		}
+		// HMux adds only microseconds over base RTT.
+		if r.RTT > latmodel.BaseRTT+20e-6 {
+			t.Fatalf("HMux RTT %.0fµs too high", r.RTT*1e6)
+		}
+	}
+}
+
+func TestUnknownVIPLost(t *testing.T) {
+	tb := New(3)
+	tuple := probeTuple(0)
+	tuple.Dst = packet.MustParseAddr("99.9.9.9")
+	if r := tb.Ping(packet.MustParseAddr("99.9.9.9"), tuple); !r.Lost {
+		t.Fatal("unknown VIP should be lost")
+	}
+}
+
+// TestFigure11HMuxCapacity reproduces the §7.1 experiment: 10 loaded VIPs +
+// 1 unloaded probe VIP. At 600K pps the SMuxes keep up (200K each); at 1.2M
+// pps they saturate and the probe's latency blows past 1 ms; after moving
+// the VIPs to an HMux the latency returns to microseconds.
+func TestFigure11HMuxCapacity(t *testing.T) {
+	tb := New(4)
+	probe := &service.VIP{Addr: vipN(10), Backends: backendsFor(10)}
+	if err := tb.AddVIPToSMuxes(probe); err != nil {
+		t.Fatal(err)
+	}
+	loaded := make([]*service.VIP, 10)
+	for i := range loaded {
+		loaded[i] = &service.VIP{Addr: vipN(i), Backends: backendsFor(i)}
+		if err := tb.AddVIPToSMuxes(loaded[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: 600K pps total → 200K per SMux (within capacity).
+	for i := range loaded {
+		tb.SetVIPLoad(loaded[i].Addr, 60_000)
+	}
+	p1 := pingSeries(tb, probe.Addr, 0, 3)
+
+	// Phase 2: 1.2M pps total → 400K per SMux (beyond 300K capacity).
+	for i := range loaded {
+		tb.SetVIPLoad(loaded[i].Addr, 120_000)
+	}
+	p2 := pingSeries(tb, probe.Addr, 3, 6)
+
+	// Phase 3: all VIPs (incl. probe) move to one HMux.
+	sw := tb.Topo.TorID(0, 0)
+	for _, v := range append(loaded, probe) {
+		tb.MigrateToHMux(v.Addr, sw, tb.Now())
+	}
+	tb.RunUntil(8) // let FIB + BGP settle
+	p3 := pingSeries(tb, probe.Addr, 8, 11)
+
+	med := func(rs []PingResult) float64 {
+		var lat []float64
+		for _, r := range rs {
+			if !r.Lost {
+				lat = append(lat, r.RTT)
+			}
+		}
+		return latmodel.Percentile(lat, 0.5)
+	}
+	m1, m2, m3 := med(p1), med(p2), med(p3)
+	t.Logf("median RTT: 600k=%.2fms 1.2M=%.2fms HMux=%.3fms", m1*1e3, m2*1e3, m3*1e3)
+
+	// Paper: phase 1 below ~1ms, phase 2 queue buildup (≈10-25ms in Fig 11),
+	// phase 3 back to ~base RTT.
+	if m1 > 2e-3 {
+		t.Fatalf("600K pps median %.2fms, want <2ms", m1*1e3)
+	}
+	if m2 < 5e-3 {
+		t.Fatalf("1.2M pps median %.2fms, want ≥5ms (saturated)", m2*1e3)
+	}
+	if m3 > 1e-3 {
+		t.Fatalf("HMux median %.2fms, want ~base RTT", m3*1e3)
+	}
+	if m3 >= m1 {
+		t.Fatal("HMux should beat unloaded SMux latency")
+	}
+}
+
+// TestFigure12FailureMitigation reproduces §7.2: a VIP on a failed HMux is
+// blackholed for the BGP convergence window (≈38 ms), then fully served by
+// the SMux backstop; VIPs on other HMuxes and on SMuxes are unaffected.
+func TestFigure12FailureMitigation(t *testing.T) {
+	tb := New(5)
+	vipSMux := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	vipHealthy := &service.VIP{Addr: vipN(1), Backends: backendsFor(1)}
+	vipFailed := &service.VIP{Addr: vipN(2), Backends: backendsFor(2)}
+	if err := tb.AddVIPToSMuxes(vipSMux); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AssignVIPToHMux(vipHealthy, tb.Topo.TorID(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	failSW := tb.Topo.AggID(1, 0)
+	if err := tb.AssignVIPToHMux(vipFailed, failSW); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunUntil(0.1)
+
+	const tFail = 0.2
+	tb.FailSwitch(failSW, tFail)
+
+	type sample struct {
+		t   float64
+		res PingResult
+	}
+	var failedSamples, healthySamples, smuxSamples []sample
+	i := uint32(0)
+	for ts := 0.1; ts < 0.5; ts += 0.003 {
+		tb.RunUntil(ts)
+		for _, probe := range []struct {
+			vip packet.Addr
+			out *[]sample
+		}{
+			{vipFailed.Addr, &failedSamples},
+			{vipHealthy.Addr, &healthySamples},
+			{vipSMux.Addr, &smuxSamples},
+		} {
+			tuple := probeTuple(i)
+			tuple.Dst = probe.vip
+			*probe.out = append(*probe.out, sample{ts, tb.Ping(probe.vip, tuple)})
+			i++
+		}
+	}
+
+	// The failed VIP: lost during [tFail, tFail+~38ms], then on SMux.
+	var firstLoss, lastLoss = -1.0, -1.0
+	for _, s := range failedSamples {
+		if s.res.Lost {
+			if firstLoss < 0 {
+				firstLoss = s.t
+			}
+			lastLoss = s.t
+		}
+	}
+	if firstLoss < 0 {
+		t.Fatal("failure caused no loss at all")
+	}
+	outage := lastLoss - firstLoss + 0.003
+	if firstLoss < tFail {
+		t.Fatalf("loss before failure at %v", firstLoss)
+	}
+	if outage > 0.060 {
+		t.Fatalf("outage %.0fms, paper reports <40ms", outage*1e3)
+	}
+	// After convergence, traffic flows via SMux.
+	for _, s := range failedSamples {
+		if s.t > tFail+0.060 {
+			if s.res.Lost {
+				t.Fatalf("VIP still lost at %.3fs after convergence", s.t)
+			}
+			if !s.res.ViaSMux {
+				t.Fatalf("failed-over VIP not on SMux at %.3fs", s.t)
+			}
+		}
+	}
+	// Unaffected VIPs never lose a ping.
+	for _, s := range append(healthySamples, smuxSamples...) {
+		if s.res.Lost {
+			t.Fatalf("unrelated VIP lost ping at %.3fs", s.t)
+		}
+	}
+}
+
+// TestFigure13MigrationNoLoss reproduces §7.3: VIPs stay available during
+// H→S, S→H and H→H (via SMux) migration; no ping is ever lost because there
+// is no failure detection involved.
+func TestFigure13MigrationNoLoss(t *testing.T) {
+	tb := New(6)
+	v1 := &service.VIP{Addr: vipN(1), Backends: backendsFor(1)} // H→S
+	v2 := &service.VIP{Addr: vipN(2), Backends: backendsFor(2)} // S→H
+	v3 := &service.VIP{Addr: vipN(3), Backends: backendsFor(3)} // H→H via SMux
+	swA := tb.Topo.TorID(0, 0)
+	swB := tb.Topo.TorID(1, 1)
+	if err := tb.AssignVIPToHMux(v1, swA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddVIPToSMuxes(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AssignVIPToHMux(v3, swA); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunUntil(0.1)
+
+	// T1: migrate v1 H→S and v3 H→S (first leg).
+	tb.MigrateToSMux(v1.Addr, swA, 0.2)
+	mt3 := tb.MigrateToSMux(v3.Addr, swA, 0.2)
+	// T2: after the first leg converges, v2 S→H and v3 S→H (second leg).
+	second := 0.2 + mt3.Total() + 0.05
+	tb.MigrateToHMux(v2.Addr, swB, second)
+	tb.MigrateToHMux(v3.Addr, swB, second)
+
+	lost := 0
+	i := uint32(0)
+	for ts := 0.1; ts < 2.0; ts += 0.003 {
+		tb.RunUntil(ts)
+		for _, vip := range []packet.Addr{v1.Addr, v2.Addr, v3.Addr} {
+			tuple := probeTuple(i)
+			tuple.Dst = vip
+			if tb.Ping(vip, tuple).Lost {
+				lost++
+			}
+			i++
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d pings lost during migration; paper reports zero", lost)
+	}
+
+	// Final placement: v1 on SMux, v2 and v3 on HMux swB.
+	tb.RunUntil(3)
+	if tb.VIPOnHMux(v1.Addr) {
+		t.Fatal("v1 should be on SMux")
+	}
+	if !tb.VIPOnHMux(v2.Addr) || !tb.VIPOnHMux(v3.Addr) {
+		t.Fatal("v2/v3 should be on HMux")
+	}
+	if !tb.HMuxes[swB].HasVIP(v3.Addr) || tb.HMuxes[swA].HasVIP(v3.Addr) {
+		t.Fatal("v3 not moved swA→swB")
+	}
+}
+
+// TestFigure14Breakdown checks the migration delay decomposition: the FIB
+// VIP operation dominates (80–90% of total, §7.3).
+func TestFigure14Breakdown(t *testing.T) {
+	tb := New(7)
+	v := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	if err := tb.AddVIPToSMuxes(v); err != nil {
+		t.Fatal(err)
+	}
+	mtAdd := tb.MigrateToHMux(v.Addr, tb.Topo.TorID(0, 0), 0.1)
+	if frac := mtAdd.VIPDelay / mtAdd.Total(); frac < 0.7 {
+		t.Fatalf("FIB VIP op is %.0f%% of add delay, paper reports 80-90%%", frac*100)
+	}
+	if mtAdd.Total() < 0.3 || mtAdd.Total() > 0.7 {
+		t.Fatalf("add migration total %.0fms, paper reports ~450ms", mtAdd.Total()*1e3)
+	}
+	tb.RunUntil(1)
+	mtDel := tb.MigrateToSMux(v.Addr, tb.Topo.TorID(0, 0), 1.1)
+	if frac := mtDel.VIPDelay / mtDel.Total(); frac < 0.7 {
+		t.Fatalf("FIB VIP op is %.0f%% of delete delay", frac*100)
+	}
+	if mtDel.BGPDelay > 0.1 || mtAdd.BGPDelay > 0.1 {
+		t.Fatal("BGP component should be tens of ms")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	tb := New(8)
+	var order []int
+	tb.Schedule(0.2, func() { order = append(order, 2) })
+	tb.Schedule(0.1, func() { order = append(order, 1) })
+	tb.Schedule(0.2, func() { order = append(order, 3) }) // same time: FIFO by seq
+	tb.RunUntil(0.3)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("event order = %v", order)
+	}
+	if tb.Now() != 0.3 {
+		t.Fatalf("clock = %v", tb.Now())
+	}
+	// Scheduling in the past clamps to now.
+	fired := false
+	tb.Schedule(0.0, func() { fired = true })
+	tb.RunUntil(0.3)
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+}
+
+func TestVIPLoadFollowsVIP(t *testing.T) {
+	tb := New(9)
+	v := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	if err := tb.AddVIPToSMuxes(v); err != nil {
+		t.Fatal(err)
+	}
+	tb.SetVIPLoad(v.Addr, 900_000) // 300K per SMux: saturation
+	if pps := tb.smuxBackgroundPPS(); pps != 300_000 {
+		t.Fatalf("per-SMux pps = %v", pps)
+	}
+	// Move the VIP to an HMux: SMux load drops to zero.
+	tb.MigrateToHMux(v.Addr, tb.Topo.TorID(0, 0), 0.1)
+	tb.RunUntil(2)
+	if pps := tb.smuxBackgroundPPS(); pps != 0 {
+		t.Fatalf("per-SMux pps after migration = %v", pps)
+	}
+	if bps := tb.hmuxOfferedBps(tb.Topo.TorID(0, 0)); bps <= 0 {
+		t.Fatal("HMux sees no offered load")
+	}
+}
+
+// TestSMuxFailure reproduces §5.1 "SMux failure": no impact on HMux VIPs; a
+// VIP on the SMuxes loses only the flows hashed to the dead SMux, and only
+// until the aggregate withdrawal converges — then ECMP spreads over the
+// survivors.
+func TestSMuxFailure(t *testing.T) {
+	tb := New(11)
+	vipS := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	vipH := &service.VIP{Addr: vipN(1), Backends: backendsFor(1)}
+	if err := tb.AddVIPToSMuxes(vipS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AssignVIPToHMux(vipH, tb.Topo.TorID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunUntil(0.1)
+	const tFail = 0.2
+	tb.FailSMux(0, tFail)
+
+	lostWindow, lostAfter, hmuxLost := 0, 0, 0
+	i := uint32(0)
+	for ts := 0.1; ts < 0.6; ts += 0.003 {
+		tb.RunUntil(ts)
+		tupS := probeTuple(i)
+		tupS.Dst = vipS.Addr
+		if tb.Ping(vipS.Addr, tupS).Lost {
+			if ts < tFail+0.060 {
+				lostWindow++
+			} else {
+				lostAfter++
+			}
+		}
+		tupH := probeTuple(i + 1_000_000)
+		tupH.Dst = vipH.Addr
+		if tb.Ping(vipH.Addr, tupH).Lost {
+			hmuxLost++
+		}
+		i++
+	}
+	if hmuxLost != 0 {
+		t.Fatalf("HMux VIP lost %d pings during SMux failure", hmuxLost)
+	}
+	if lostWindow == 0 {
+		t.Fatal("no loss at all: the dead SMux's ECMP share should blackhole briefly")
+	}
+	if lostAfter != 0 {
+		t.Fatalf("%d pings lost after convergence; survivors should absorb", lostAfter)
+	}
+}
+
+// TestSMuxFailureLoadShifts verifies the surviving SMuxes absorb the dead
+// one's background load (per-SMux pps rises by 3/2).
+func TestSMuxFailureLoadShifts(t *testing.T) {
+	tb := New(12)
+	v := &service.VIP{Addr: vipN(0), Backends: backendsFor(0)}
+	if err := tb.AddVIPToSMuxes(v); err != nil {
+		t.Fatal(err)
+	}
+	tb.SetVIPLoad(v.Addr, 300_000)
+	if pps := tb.smuxBackgroundPPS(); pps != 100_000 {
+		t.Fatalf("per-SMux pps = %v, want 100k over 3 SMuxes", pps)
+	}
+	tb.FailSMux(2, 0.1)
+	tb.RunUntil(1)
+	if pps := tb.smuxBackgroundPPS(); pps != 150_000 {
+		t.Fatalf("per-SMux pps after failure = %v, want 150k over 2 SMuxes", pps)
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace persistence: workloads serialize to gzipped JSON so an experiment
+// can be re-run on the exact trace a previous run used (the paper's trace is
+// a fixed 3-hour capture; ours is regenerable from a seed, but saving a
+// trace decouples experiments from generator evolution).
+
+// fileVersion guards against loading traces written by incompatible layouts.
+const fileVersion = 1
+
+type fileHeader struct {
+	Version      int     `json:"version"`
+	EpochSeconds float64 `json:"epoch_seconds"`
+}
+
+type fileBody struct {
+	fileHeader
+	VIPs  []VIP       `json:"vips"`
+	Rates [][]float64 `json:"rates"`
+}
+
+// Save writes the workload to w as gzipped JSON.
+func (wl *Workload) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	body := fileBody{
+		fileHeader: fileHeader{Version: fileVersion, EpochSeconds: wl.EpochSeconds},
+		VIPs:       wl.VIPs,
+		Rates:      wl.Rates,
+	}
+	if err := enc.Encode(&body); err != nil {
+		gz.Close()
+		return fmt.Errorf("workload: encode: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load reads a workload previously written by Save.
+func Load(r io.Reader) (*Workload, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: not a trace file: %w", err)
+	}
+	defer gz.Close()
+	var body fileBody
+	if err := json.NewDecoder(gz).Decode(&body); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if body.Version != fileVersion {
+		return nil, fmt.Errorf("workload: trace version %d, want %d", body.Version, fileVersion)
+	}
+	if len(body.Rates) == 0 {
+		return nil, fmt.Errorf("workload: trace has no epochs")
+	}
+	for e, rates := range body.Rates {
+		if len(rates) != len(body.VIPs) {
+			return nil, fmt.Errorf("workload: epoch %d has %d rates for %d VIPs",
+				e, len(rates), len(body.VIPs))
+		}
+	}
+	return &Workload{
+		VIPs:         body.VIPs,
+		Rates:        body.Rates,
+		EpochSeconds: body.EpochSeconds,
+	}, nil
+}
+
+// SaveFile writes the workload to a file path.
+func (wl *Workload) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wl.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload from a file path.
+func LoadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

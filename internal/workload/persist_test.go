@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duet/internal/topology"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	topo := topology.MustNew(topology.TestbedConfig())
+	orig := MustGenerate(Config{
+		NumVIPs: 50, TotalRate: 1e11, Epochs: 3, Seed: 7,
+		TrafficSkew: 1.6, MaxDIPs: 40, InternetFrac: 0.3, ChurnStdDev: 0.3,
+	}, topo)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EpochSeconds != orig.EpochSeconds {
+		t.Fatal("EpochSeconds lost")
+	}
+	if len(got.VIPs) != len(orig.VIPs) || got.NumEpochs() != orig.NumEpochs() {
+		t.Fatalf("shape: %d VIPs %d epochs", len(got.VIPs), got.NumEpochs())
+	}
+	for i := range orig.VIPs {
+		a, b := &orig.VIPs[i], &got.VIPs[i]
+		if a.Addr != b.Addr || a.NumDIPs() != b.NumDIPs() ||
+			a.InternetFrac != b.InternetFrac || a.PacketSize != b.PacketSize {
+			t.Fatalf("VIP %d mismatch", i)
+		}
+		if len(a.SrcRacks) != len(b.SrcRacks) {
+			t.Fatalf("VIP %d src racks mismatch", i)
+		}
+		for j := range a.SrcRacks {
+			if a.SrcRacks[j] != b.SrcRacks[j] {
+				t.Fatalf("VIP %d src rack %d mismatch", i, j)
+			}
+		}
+	}
+	for e := range orig.Rates {
+		for i := range orig.Rates[e] {
+			if got.Rates[e][i] != orig.Rates[e][i] {
+				t.Fatalf("rate mismatch at epoch %d vip %d", e, i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	topo := topology.MustNew(topology.TestbedConfig())
+	orig := MustGenerate(Config{NumVIPs: 10, TotalRate: 1e10, Seed: 3}, topo)
+	path := filepath.Join(t.TempDir(), "trace.json.gz")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VIPs) != 10 {
+		t.Fatalf("VIPs = %d", len(got.VIPs))
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	topo := topology.MustNew(topology.TestbedConfig())
+	orig := MustGenerate(Config{NumVIPs: 5, TotalRate: 1e10, Seed: 3}, topo)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by rewriting the JSON inside.
+	raw := decompress(t, buf.Bytes())
+	raw = bytes.Replace(raw, []byte(`"version":1`), []byte(`"version":99`), 1)
+	var re bytes.Buffer
+	compress(t, &re, raw)
+	if _, err := Load(&re); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestLoadRejectsInconsistentShape(t *testing.T) {
+	topo := topology.MustNew(topology.TestbedConfig())
+	orig := MustGenerate(Config{NumVIPs: 5, TotalRate: 1e10, Seed: 3}, topo)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := decompress(t, buf.Bytes())
+	// Drop one rate from epoch 0: now 4 rates for 5 VIPs.
+	i := bytes.Index(raw, []byte(`"rates":[[`))
+	if i < 0 {
+		t.Fatal("rates not found")
+	}
+	j := bytes.IndexByte(raw[i+10:], ',')
+	raw = append(raw[:i+10], raw[i+10+j+1:]...)
+	var re bytes.Buffer
+	compress(t, &re, raw)
+	if _, err := Load(&re); err == nil {
+		t.Fatal("inconsistent trace accepted")
+	}
+}
+
+func decompress(t *testing.T, b []byte) []byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func compress(t *testing.T, w io.Writer, b []byte) {
+	t.Helper()
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
