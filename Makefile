@@ -1,0 +1,33 @@
+# Tier-1 verification for the repo (see ROADMAP.md). `make check` is what CI
+# and pre-merge runs: vet, build, the full test suite under the race
+# detector, and the telemetry zero-allocation gates.
+
+GO ?= go
+
+.PHONY: check build test vet race allocs bench
+
+check: vet build race allocs
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Zero-allocation gates for the telemetry hot path: the plain test asserts
+# allocs/op == 0 via testing.AllocsPerRun, and the benchmark reports the
+# same numbers with -benchmem for inspection.
+allocs:
+	$(GO) test -run 'TestZeroAlloc|TestProcessZeroAlloc' ./internal/telemetry ./internal/hmux ./internal/smux
+	$(GO) test -run XXX -bench BenchmarkTelemetryHotPath -benchtime 100x -benchmem ./internal/telemetry
+
+# Dataplane throughput reference (compare against the seed baseline before
+# merging instrumentation changes).
+bench:
+	$(GO) test -run XXX -bench BenchmarkDataplaneChain -benchmem .

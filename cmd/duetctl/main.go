@@ -21,6 +21,7 @@
 //	probe <vip> [n]                  send n flows, show the DIP split
 //	tables <switch>                  switch table occupancy
 //	switches                         list switches
+//	top [events]                     live counters + recent trace events
 //	demo                             run a scripted tour
 //	help | quit
 package main
@@ -119,6 +120,8 @@ func (c *console) exec(line string) (quit bool) {
 		c.tables(args)
 	case "switches":
 		c.switches()
+	case "top":
+		c.top(args)
 	case "demo":
 		c.demo()
 	default:
@@ -134,8 +137,8 @@ func (c *console) help() {
   dip add <vip> <dip>            dip rm <vip> <dip>
   fail <switch>                  recover <switch>
   probe <vip> [flows]            tables <switch>
-  switches                       demo
-  quit
+  switches                       top [events]
+  demo                           quit
 switch names look like tor-0-1, agg-1-0, core-2
 `)
 }
@@ -369,6 +372,31 @@ func (c *console) tables(args []string) {
 		st.TunnelUsed, st.TunnelCap, st.VIPs, st.TIPs)
 }
 
+// top prints the cluster's live telemetry: every registered counter, gauge
+// and histogram, followed by the most recent flight-recorder events.
+func (c *console) top(args []string) {
+	nEvents := 10
+	if len(args) > 0 {
+		if v, err := strconv.Atoi(args[0]); err == nil && v >= 0 {
+			nEvents = v
+		}
+	}
+	reg, rec := c.cluster.Telemetry()
+	fmt.Fprintln(c.out, "-- metrics --")
+	if err := reg.WriteText(c.out); err != nil {
+		fmt.Fprintln(c.out, "error:", err)
+		return
+	}
+	evs := rec.Snapshot()
+	if len(evs) > nEvents {
+		evs = evs[len(evs)-nEvents:]
+	}
+	fmt.Fprintf(c.out, "-- trace (%d of %d recorded events) --\n", len(evs), rec.Recorded())
+	for _, e := range evs {
+		fmt.Fprintf(c.out, "  %s\n", e.String())
+	}
+}
+
 func (c *console) switches() {
 	byKind := map[topology.Kind][]string{}
 	for _, sw := range c.cluster.Topo.Switches {
@@ -396,6 +424,7 @@ func (c *console) demo() {
 		"assign 10.0.0.1 core-1",
 		"probe 10.0.0.1 600",
 		"vip ls",
+		"top",
 	}
 	for _, line := range script {
 		fmt.Fprintf(c.out, "\nduet> %s\n", line)

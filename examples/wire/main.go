@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/telemetry"
 )
 
 var (
@@ -30,6 +32,11 @@ var (
 		packet.MustParseAddr("100.0.0.2"),
 		packet.MustParseAddr("100.0.0.3"),
 	}
+
+	// One registry + flight recorder shared by the mux and every host agent;
+	// a counter snapshot is printed when the demo exits.
+	reg = telemetry.NewRegistry()
+	rec = telemetry.NewRecorder(telemetry.DefaultRecorderSize)
 )
 
 func main() {
@@ -57,6 +64,7 @@ func main() {
 
 	// The software mux: full VIP map, shared hash, IP-in-IP encap.
 	mux := smux.New(smux.DefaultConfig(packet.MustParseAddr("192.168.0.1")))
+	mux.SetTelemetry(reg, rec, 1)
 	backends := make([]service.Backend, len(dips))
 	for i, d := range dips {
 		backends[i] = service.Backend{Addr: d, Weight: 1}
@@ -115,6 +123,11 @@ func main() {
 		fmt.Printf("  %-22s %d\n", addr, n)
 	}
 	muxConn.Close()
+
+	fmt.Println("\ntelemetry snapshot (what `duetctl top` shows for a cluster):")
+	if err := reg.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // muxLoop is the SMux daemon: decode, load-balance, encapsulate, forward to
@@ -153,6 +166,7 @@ func muxLoop(wg *sync.WaitGroup, conn *net.UDPConn, mux *smux.Mux, registry map[
 func hostAgentLoop(wg *sync.WaitGroup, conn *net.UDPConn, dip packet.Addr) {
 	defer wg.Done()
 	agent := hostagent.New(dip)
+	agent.SetTelemetry(reg, rec, uint32(dip))
 	if err := agent.RegisterDIP(vip, dip); err != nil {
 		log.Fatal(err)
 	}

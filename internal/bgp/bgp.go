@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"duet/internal/packet"
+	"duet/internal/telemetry"
 )
 
 // NodeID identifies a route's next hop: a switch (HMux) or an SMux. The
@@ -40,10 +41,24 @@ type trieNode struct {
 // converged view of the whole fabric.
 type Table struct {
 	root *trieNode
+
+	telAnnounces telemetry.CounterShard
+	telWithdraws telemetry.CounterShard
+	telRec       *telemetry.Recorder
 }
 
 // NewTable creates an empty table.
 func NewTable() *Table { return &Table{root: &trieNode{}} }
+
+// SetTelemetry attaches the table to a metric registry and flight recorder.
+// Route events are stamped with their convergence time (visibleAt /
+// effectiveAt), so the trace shows when the fabric's view changed rather
+// than when the call was made.
+func (t *Table) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	t.telAnnounces = reg.Counter("bgp.announces").Shard()
+	t.telWithdraws = reg.Counter("bgp.withdraws").Shard()
+	t.telRec = rec
+}
 
 func (t *Table) nodeFor(p packet.Prefix, create bool) *trieNode {
 	n := t.root
@@ -68,6 +83,8 @@ func (t *Table) Announce(p packet.Prefix, nh NodeID, visibleAt float64) {
 	if n.routes == nil {
 		n.routes = make(map[NodeID]*routeState)
 	}
+	t.telAnnounces.Inc()
+	t.telRec.RecordAt(visibleAt, telemetry.KindBGPAnnounce, uint32(nh), uint32(p.Addr), 0, uint64(p.Bits))
 	if st, ok := n.routes[nh]; ok {
 		// Refresh: keep the earliest visibility, clear any withdrawal.
 		if visibleAt < st.visibleAt {
@@ -90,6 +107,8 @@ func (t *Table) Withdraw(p packet.Prefix, nh NodeID, effectiveAt float64) {
 		if effectiveAt < st.withdrawnAt {
 			st.withdrawnAt = effectiveAt
 		}
+		t.telWithdraws.Inc()
+		t.telRec.RecordAt(effectiveAt, telemetry.KindBGPWithdraw, uint32(nh), uint32(p.Addr), 0, uint64(p.Bits))
 	}
 }
 
@@ -140,8 +159,8 @@ func hasActive(n *trieNode, now float64) bool {
 // table, effective at effectiveAt — what the fabric does when it detects a
 // dead HMux (paper §5.1 "HMux failure").
 func (t *Table) WithdrawAll(nh NodeID, effectiveAt float64) {
-	var walk func(n *trieNode)
-	walk = func(n *trieNode) {
+	var walk func(n *trieNode, addr uint32, bits int)
+	walk = func(n *trieNode, addr uint32, bits int) {
 		if n == nil {
 			return
 		}
@@ -149,11 +168,17 @@ func (t *Table) WithdrawAll(nh NodeID, effectiveAt float64) {
 			if effectiveAt < st.withdrawnAt {
 				st.withdrawnAt = effectiveAt
 			}
+			// One event per dead route, so a fabric-detected HMux failure
+			// leaves the same trace shape as explicit withdrawals.
+			t.telWithdraws.Inc()
+			t.telRec.RecordAt(effectiveAt, telemetry.KindBGPWithdraw, uint32(nh), addr, 0, uint64(bits))
 		}
-		walk(n.children[0])
-		walk(n.children[1])
+		if bits < 32 {
+			walk(n.children[0], addr, bits+1)
+			walk(n.children[1], addr|1<<(31-bits), bits+1)
+		}
 	}
-	walk(t.root)
+	walk(t.root, 0, 0)
 }
 
 // Routes returns all (prefix, nexthop) pairs active at time now, mainly for

@@ -14,6 +14,7 @@ import (
 	"duet/internal/healthd"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 	"duet/internal/topology"
 	"duet/internal/workload"
 )
@@ -31,6 +32,44 @@ type Controller struct {
 	prober   *healthd.Prober
 	vipOfDIP map[packet.Addr]packet.Addr
 	benched  map[packet.Addr]service.Backend
+
+	tel ctlTelemetry
+}
+
+// ctlTelemetry holds the controller's instrument handles (all nil-safe).
+type ctlTelemetry struct {
+	epochs, moves         telemetry.CounterShard
+	dipAdds, dipRemoves   telemetry.CounterShard
+	healthRemovals        telemetry.CounterShard
+	switchFailuresHandled telemetry.CounterShard
+	rec                   *telemetry.Recorder
+	clock                 func() float64
+}
+
+// SetTelemetry attaches the controller to a metric registry and flight
+// recorder. now, when non-nil, supplies the control-plane timestamp for
+// trace events (e.g. the testbed's virtual clock); otherwise the recorder's
+// own clock is used.
+func (ct *Controller) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, now func() float64) {
+	ct.tel = ctlTelemetry{
+		epochs:                reg.Counter("controller.epochs").Shard(),
+		moves:                 reg.Counter("controller.moves").Shard(),
+		dipAdds:               reg.Counter("controller.dip_adds").Shard(),
+		dipRemoves:            reg.Counter("controller.dip_removes").Shard(),
+		healthRemovals:        reg.Counter("controller.health_removals").Shard(),
+		switchFailuresHandled: reg.Counter("controller.switch_failures_handled").Shard(),
+		rec:                   rec,
+		clock:                 now,
+	}
+}
+
+// record emits a control-plane trace event, preferring the injected clock.
+func (ct *Controller) record(kind telemetry.Kind, node, a, b uint32, aux uint64) {
+	if ct.tel.clock != nil {
+		ct.tel.rec.RecordAt(ct.tel.clock(), kind, node, a, b, aux)
+		return
+	}
+	ct.tel.rec.Record(kind, node, a, b, aux)
 }
 
 // New creates a controller over a cluster.
@@ -133,11 +172,14 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 			if err := ct.Cluster.WithdrawFromHMux(addr); err != nil {
 				return rep, fmt.Errorf("controller: withdraw %s: %w", addr, err)
 			}
+			// Migration step 1: traffic falls back to the SMux stepping stone.
+			ct.record(telemetry.KindMigrationStep, uint32(epoch), uint32(addr), uint32(from), 1)
 		}
 		if to != assign.Unassigned {
 			moves = append(moves, move{addr: addr, to: to})
 		}
 		rep.Moved++
+		ct.tel.moves.Inc()
 	}
 	for _, m := range moves {
 		if err := ct.Cluster.AssignToHMux(m.addr, topology.SwitchID(m.to)); err != nil {
@@ -146,8 +188,11 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 			// on the SMuxes rather than fail the epoch.
 			continue
 		}
+		// Migration step 2: the VIP's new HMux home is announced.
+		ct.record(telemetry.KindMigrationStep, uint32(epoch), uint32(m.addr), uint32(m.to), 2)
 	}
 	ct.prev = next
+	ct.tel.epochs.Inc()
 	return rep, nil
 }
 
@@ -178,6 +223,7 @@ func (ct *Controller) AddDIP(vip packet.Addr, b service.Backend) error {
 			return err
 		}
 	}
+	ct.tel.dipAdds.Inc()
 	return nil
 }
 
@@ -206,6 +252,7 @@ func (ct *Controller) RemoveDIP(vip, dip packet.Addr) error {
 		}
 	}
 	ct.ReleaseSNATRanges(vip, dip)
+	ct.tel.dipRemoves.Inc()
 	return nil
 }
 
@@ -224,6 +271,7 @@ func (ct *Controller) HealthSweep() ([][2]packet.Addr, error) {
 			if err := ct.RemoveDIP(vipAddr, b.Addr); err != nil {
 				return removed, err
 			}
+			ct.tel.healthRemovals.Inc()
 			removed = append(removed, [2]packet.Addr{vipAddr, b.Addr})
 		}
 	}
@@ -235,12 +283,15 @@ func (ct *Controller) HealthSweep() ([][2]packet.Addr, error) {
 // VIPs SMux-hosted so the next epoch re-places them.
 func (ct *Controller) HandleSwitchFailure(sw topology.SwitchID) {
 	ct.Cluster.FailSwitch(sw)
-	if ct.prev == nil {
-		return
-	}
-	for i, s := range ct.prev.SwitchOf {
-		if s == int32(sw) {
-			ct.prev.SwitchOf[i] = assign.Unassigned
+	ct.tel.switchFailuresHandled.Inc()
+	orphaned := uint64(0)
+	if ct.prev != nil {
+		for i, s := range ct.prev.SwitchOf {
+			if s == int32(sw) {
+				ct.prev.SwitchOf[i] = assign.Unassigned
+				orphaned++
+			}
 		}
 	}
+	ct.record(telemetry.KindControllerReact, uint32(sw), 0, 0, orphaned)
 }

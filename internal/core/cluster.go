@@ -22,6 +22,7 @@ import (
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/telemetry"
 	"duet/internal/topology"
 )
 
@@ -79,6 +80,9 @@ type Cluster struct {
 	switchUp []bool
 	tableCfg hmux.Config // per-switch table sizing, for reboot re-creation
 	now      float64     // logical route clock; every mutation advances it
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
 }
 
 // New builds a cluster.
@@ -103,22 +107,43 @@ func New(cfg Config) (*Cluster, error) {
 		hmuxHome: make(map[packet.Addr]topology.SwitchID),
 		replicas: make(map[packet.Addr][]topology.SwitchID),
 		switchUp: make([]bool, topo.NumSwitches()),
+		reg:      telemetry.NewRegistry(),
+		rec:      telemetry.NewRecorder(telemetry.DefaultRecorderSize),
 	}
+	// Trace events carry the cluster's logical route clock; callers running
+	// real time (or the testbed's virtual time) can re-clock via Telemetry().
+	c.rec.SetClock(func() float64 { return c.now })
+	c.Routes.SetTelemetry(c.reg, c.rec)
 	c.tableCfg = cfg.HMuxTables
 	for s := range c.HMuxes {
 		tcfg := cfg.HMuxTables
 		tcfg.SelfAddr = switchAddr(s)
 		c.HMuxes[s] = hmux.New(tcfg)
+		c.HMuxes[s].SetTelemetry(c.reg, c.rec, uint32(s))
 		c.switchUp[s] = true
 	}
 	racks := topo.NumRacks()
 	for i := 0; i < cfg.NumSMuxes; i++ {
 		sm := smux.New(smux.DefaultConfig(packet.AddrFrom4(192, 168, byte(i>>8), byte(i))))
+		sm.SetTelemetry(c.reg, c.rec, uint32(smuxNodeBase)+uint32(i))
 		c.SMuxes = append(c.SMuxes, sm)
 		c.SMuxRacks = append(c.SMuxRacks, (i*(racks/cfg.NumSMuxes+1))%racks)
 		c.Routes.Announce(cfg.Aggregate, smuxNodeBase+bgp.NodeID(i), 0)
 	}
 	return c, nil
+}
+
+// Telemetry exposes the cluster's always-on metric registry and flight
+// recorder (duetctl's `top` view reads these).
+func (c *Cluster) Telemetry() (*telemetry.Registry, *telemetry.Recorder) {
+	return c.reg, c.rec
+}
+
+// newAgent creates and instruments a host agent.
+func (c *Cluster) newAgent(hostAddr packet.Addr) *hostagent.Agent {
+	a := hostagent.New(hostAddr)
+	a.SetTelemetry(c.reg, c.rec, uint32(hostAddr))
+	return a
 }
 
 // switchAddr derives a switch's loopback address from its ID.
@@ -154,7 +179,7 @@ func (c *Cluster) AddVIP(v *service.VIP) error {
 	// registered a virtualized host explicitly via RegisterHost).
 	for _, b := range allBackends(v) {
 		if _, ok := c.agents[b.Addr]; !ok {
-			a := hostagent.New(b.Addr)
+			a := c.newAgent(b.Addr)
 			if err := a.RegisterDIP(v.Addr, b.Addr); err != nil {
 				return err
 			}
@@ -181,7 +206,7 @@ func allBackends(v *service.VIP) []service.Backend {
 func (c *Cluster) RegisterHost(hostAddr packet.Addr, vip packet.Addr, vmDIPs []packet.Addr) error {
 	a, ok := c.agents[hostAddr]
 	if !ok {
-		a = hostagent.New(hostAddr)
+		a = c.newAgent(hostAddr)
 		c.agents[hostAddr] = a
 	}
 	for _, d := range vmDIPs {
@@ -292,6 +317,7 @@ func (c *Cluster) FailSwitch(sw topology.SwitchID) {
 	}
 	c.switchUp[sw] = false
 	c.Net.FailSwitch(sw)
+	c.rec.Record(telemetry.KindSwitchFail, uint32(sw), 0, 0, 0)
 	c.Routes.WithdrawAll(bgp.NodeID(sw), c.tick())
 	// VIPs homed there are now SMux-served; forget the stale home.
 	for vip, home := range c.hmuxHome {
@@ -312,6 +338,7 @@ func (c *Cluster) RecoverSwitch(sw topology.SwitchID) {
 	tcfg := c.tableCfg
 	tcfg.SelfAddr = switchAddr(int(sw))
 	c.HMuxes[sw] = hmux.New(tcfg)
+	c.HMuxes[sw].SetTelemetry(c.reg, c.rec, uint32(sw))
 	c.switchUp[sw] = true
 	c.Net.RecoverSwitch(sw)
 	c.tick()
@@ -437,8 +464,7 @@ func (c *Cluster) InstallTIP(tip packet.Addr, sw topology.SwitchID, backends []s
 	}
 	for _, b := range backends {
 		if _, ok := c.agents[b.Addr]; !ok {
-			a := hostagent.New(b.Addr)
-			c.agents[b.Addr] = a
+			c.agents[b.Addr] = c.newAgent(b.Addr)
 		}
 	}
 	return c.HMuxes[sw].AddTIP(tip, backends)
@@ -450,7 +476,7 @@ func (c *Cluster) RegisterTIPBackends(vip packet.Addr, backends []service.Backen
 	for _, b := range backends {
 		a, ok := c.agents[b.Addr]
 		if !ok {
-			a = hostagent.New(b.Addr)
+			a = c.newAgent(b.Addr)
 			c.agents[b.Addr] = a
 		}
 		if err := a.RegisterDIP(vip, b.Addr); err != nil {

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"duet/internal/packet"
+	"duet/internal/telemetry"
 )
 
 // Probe checks one DIP's health (e.g. a TCP connect or an HTTP ping issued
@@ -56,6 +57,21 @@ type Prober struct {
 	probe     Probe
 	state     map[packet.Addr]*dipState
 	listeners []Listener
+
+	telProbes      telemetry.CounterShard
+	telTransitions telemetry.CounterShard
+	telRec         *telemetry.Recorder
+	telNode        uint32
+}
+
+// SetTelemetry attaches the prober to a metric registry and flight recorder.
+// Damped state transitions are recorded as trace events stamped with the
+// virtual probe time (B=1 means the DIP came up, B=0 down).
+func (p *Prober) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	p.telProbes = reg.Counter("healthd.probes").Shard()
+	p.telTransitions = reg.Counter("healthd.transitions").Shard()
+	p.telRec = rec
+	p.telNode = node
 }
 
 // New creates a prober. probe must not be nil.
@@ -124,6 +140,7 @@ func (p *Prober) Tick(now float64) []packet.Addr {
 			continue
 		}
 		st.nextProbeAt = now + p.cfg.Interval
+		p.telProbes.Inc()
 		if p.probe(dip) {
 			st.consecOK++
 			st.consecFail = 0
@@ -141,8 +158,15 @@ func (p *Prober) Tick(now float64) []packet.Addr {
 		}
 	}
 	for _, dip := range changed {
+		healthy := p.state[dip].healthy
+		p.telTransitions.Inc()
+		up := uint32(0)
+		if healthy {
+			up = 1
+		}
+		p.telRec.RecordAt(now, telemetry.KindHealthTransition, p.telNode, uint32(dip), up, 0)
 		for _, l := range p.listeners {
-			l(dip, p.state[dip].healthy)
+			l(dip, healthy)
 		}
 	}
 	return changed

@@ -21,6 +21,7 @@ import (
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 // Default table capacities from the paper (§3.1). The ECMP state is split
@@ -47,6 +48,11 @@ var (
 	ErrVIPNotFound        = errors.New("hmux: VIP not programmed")
 	ErrNotOurVIP          = errors.New("hmux: packet does not match any VIP")
 )
+
+// ErrNoTunnelEntry is returned by Process when the matched VIP's ECMP group
+// has no live member (every DIP removed), so no tunneling-table entry can be
+// selected. It wraps ecmp.ErrEmptyGroup so existing errors.Is checks hold.
+var ErrNoTunnelEntry = fmt.Errorf("hmux: no tunnel entry for VIP: %w", ecmp.ErrEmptyGroup)
 
 // Config sizes one HMux.
 type Config struct {
@@ -95,6 +101,57 @@ type Mux struct {
 
 	// decode scratch, reused across Process calls
 	ip packet.IPv4
+
+	tel muxTelemetry
+}
+
+// muxTelemetry is the HMux's pre-resolved instrument block. Every field is
+// nil-safe: an uninstrumented mux pays one branch per touch point.
+type muxTelemetry struct {
+	packets, encapped, viaTIP telemetry.CounterShard
+
+	dropMalformed, dropUnknownVIP     telemetry.CounterShard
+	dropNoTunnelEntry, dropEncapError telemetry.CounterShard
+
+	rec  *telemetry.Recorder
+	node uint32
+}
+
+// SetTelemetry attaches the mux to a metric registry and flight recorder.
+// node identifies this switch in trace events (its SwitchID). Counters are
+// shared across all HMuxes registered on the same registry; each mux claims
+// its own shard so hot-path increments never contend. Call during setup,
+// not concurrently with Process.
+func (m *Mux) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	m.tel = muxTelemetry{
+		packets:           reg.Counter("hmux.packets").Shard(),
+		encapped:          reg.Counter("hmux.encapped").Shard(),
+		viaTIP:            reg.Counter("hmux.via_tip").Shard(),
+		dropMalformed:     reg.Counter("hmux.drops.malformed").Shard(),
+		dropUnknownVIP:    reg.Counter("hmux.drops.unknown_vip").Shard(),
+		dropNoTunnelEntry: reg.Counter("hmux.drops.no_tunnel_entry").Shard(),
+		dropEncapError:    reg.Counter("hmux.drops.encap_error").Shard(),
+		rec:               rec,
+		node:              node,
+	}
+}
+
+// drop accounts a rejected packet under its distinct reason and emits a
+// KindDrop trace event (drops are rare, so they are recorded unsampled).
+// It returns err unchanged so Process's error identities are preserved.
+func (m *Mux) drop(reason telemetry.DropReason, dst packet.Addr, err error) error {
+	switch reason {
+	case telemetry.DropMalformed:
+		m.tel.dropMalformed.Inc()
+	case telemetry.DropUnknownVIP:
+		m.tel.dropUnknownVIP.Inc()
+	case telemetry.DropNoBackend:
+		m.tel.dropNoTunnelEntry.Inc()
+	case telemetry.DropEncapError:
+		m.tel.dropEncapError.Inc()
+	}
+	m.tel.rec.Record(telemetry.KindDrop, m.tel.node, uint32(dst), 0, uint64(reason))
+	return err
 }
 
 // New creates an HMux with the given configuration.
@@ -382,36 +439,50 @@ type Result struct {
 // This is the dataplane path, so it performs no allocation beyond growing
 // the caller's buffer.
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
+	m.tel.packets.Inc()
+	sampled := m.tel.rec.Sample()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindPacketIn, m.tel.node, 0, 0, uint64(len(data)))
+	}
 	if err := m.ip.DecodeFromBytes(data); err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
 
 	// TIP stage: decapsulate and fall through to re-encapsulation with the
 	// inner packet (Figure 7's second hop).
 	if e, ok := m.tips[m.ip.Dst]; ok && m.ip.Protocol == packet.ProtoIPIP {
+		tip := m.ip.Dst
 		inner := m.ip.Payload()
 		tuple, err := packet.ExtractFiveTuple(inner)
 		if err != nil {
-			return Result{}, err
+			return Result{}, m.drop(telemetry.DropMalformed, tip, err)
 		}
 		encap, err := m.selectEncap(e, tuple)
 		if err != nil {
-			return Result{}, err
+			return Result{}, m.drop(telemetry.DropNoBackend, tip, err)
 		}
 		pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, encap, inner, 64)
 		if err != nil {
-			return Result{}, err
+			return Result{}, m.drop(telemetry.DropEncapError, tip, err)
+		}
+		m.tel.viaTIP.Inc()
+		m.tel.encapped.Inc()
+		if sampled {
+			m.tel.rec.Record(telemetry.KindTIPHop, m.tel.node, uint32(tip), uint32(encap), 0)
 		}
 		return Result{Encap: encap, Packet: pkt, ViaTIP: true}, nil
 	}
 
 	e, ok := m.vips[m.ip.Dst]
 	if !ok {
-		return Result{}, ErrNotOurVIP
+		return Result{}, m.drop(telemetry.DropUnknownVIP, m.ip.Dst, ErrNotOurVIP)
 	}
 	tuple, err := packet.ExtractFiveTuple(data)
 	if err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropMalformed, m.ip.Dst, err)
+	}
+	if sampled {
+		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
 	}
 	// ACL stage: a port rule overrides the default backend set (Figure 8).
 	entry := e
@@ -422,11 +493,18 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	}
 	encap, err := m.selectEncap(entry, tuple)
 	if err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
+	}
+	if sampled {
+		m.tel.rec.Record(telemetry.KindECMPPick, m.tel.node, uint32(tuple.Dst), uint32(encap), 0)
 	}
 	pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, encap, data, 64)
 	if err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropEncapError, tuple.Dst, err)
+	}
+	m.tel.encapped.Inc()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindEncap, m.tel.node, uint32(tuple.Dst), uint32(encap), 0)
 	}
 	return Result{Encap: encap, Packet: pkt}, nil
 }
@@ -436,6 +514,9 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 func (m *Mux) selectEncap(e *vipEntry, tuple packet.FiveTuple) (packet.Addr, error) {
 	member, err := e.group.SelectTuple(tuple)
 	if err != nil {
+		if errors.Is(err, ecmp.ErrEmptyGroup) {
+			return 0, ErrNoTunnelEntry
+		}
 		return 0, err
 	}
 	return e.encaps[member], nil

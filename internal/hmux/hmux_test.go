@@ -1,12 +1,14 @@
 package hmux
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 var (
@@ -693,5 +695,131 @@ func TestGroupAccountingWithTIPs(t *testing.T) {
 	}
 	if m.Stats().GroupsUsed != 0 {
 		t.Fatal("group leaked")
+	}
+}
+
+// TestDropReasons verifies Process classifies every error path under a
+// distinct drop counter while preserving the error identities callers
+// depend on.
+func TestDropReasons(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(64)
+	m := newMux(t)
+	m.SetTelemetry(reg, rec, 7)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown VIP: error identity must survive the accounting.
+	other := packet.MustParseAddr("10.9.9.9")
+	pkt := packet.BuildTCP(packet.FiveTuple{
+		Src: packet.MustParseAddr("30.0.0.1"), Dst: other,
+		SrcPort: 1024, DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+	if _, err := m.Process(pkt, nil); err != ErrNotOurVIP {
+		t.Fatalf("got %v, want ErrNotOurVIP", err)
+	}
+
+	// Malformed packet.
+	if _, err := m.Process([]byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("malformed packet must error")
+	}
+
+	// No tunnel entry: remove the only DIP, leaving an empty ECMP group.
+	if err := m.RemoveBackend(vipAddr, packet.MustParseAddr("100.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Process(vipPacket(0, 80), nil)
+	if !errors.Is(err, ErrNoTunnelEntry) || !errors.Is(err, ecmp.ErrEmptyGroup) {
+		t.Fatalf("got %v, want ErrNoTunnelEntry wrapping ecmp.ErrEmptyGroup", err)
+	}
+
+	for name, want := range map[string]uint64{
+		"hmux.drops.unknown_vip":     1,
+		"hmux.drops.malformed":       1,
+		"hmux.drops.no_tunnel_entry": 1,
+		"hmux.packets":               3,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	drops := 0
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.KindDrop {
+			drops++
+			if e.Node != 7 {
+				t.Errorf("drop event node = %d, want 7", e.Node)
+			}
+		}
+	}
+	if drops != 3 {
+		t.Errorf("recorded %d drop events, want 3", drops)
+	}
+}
+
+// TestProcessTelemetryCounters checks the happy-path counters and the
+// sampled pipeline trace.
+func TestProcessTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(256)
+	rec.SetSampleEvery(1)
+	m := newMux(t)
+	m.SetTelemetry(reg, rec, 3)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if _, err := m.Process(vipPacket(i, 80), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("hmux.packets").Value(); got != 10 {
+		t.Fatalf("hmux.packets = %d, want 10", got)
+	}
+	if got := reg.Counter("hmux.encapped").Value(); got != 10 {
+		t.Fatalf("hmux.encapped = %d, want 10", got)
+	}
+	// Every sampled packet must leave a complete pipeline trace:
+	// packet-in → vip-lookup → ecmp-pick → encap.
+	var kinds []telemetry.Kind
+	for _, e := range rec.Snapshot() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []telemetry.Kind{
+		telemetry.KindPacketIn, telemetry.KindVIPLookup,
+		telemetry.KindECMPPick, telemetry.KindEncap,
+	}
+	if len(kinds) != 40 {
+		t.Fatalf("recorded %d events, want 40", len(kinds))
+	}
+	for i, k := range kinds {
+		if k != want[i%4] {
+			t.Fatalf("event %d kind = %v, want %v", i, k, want[i%4])
+		}
+	}
+}
+
+// TestProcessZeroAllocWithTelemetry enforces that instrumentation keeps the
+// dataplane allocation-free, sampled or not.
+func TestProcessZeroAllocWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(1024)
+	rec.SetSampleEvery(8)
+	m := newMux(t)
+	m.SetTelemetry(reg, rec, 1)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := vipPacket(1, 80)
+	buf := make([]byte, 0, 2048)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := m.Process(pkt, buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Process with telemetry: %v allocs/op, want 0", allocs)
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
+	"duet/internal/telemetry"
 )
 
 // Errors returned by the agent.
@@ -40,7 +41,35 @@ type Agent struct {
 
 	meters map[packet.Addr]*Meter // per-VIP traffic metering
 
+	tel agentTelemetry
+
 	ip packet.IPv4 // decode scratch
+}
+
+// agentTelemetry holds the agent's instrument handles. All fields are
+// nil-safe: an agent that never calls SetTelemetry pays one branch per
+// operation (see internal/telemetry).
+type agentTelemetry struct {
+	received, bytes              telemetry.CounterShard
+	dsr, dsrErrors               telemetry.CounterShard
+	dropDecapError, dropNotLocal telemetry.CounterShard
+	rec                          *telemetry.Recorder
+	node                         uint32
+}
+
+// SetTelemetry attaches the agent to a metric registry and flight recorder.
+// node identifies this host in trace events.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	a.tel = agentTelemetry{
+		received:       reg.Counter("hostagent.received").Shard(),
+		bytes:          reg.Counter("hostagent.bytes").Shard(),
+		dsr:            reg.Counter("hostagent.dsr").Shard(),
+		dsrErrors:      reg.Counter("hostagent.dsr_errors").Shard(),
+		dropDecapError: reg.Counter("hostagent.drops.decap_error").Shard(),
+		dropNotLocal:   reg.Counter("hostagent.drops.not_local").Shard(),
+		rec:            rec,
+		node:           node,
+	}
 }
 
 // New creates the agent for a host.
@@ -121,15 +150,21 @@ type Delivery struct {
 func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 	inner, _, err := packet.Decapsulate(data)
 	if err != nil {
+		a.tel.dropDecapError.Inc()
+		a.tel.rec.Record(telemetry.KindDrop, a.tel.node, 0, 0, uint64(telemetry.DropMalformed))
 		return Delivery{}, err
 	}
 	tuple, err := packet.ExtractFiveTuple(inner)
 	if err != nil {
+		a.tel.dropDecapError.Inc()
+		a.tel.rec.Record(telemetry.KindDrop, a.tel.node, 0, 0, uint64(telemetry.DropMalformed))
 		return Delivery{}, err
 	}
 	vip := tuple.Dst
 	dips, ok := a.locals[vip]
 	if !ok || len(dips) == 0 {
+		a.tel.dropNotLocal.Inc()
+		a.tel.rec.Record(telemetry.KindDrop, a.tel.node, uint32(vip), 0, uint64(telemetry.DropNotLocal))
 		return Delivery{}, ErrNotForThisHost
 	}
 	dip := dips[0]
@@ -149,6 +184,11 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 	}
 	m.Packets++
 	m.Bytes += uint64(len(inner))
+	a.tel.received.Inc()
+	a.tel.bytes.Add(uint64(len(inner)))
+	if a.tel.rec.Sample() {
+		a.tel.rec.Record(telemetry.KindDecap, a.tel.node, uint32(vip), uint32(dip), uint64(len(inner)))
+	}
 	return Delivery{VIP: vip, DIP: dip, Packet: out}, nil
 }
 
@@ -157,15 +197,23 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 // load balancer entirely (paper §2.1).
 func (a *Agent) SendDSR(data, out []byte) ([]byte, error) {
 	if err := a.ip.DecodeFromBytes(data); err != nil {
+		a.tel.dsrErrors.Inc()
 		return nil, err
 	}
 	vip, ok := a.vipOf[a.ip.Src]
 	if !ok {
+		a.tel.dsrErrors.Inc()
 		return nil, ErrUnknownDIP
 	}
+	dip := a.ip.Src
 	out = append(out, data...)
 	if err := packet.RewriteSrc(out, vip); err != nil {
+		a.tel.dsrErrors.Inc()
 		return nil, err
+	}
+	a.tel.dsr.Inc()
+	if a.tel.rec.Sample() {
+		a.tel.rec.Record(telemetry.KindDSR, a.tel.node, uint32(vip), uint32(dip), 0)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 // SNAT errors.
@@ -29,6 +30,21 @@ type SNAT struct {
 	ranges   []portRange
 	used     map[uint16]bool
 	searched uint64 // total candidate ports probed (diagnostics)
+
+	telAllocs    telemetry.CounterShard
+	telExhausted telemetry.CounterShard
+	telRec       *telemetry.Recorder
+	telNode      uint32
+}
+
+// SetTelemetry attaches the allocator to a metric registry and flight
+// recorder; exhaustion is also recorded as an (unsampled) trace event, since
+// it is the signal that triggers a range request to the controller.
+func (s *SNAT) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	s.telAllocs = reg.Counter("hostagent.snat.allocs").Shard()
+	s.telExhausted = reg.Counter("hostagent.snat.exhausted").Shard()
+	s.telRec = rec
+	s.telNode = node
 }
 
 type portRange struct{ lo, hi uint16 }
@@ -87,10 +103,13 @@ func (s *SNAT) AllocatePort(remote packet.Addr, remotePort uint16, proto uint8) 
 			}
 			if s.encaps[member] == s.self {
 				s.used[port] = true
+				s.telAllocs.Inc()
 				return port, nil
 			}
 		}
 	}
+	s.telExhausted.Inc()
+	s.telRec.Record(telemetry.KindSNATExhausted, s.telNode, uint32(s.vip), uint32(s.self), uint64(len(s.used)))
 	return 0, ErrPortsExhausted
 }
 

@@ -12,6 +12,12 @@ import (
 )
 
 // CDF is an empirical distribution over float64 samples.
+//
+// CDF is NOT safe for concurrent use: the read-side methods (Quantile,
+// Fraction, Points, Summarize) lazily re-sort the sample buffer via ensure,
+// so even "read-only" calls mutate internal state. A CDF must be confined to
+// one goroutine, or callers must take a Snapshot and share that instead —
+// Snapshot returns an immutable copy that is safe to read from anywhere.
 type CDF struct {
 	sorted []float64
 	dirty  bool
@@ -77,6 +83,61 @@ func (c *CDF) Fraction(x float64) float64 {
 	c.ensure()
 	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
 	return float64(i) / float64(len(c.sorted))
+}
+
+// CDFSnapshot is an immutable sorted copy of a CDF taken at one instant.
+// Unlike CDF, its methods never mutate state, so a snapshot may be read
+// concurrently and outlives later Adds to the source CDF.
+type CDFSnapshot struct {
+	sorted []float64
+	sum    float64
+}
+
+// Snapshot copies and sorts the current samples. The receiver is read but
+// not mutated, so concurrent Snapshot calls on a quiescent CDF are safe;
+// taking a snapshot concurrently with Add is not (confine writes as usual).
+func (c *CDF) Snapshot() CDFSnapshot {
+	s := CDFSnapshot{sorted: append([]float64(nil), c.data...)}
+	sort.Float64s(s.sorted)
+	for _, v := range s.sorted {
+		s.sum += v
+	}
+	return s
+}
+
+// N returns the sample count.
+func (s CDFSnapshot) N() int { return len(s.sorted) }
+
+// Quantile returns the p-quantile (p in [0,1]).
+func (s CDFSnapshot) Quantile(p float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Round(p * float64(len(s.sorted)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.sorted) {
+		idx = len(s.sorted) - 1
+	}
+	return s.sorted[idx]
+}
+
+// Mean returns the sample mean.
+func (s CDFSnapshot) Mean() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.sorted))
+}
+
+// Fraction returns P(X ≤ x).
+func (s CDFSnapshot) Fraction(x float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(s.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.sorted))
 }
 
 // Point is one (value, cumulative-probability) pair of a rendered CDF.

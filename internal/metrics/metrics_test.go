@@ -185,3 +185,34 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("%q", FmtRate(100))
 	}
 }
+
+// TestCDFSnapshot: the snapshot is immutable — later Adds to the source CDF
+// do not change it, and its reads agree with the CDF at capture time.
+func TestCDFSnapshot(t *testing.T) {
+	var c CDF
+	c.AddAll([]float64{3, 1, 2, 5, 4})
+	s := c.Snapshot()
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if got := s.Quantile(0.5); got != c.Quantile(0.5) {
+		t.Fatalf("snapshot p50 = %v, CDF p50 = %v", got, c.Quantile(0.5))
+	}
+	if got := s.Fraction(2); got != 0.4 {
+		t.Fatalf("Fraction(2) = %v, want 0.4", got)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	// Mutate the source; the snapshot must not move.
+	c.AddAll([]float64{100, 200, 300})
+	if s.N() != 5 || s.Quantile(1) != 5 {
+		t.Fatalf("snapshot changed after source Add: N=%d max=%v", s.N(), s.Quantile(1))
+	}
+	// Empty snapshot degrades like an empty CDF.
+	var empty CDF
+	es := empty.Snapshot()
+	if es.N() != 0 || !math.IsNaN(es.Quantile(0.5)) || !math.IsNaN(es.Mean()) || !math.IsNaN(es.Fraction(1)) {
+		t.Fatal("empty snapshot must report NaN statistics")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 // DefaultCapacityPPS is the packet rate at which one SMux saturates its CPU
@@ -79,6 +80,67 @@ type Mux struct {
 	offered      map[packet.FiveTuple]bool
 
 	ip packet.IPv4 // decode scratch
+
+	tel muxTelemetry
+}
+
+// muxTelemetry is the SMux's pre-resolved instrument block; all fields are
+// nil-safe no-ops until SetTelemetry is called.
+type muxTelemetry struct {
+	packets, encapped          telemetry.CounterShard
+	connHits, connMisses       telemetry.CounterShard
+	connInserts, connEvictions telemetry.CounterShard
+	fastPathOffers             telemetry.CounterShard
+
+	dropMalformed, dropUnknownVIP telemetry.CounterShard
+	dropNoBackend, dropEncapError telemetry.CounterShard
+
+	connections *telemetry.Gauge
+
+	rec  *telemetry.Recorder
+	node uint32
+}
+
+// SetTelemetry attaches the mux to a metric registry and flight recorder.
+// node identifies this SMux in trace events. Counters are shared across the
+// fleet on the same registry; each mux claims its own shard. The
+// smux.connections gauge tracks only this mux's table (last writer wins when
+// several muxes share a registry name; fleet-wide occupancy comes from the
+// per-mux Connections accessor). Call during setup, not concurrently with
+// Process.
+func (m *Mux) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	m.tel = muxTelemetry{
+		packets:        reg.Counter("smux.packets").Shard(),
+		encapped:       reg.Counter("smux.encapped").Shard(),
+		connHits:       reg.Counter("smux.conn.hits").Shard(),
+		connMisses:     reg.Counter("smux.conn.misses").Shard(),
+		connInserts:    reg.Counter("smux.conn.inserts").Shard(),
+		connEvictions:  reg.Counter("smux.conn.evictions").Shard(),
+		fastPathOffers: reg.Counter("smux.fastpath.offers").Shard(),
+		dropMalformed:  reg.Counter("smux.drops.malformed").Shard(),
+		dropUnknownVIP: reg.Counter("smux.drops.unknown_vip").Shard(),
+		dropNoBackend:  reg.Counter("smux.drops.no_backend").Shard(),
+		dropEncapError: reg.Counter("smux.drops.encap_error").Shard(),
+		connections:    reg.Gauge("smux.connections"),
+		rec:            rec,
+		node:           node,
+	}
+}
+
+// drop accounts a rejected packet and returns err unchanged.
+func (m *Mux) drop(reason telemetry.DropReason, dst packet.Addr, err error) error {
+	switch reason {
+	case telemetry.DropMalformed:
+		m.tel.dropMalformed.Inc()
+	case telemetry.DropUnknownVIP:
+		m.tel.dropUnknownVIP.Inc()
+	case telemetry.DropNoBackend:
+		m.tel.dropNoBackend.Inc()
+	case telemetry.DropEncapError:
+		m.tel.dropEncapError.Inc()
+	}
+	m.tel.rec.Record(telemetry.KindDrop, m.tel.node, uint32(dst), 0, uint64(reason))
+	return err
 }
 
 // New creates an SMux.
@@ -174,6 +236,7 @@ func (m *Mux) RemoveVIP(addr packet.Addr) error {
 			delete(m.conns, t)
 		}
 	}
+	m.tel.connections.Set(int64(len(m.conns)))
 	return nil
 }
 
@@ -207,6 +270,7 @@ func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
 				delete(m.conns, t)
 			}
 		}
+		m.tel.connections.Set(int64(len(m.conns)))
 		return nil
 	}
 	return ErrVIPNotFound
@@ -229,16 +293,24 @@ type Result struct {
 // packet is appended to out.
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.processed++
+	m.tel.packets.Inc()
+	sampled := m.tel.rec.Sample()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindPacketIn, m.tel.node, 0, 0, uint64(len(data)))
+	}
 	if err := m.ip.DecodeFromBytes(data); err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
 	e, ok := m.vips[m.ip.Dst]
 	if !ok {
-		return Result{}, ErrVIPNotFound
+		return Result{}, m.drop(telemetry.DropUnknownVIP, m.ip.Dst, ErrVIPNotFound)
 	}
 	tuple, err := packet.ExtractFiveTuple(data)
 	if err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropMalformed, m.ip.Dst, err)
+	}
+	if sampled {
+		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
 	}
 	sel := e
 	if e.ports != nil {
@@ -254,24 +326,45 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 			dip, pinned = d, true
 		}
 	}
-	if !pinned {
+	if pinned {
+		m.tel.connHits.Inc()
+	} else {
+		m.tel.connMisses.Inc()
 		member, err := sel.group.SelectTuple(tuple)
 		if err != nil {
-			return Result{}, err
+			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
 		}
 		dip = sel.encaps[member]
 		if !m.cfg.DisableConnTracking && len(m.conns) < m.cfg.MaxConnections {
 			m.conns[tuple] = dip
 			m.connOrder = append(m.connOrder, tuple)
+			m.tel.connInserts.Inc()
 			m.evictIfNeeded()
+			m.tel.connections.Set(int64(len(m.conns)))
 		}
+	}
+	if sampled {
+		aux := uint64(0)
+		if pinned {
+			aux = 1
+		}
+		m.tel.rec.Record(telemetry.KindECMPPick, m.tel.node, uint32(tuple.Dst), uint32(dip), aux)
 	}
 
 	pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, dip, data, 64)
 	if err != nil {
-		return Result{}, err
+		return Result{}, m.drop(telemetry.DropEncapError, tuple.Dst, err)
 	}
-	return Result{Encap: dip, Packet: pkt, Pinned: pinned, FastPath: m.fastPathOffer(tuple, dip)}, nil
+	m.tel.encapped.Inc()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindEncap, m.tel.node, uint32(tuple.Dst), uint32(dip), 0)
+	}
+	offer := m.fastPathOffer(tuple, dip)
+	if offer != nil {
+		m.tel.fastPathOffers.Inc()
+		m.tel.rec.Record(telemetry.KindFastPath, m.tel.node, uint32(tuple.Dst), uint32(dip), 0)
+	}
+	return Result{Encap: dip, Packet: pkt, Pinned: pinned, FastPath: offer}, nil
 }
 
 // evictIfNeeded trims stale FIFO entries whose connections have already been
@@ -281,6 +374,7 @@ func (m *Mux) evictIfNeeded() {
 		t := m.connOrder[0]
 		m.connOrder = m.connOrder[1:]
 		delete(m.conns, t)
+		m.tel.connEvictions.Inc()
 	}
 }
 

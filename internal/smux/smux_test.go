@@ -7,6 +7,7 @@ import (
 	"duet/internal/hmux"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 var (
@@ -400,5 +401,181 @@ func TestFastPathNilPredicateOffersAll(t *testing.T) {
 	res, err := m.Process(vipPacket(1, 80), nil)
 	if err != nil || res.FastPath == nil {
 		t.Fatalf("nil predicate should offer for everyone: %v", err)
+	}
+}
+
+// Satellite test (observability PR): an offer whose VIP is subsequently
+// removed. The mux must refuse further packets for the flow rather than
+// serving stale pinned state, and the once-per-flow offer ledger survives
+// VIP churn — the flow is not re-offered after the VIP returns.
+func TestFastPathOfferAfterVIPRemoval(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	vip := &service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}
+	if err := m.AddVIP(vip); err != nil {
+		t.Fatal(err)
+	}
+	m.EnableFastPath(nil)
+	pkt := vipPacket(1, 80)
+	res, err := m.Process(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath == nil {
+		t.Fatal("no offer for fresh flow")
+	}
+	if err := m.RemoveVIP(vipAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Process(pkt, nil); err != ErrVIPNotFound {
+		t.Fatalf("Process after VIP removal: err = %v, want ErrVIPNotFound", err)
+	}
+	// VIP comes back (e.g. re-announced after an operator action).
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Process(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pinned {
+		t.Fatal("pinned connection must have been dropped with the VIP")
+	}
+	if res.FastPath != nil {
+		t.Fatal("flow re-offered after VIP churn; offers are once per flow")
+	}
+}
+
+// Satellite test (observability PR): fast-path behaviour across a DIP health
+// flap. When the offered DIP is removed, the pinned connection is terminated
+// and subsequent packets rehash to a survivor — but the mux never re-offers
+// the flow, so a host agent that accepted the original offer keeps bypassing
+// the mux toward the dead DIP. This is exactly the Ananta fast-path
+// trade-off (§2.1) that Duet's design sidesteps.
+func TestFastPathAfterDIPHealthFlap(t *testing.T) {
+	m := New(DefaultConfig(selfAddr))
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	m.EnableFastPath(nil)
+	pkt := vipPacket(5, 80)
+	first, err := m.Process(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FastPath == nil {
+		t.Fatal("no offer for fresh flow")
+	}
+	// Health flap: the DIP the flow was offered goes down.
+	if err := m.RemoveBackend(vipAddr, first.Encap); err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Process(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Pinned {
+		t.Fatal("connection pinned to a failed DIP must be terminated")
+	}
+	if second.Encap == first.Encap {
+		t.Fatalf("rehash picked the failed DIP %v", first.Encap)
+	}
+	if second.FastPath != nil {
+		t.Fatal("flow re-offered after DIP flap; the stale offer is the host agent's problem")
+	}
+	// Once the DIP recovers, fresh flows are offered again.
+	if err := m.UpdateVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2")}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := m.Process(vipPacket(6, 80), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.FastPath == nil {
+		t.Fatal("no offer for a fresh flow after DIP recovery")
+	}
+}
+
+// TestProcessTelemetry checks the counters and trace events the SMux emits.
+func TestProcessTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(64)
+	rec.SetSampleEvery(1)
+	m := New(DefaultConfig(selfAddr))
+	m.SetTelemetry(reg, rec, 9)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := vipPacket(1, 80)
+	if _, err := m.Process(pkt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Process(pkt, nil); err != nil { // pinned now
+		t.Fatal(err)
+	}
+	if _, err := m.Process([]byte{1, 2}, nil); err == nil {
+		t.Fatal("malformed packet accepted")
+	}
+	other := packet.BuildTCP(packet.FiveTuple{
+		Src: packet.MustParseAddr("20.0.0.9"), Dst: packet.MustParseAddr("10.9.9.9"),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+	if _, err := m.Process(other, nil); err != ErrVIPNotFound {
+		t.Fatalf("unknown VIP: err = %v", err)
+	}
+	want := map[string]uint64{
+		"smux.packets":           4,
+		"smux.encapped":          2,
+		"smux.conn.hits":         1,
+		"smux.conn.misses":       1,
+		"smux.conn.inserts":      1,
+		"smux.drops.malformed":   1,
+		"smux.drops.unknown_vip": 1,
+	}
+	for name, w := range want {
+		if got := reg.Counter(name).Value(); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+	if got := reg.Gauge("smux.connections").Value(); got != 1 {
+		t.Errorf("smux.connections = %d, want 1", got)
+	}
+	// First packet leaves a full sampled trace; second marks the pick pinned.
+	var picks []uint64
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.KindECMPPick {
+			picks = append(picks, e.Aux)
+			if e.Node != 9 {
+				t.Errorf("pick event node = %d, want 9", e.Node)
+			}
+		}
+	}
+	if len(picks) != 2 || picks[0] != 0 || picks[1] != 1 {
+		t.Errorf("pick pinned-aux sequence = %v, want [0 1]", picks)
+	}
+}
+
+// TestProcessZeroAllocWithTelemetry: full instrumentation (sampling on) must
+// not add allocations to the steady-state packet path.
+func TestProcessZeroAllocWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(256)
+	rec.SetSampleEvery(4)
+	m := New(DefaultConfig(selfAddr))
+	m.SetTelemetry(reg, rec, 1)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := vipPacket(1, 80)
+	buf := make([]byte, 0, 256)
+	if _, err := m.Process(pkt, buf[:0]); err != nil { // warm: insert conn
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := m.Process(pkt, buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Process with telemetry: %v allocs/op, want 0", allocs)
 	}
 }

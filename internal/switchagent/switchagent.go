@@ -19,6 +19,7 @@ import (
 	"duet/internal/hmux"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 // Op kinds accepted by the agent (the "RESTful API" of §6).
@@ -114,6 +115,31 @@ type Agent struct {
 	journal []Op // successfully applied ops, for replay
 
 	acks []Ack // completed operations, drained by Acks()
+
+	tel agentTelemetry
+}
+
+// agentTelemetry holds the switch agent's instrument handles (all nil-safe).
+type agentTelemetry struct {
+	ops      telemetry.CounterShard
+	opErrors telemetry.CounterShard
+	progSecs *telemetry.Histogram
+	rec      *telemetry.Recorder
+	node     uint32
+}
+
+// SetTelemetry attaches the agent to a metric registry and flight recorder.
+// node identifies the switch in trace events. Table-programming latency is
+// observed into "switchagent.program.seconds" with bounds spanning the §7.3
+// measurements (DIP-only ops ~50-60ms up to queued FIB ops near a second).
+func (a *Agent) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	a.tel = agentTelemetry{
+		ops:      reg.Counter("switchagent.ops").Shard(),
+		opErrors: reg.Counter("switchagent.op_errors").Shard(),
+		progSecs: reg.Histogram("switchagent.program.seconds", []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6}),
+		rec:      rec,
+		node:     node,
+	}
 }
 
 // ErrNoMux is returned when the agent has no switch attached.
@@ -208,12 +234,22 @@ func (a *Agent) Submit(op Op, now float64) Ack {
 	a.journal = append(a.journal, op)
 	ack := Ack{Op: op, DoneAt: doneAt, RoutedAt: routedAt}
 	a.acks = append(a.acks, ack)
+	a.tel.ops.Inc()
+	a.tel.progSecs.Observe(doneAt - now) // includes queueing behind a busy ASIC
+	// A=the affected address, B=op kind; stamped with the virtual completion
+	// time so the trace interleaves correctly with BGP convergence events.
+	addr := op.Addr
+	if op.Kind == OpAddVIP {
+		addr = op.VIP.Addr
+	}
+	a.tel.rec.RecordAt(doneAt, telemetry.KindTableProgram, a.tel.node, uint32(addr), uint32(op.Kind), 0)
 	return ack
 }
 
 func (a *Agent) fail(op Op, now float64, err error) Ack {
 	ack := Ack{Op: op, DoneAt: now, RoutedAt: now, Err: err}
 	a.acks = append(a.acks, ack)
+	a.tel.opErrors.Inc()
 	return ack
 }
 

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteText renders every registered metric, sorted by name, one per line:
+//
+//	counter   hmux.packets                    123456
+//	gauge     smux.connections                1024
+//	histogram switchagent.program.seconds     count=12 sum=5.4 p50=0.41 p99=0.46
+//
+// The output is stable across runs with the same metric values.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, c := range r.counters() {
+		if _, err := fmt.Fprintf(w, "counter   %-40s %d\n", c.Name(), c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.gaugeList() {
+		if _, err := fmt.Fprintf(w, "gauge     %-40s %d\n", g.Name(), g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.histList() {
+		s := h.Snapshot()
+		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%.6g p50=%.6g p99=%.6g\n",
+			h.Name(), s.Count, s.Sum, s.Quantile(0.5), s.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonMetric is one metric in the JSON export.
+type jsonMetric struct {
+	Name   string    `json:"name"`
+	Type   string    `json:"type"`
+	Value  uint64    `json:"value,omitempty"`
+	Gauge  int64     `json:"gauge,omitempty"`
+	Count  uint64    `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// WriteJSON renders the registry as a JSON array of metrics, sorted by type
+// then name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var out []jsonMetric
+	for _, c := range r.counters() {
+		out = append(out, jsonMetric{Name: c.Name(), Type: "counter", Value: c.Value()})
+	}
+	for _, g := range r.gaugeList() {
+		out = append(out, jsonMetric{Name: g.Name(), Type: "gauge", Gauge: g.Value()})
+	}
+	for _, h := range r.histList() {
+		s := h.Snapshot()
+		out = append(out, jsonMetric{
+			Name: h.Name(), Type: "histogram",
+			Count: s.Count, Sum: s.Sum, Bounds: s.Bounds, Counts: s.Counts,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// fmtAddr renders a host-byte-order IPv4 address (the dataplane's
+// packet.Addr representation) as a dotted quad. Kept local so the telemetry
+// package has no dependencies beyond the standard library.
+func fmtAddr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// String renders an event for trace output.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.6fs #%-6d %-17s node=%d", e.Time, e.Seq, e.Kind, e.Node)
+	switch e.Kind {
+	case KindPacketIn:
+		fmt.Fprintf(&b, " dst=%s len=%d", fmtAddr(e.A), e.Aux)
+	case KindVIPLookup, KindDSR:
+		fmt.Fprintf(&b, " vip=%s", fmtAddr(e.A))
+	case KindECMPPick:
+		how := "hashed"
+		if e.Aux == 1 {
+			how = "pinned"
+		}
+		fmt.Fprintf(&b, " vip=%s dip=%s %s", fmtAddr(e.A), fmtAddr(e.B), how)
+	case KindEncap, KindTIPHop, KindFastPath, KindDecap, KindSNATExhausted:
+		fmt.Fprintf(&b, " vip=%s dst=%s", fmtAddr(e.A), fmtAddr(e.B))
+	case KindDrop:
+		fmt.Fprintf(&b, " dst=%s reason=%s", fmtAddr(e.A), DropReason(e.Aux))
+	case KindBGPAnnounce, KindBGPWithdraw:
+		fmt.Fprintf(&b, " prefix=%s/%d", fmtAddr(e.A), e.Aux)
+	case KindTableProgram:
+		fmt.Fprintf(&b, " vip=%s op=%d", fmtAddr(e.A), e.Aux)
+	case KindMigrationStep:
+		fmt.Fprintf(&b, " vip=%s step=%d", fmtAddr(e.A), e.Aux)
+	case KindHealthTransition:
+		state := "down"
+		if e.Aux == 1 {
+			state = "up"
+		}
+		fmt.Fprintf(&b, " dip=%s %s", fmtAddr(e.A), state)
+	default:
+		if e.A != 0 || e.B != 0 || e.Aux != 0 {
+			fmt.Fprintf(&b, " a=%s b=%s aux=%d", fmtAddr(e.A), fmtAddr(e.B), e.Aux)
+		}
+	}
+	return b.String()
+}
+
+// WriteTrace renders the recorder's current contents, oldest first.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	for _, e := range r.Snapshot() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropReason labels why a dataplane rejected a packet. The values are shared
+// by the HMux, SMux and host-agent drop counters and carried in KindDrop
+// events' Aux field.
+type DropReason uint8
+
+const (
+	DropNone       DropReason = iota
+	DropMalformed             // packet failed to decode or carried no 5-tuple
+	DropUnknownVIP            // destination matches no programmed VIP/TIP
+	DropNoBackend             // VIP has no live tunnel entry (empty ECMP group)
+	DropEncapError            // encapsulation failed (buffer/length)
+	DropNotLocal              // host agent: no local DIP serves the VIP
+)
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropMalformed:
+		return "malformed"
+	case DropUnknownVIP:
+		return "unknown-vip"
+	case DropNoBackend:
+		return "no-tunnel-entry"
+	case DropEncapError:
+		return "encap-error"
+	case DropNotLocal:
+		return "not-local"
+	}
+	return "unknown"
+}
+
+// Quantiles is a convenience for exporters: it renders a histogram line
+// with the given quantile points (e.g. for a top view).
+func (s HistogramSnapshot) Quantiles(ps ...float64) string {
+	var b strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "p%g=%.6g", math.Round(p*100), s.Quantile(p))
+	}
+	return b.String()
+}

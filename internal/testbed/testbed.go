@@ -28,6 +28,7 @@ import (
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/telemetry"
 	"duet/internal/topology"
 )
 
@@ -99,6 +100,9 @@ type Testbed struct {
 	seq    int
 	events eventQueue
 	rng    *rand.Rand
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
 }
 
 // New builds the paper's testbed: the Figure 10 topology with an HMux on
@@ -117,19 +121,34 @@ func New(seed int64) *Testbed {
 		pktBytes:    500,
 		aggregate:   packet.MustParsePrefix("10.0.0.0/16"),
 		rng:         rand.New(rand.NewSource(seed)),
+		reg:         telemetry.NewRegistry(),
+		rec:         telemetry.NewRecorder(telemetry.DefaultRecorderSize),
 	}
+	// Trace events are stamped with the testbed's virtual clock, making
+	// flight-recorder traces fully deterministic for a given seed.
+	tb.rec.SetClock(func() float64 { return tb.now })
+	tb.Routes.SetTelemetry(tb.reg, tb.rec)
 	for s := range tb.HMuxes {
 		tb.HMuxes[s] = hmux.New(hmux.DefaultConfig(packet.AddrFrom4(172, 16, 0, byte(s+1))))
+		tb.HMuxes[s].SetTelemetry(tb.reg, tb.rec, uint32(s))
 		tb.switchUp[s] = true
 	}
 	// Paper §7: ToRs 1–3 each connect a server acting as SMux.
 	for i := 0; i < 3; i++ {
 		sm := smux.New(smux.DefaultConfig(packet.AddrFrom4(192, 168, 0, byte(i+1))))
+		sm.SetTelemetry(tb.reg, tb.rec, uint32(smuxNodeBase)+uint32(i))
 		tb.SMuxes = append(tb.SMuxes, sm)
 		tb.smuxUp = append(tb.smuxUp, true)
 		tb.Routes.Announce(tb.aggregate, smuxNodeBase+bgp.NodeID(i), 0)
 	}
 	return tb
+}
+
+// Telemetry exposes the testbed's metric registry and flight recorder. The
+// recorder runs on the virtual clock, so two runs with the same seed and
+// scenario produce identical traces.
+func (tb *Testbed) Telemetry() (*telemetry.Registry, *telemetry.Recorder) {
+	return tb.reg, tb.rec
 }
 
 // Now returns the virtual clock.
@@ -199,7 +218,11 @@ func (tb *Testbed) SetPacketBytes(b float64) { tb.pktBytes = b }
 func (tb *Testbed) FailSwitch(sw topology.SwitchID, at float64) {
 	tb.Schedule(at, func() {
 		tb.switchUp[sw] = false
+		tb.rec.RecordAt(tb.now, telemetry.KindSwitchFail, uint32(sw), 0, 0, 0)
 		tb.Routes.WithdrawAll(bgp.NodeID(sw), tb.now+LatFailDetect+LatBGP)
+		// The controller reacts once the withdrawal has converged and the
+		// routing change is visible to it (§5.1).
+		tb.rec.RecordAt(tb.now+LatFailDetect+LatBGP, telemetry.KindControllerReact, uint32(sw), 0, 0, 0)
 	})
 }
 
@@ -210,6 +233,7 @@ func (tb *Testbed) FailSwitch(sw topology.SwitchID, at float64) {
 func (tb *Testbed) FailSMux(idx int, at float64) {
 	tb.Schedule(at, func() {
 		tb.smuxUp[idx] = false
+		tb.rec.RecordAt(tb.now, telemetry.KindSMuxFail, uint32(smuxNodeBase)+uint32(idx), 0, 0, 0)
 		tb.Routes.Withdraw(tb.aggregate, smuxNodeBase+bgp.NodeID(idx), tb.now+LatFailDetect+LatBGP)
 	})
 }
@@ -240,6 +264,7 @@ func (tb *Testbed) MigrateToSMux(vip packet.Addr, sw topology.SwitchID, at float
 		VIPDelay:  tb.jitter(LatRemoveVIPFIB),
 		BGPDelay:  tb.jitter(LatBGP),
 	}
+	tb.rec.RecordAt(at, telemetry.KindMigrationStep, uint32(sw), uint32(vip), 0, 1)
 	fibDone := at + mt.DIPsDelay + mt.VIPDelay
 	tb.Schedule(fibDone, func() {
 		if tb.HMuxes[sw].HasVIP(vip) {
@@ -247,6 +272,7 @@ func (tb *Testbed) MigrateToSMux(vip packet.Addr, sw topology.SwitchID, at float
 				panic(fmt.Sprintf("testbed: remove VIP: %v", err))
 			}
 		}
+		tb.rec.RecordAt(tb.now, telemetry.KindTableProgram, uint32(sw), uint32(vip), uint32(1), 0)
 		tb.Routes.Withdraw(packet.HostPrefix(vip), bgp.NodeID(sw), tb.now+mt.BGPDelay)
 	})
 	return mt
@@ -260,6 +286,7 @@ func (tb *Testbed) MigrateToHMux(vip packet.Addr, sw topology.SwitchID, at float
 		VIPDelay:  tb.jitter(LatAddVIPFIB),
 		BGPDelay:  tb.jitter(LatBGP),
 	}
+	tb.rec.RecordAt(at, telemetry.KindMigrationStep, uint32(sw), uint32(vip), 0, 2)
 	fibDone := at + mt.DIPsDelay + mt.VIPDelay
 	tb.Schedule(fibDone, func() {
 		backends, ok := tb.vipBackends[vip]
@@ -271,6 +298,7 @@ func (tb *Testbed) MigrateToHMux(vip packet.Addr, sw topology.SwitchID, at float
 				panic(fmt.Sprintf("testbed: add VIP: %v", err))
 			}
 		}
+		tb.rec.RecordAt(tb.now, telemetry.KindTableProgram, uint32(sw), uint32(vip), uint32(0), 0)
 		tb.Routes.Announce(packet.HostPrefix(vip), bgp.NodeID(sw), tb.now+mt.BGPDelay)
 	})
 	return mt

@@ -1,11 +1,13 @@
 package testbed
 
 import (
+	"reflect"
 	"testing"
 
 	"duet/internal/latmodel"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 func vipN(i int) packet.Addr { return packet.AddrFrom4(10, 0, 0, byte(i+1)) }
@@ -429,5 +431,74 @@ func TestSMuxFailureLoadShifts(t *testing.T) {
 	tb.RunUntil(1)
 	if pps := tb.smuxBackgroundPPS(); pps != 150_000 {
 		t.Fatalf("per-SMux pps after failure = %v, want 150k over 2 SMuxes", pps)
+	}
+}
+
+// failoverTrace runs the Figure 12 failover scenario — VIP on an HMux, the
+// switch dies, the controller re-places the VIP on another switch — and
+// returns the flight-recorder trace.
+func failoverTrace(seed int64) []telemetry.Event {
+	tb := New(seed)
+	v := &service.VIP{Addr: vipN(7), Backends: backendsFor(7)}
+	failSW := tb.Topo.AggID(1, 0)
+	if err := tb.AssignVIPToHMux(v, failSW); err != nil {
+		panic(err)
+	}
+	tb.RunUntil(0.1)
+	tb.FailSwitch(failSW, 0.2)
+	tb.RunUntil(0.3)
+	tb.MigrateToHMux(v.Addr, tb.Topo.TorID(0, 0), 0.3)
+	tb.RunUntil(1.0)
+	_, rec := tb.Telemetry()
+	return rec.Snapshot()
+}
+
+// TestFailoverFlightRecorderTrace checks the tentpole's acceptance
+// scenario: a testbed failover leaves a deterministic trace containing the
+// BGP withdrawal, the controller reaction, and the table reprogramming in
+// causal order on the virtual clock.
+func TestFailoverFlightRecorderTrace(t *testing.T) {
+	evs := failoverTrace(5)
+	vip := uint32(vipN(7))
+
+	// Locate the causal chain after the failure event.
+	order := []struct {
+		kind  telemetry.Kind
+		match func(e telemetry.Event) bool
+	}{
+		{telemetry.KindSwitchFail, func(e telemetry.Event) bool { return true }},
+		{telemetry.KindBGPWithdraw, func(e telemetry.Event) bool { return e.A == vip }},
+		{telemetry.KindControllerReact, func(e telemetry.Event) bool { return true }},
+		{telemetry.KindMigrationStep, func(e telemetry.Event) bool { return e.A == vip && e.Aux == 2 }},
+		{telemetry.KindTableProgram, func(e telemetry.Event) bool { return e.A == vip }},
+		{telemetry.KindBGPAnnounce, func(e telemetry.Event) bool { return e.A == vip }},
+	}
+	pos := -1
+	lastT := -1.0
+	for _, want := range order {
+		found := -1
+		for i := pos + 1; i < len(evs); i++ {
+			if evs[i].Kind == want.kind && want.match(evs[i]) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			var have []string
+			for _, e := range evs {
+				have = append(have, e.Kind.String())
+			}
+			t.Fatalf("no %v after index %d in trace %v", want.kind, pos, have)
+		}
+		if evs[found].Time < lastT {
+			t.Fatalf("%v at t=%v precedes previous event at t=%v", want.kind, evs[found].Time, lastT)
+		}
+		pos, lastT = found, evs[found].Time
+	}
+
+	// The trace is deterministic: same seed and scenario, identical events.
+	again := failoverTrace(5)
+	if !reflect.DeepEqual(evs, again) {
+		t.Fatal("two identically seeded runs produced different traces")
 	}
 }
