@@ -28,6 +28,7 @@ allocs:
 	$(GO) test -run XXX -bench BenchmarkTelemetryHotPath -benchtime 100x -benchmem ./internal/telemetry
 
 # Dataplane throughput reference (compare against the seed baseline before
-# merging instrumentation changes).
+# merging instrumentation changes; parallel scaling baseline is recorded in
+# BENCH_deliver.json).
 bench:
-	$(GO) test -run XXX -bench BenchmarkDataplaneChain -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkDataplaneChain|BenchmarkDeliverParallel' -benchmem .

@@ -17,6 +17,7 @@
 package duet_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -456,6 +457,34 @@ func BenchmarkDataplaneChain(b *testing.B) {
 		if _, _, err := packet.Decapsulate(res.Packet); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDeliverParallel measures the concurrent read path: a byte-accurate
+// cluster flooded through core.DeliverBatch at 1, 4, and 8 workers. Every
+// lookup table on this path is an epoch-published immutable snapshot, so the
+// only shared-write state a packet touches is its SMux connection-table shard;
+// scaling to 4 workers should be near-linear. Compare against the recorded
+// baseline in BENCH_deliver.json.
+func BenchmarkDeliverParallel(b *testing.B) {
+	f, err := testbed.NewFlood(testbed.FloodConfig{NumVIPs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := f.Packets(8192)
+	f.Run(pkts, 1) // warm connection tables
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := f.Run(pkts, workers)
+				if st.Failed != 0 {
+					b.Fatalf("%d deliveries failed", st.Failed)
+				}
+			}
+			perPkt := b.Elapsed().Seconds() / float64(b.N*len(pkts))
+			b.ReportMetric(perPkt*1e9, "ns/pkt")
+			b.ReportMetric(1/perPkt/1e6, "Mpps")
+		})
 	}
 }
 

@@ -1,5 +1,12 @@
 package main
 
+// Every metrics.CDF in this command is goroutine-confined: duetsim renders
+// figures serially, which is exactly the single-goroutine use the CDF
+// contract requires (its read methods lazily re-sort). Anything that fans
+// work across goroutines must confine one CDF per worker and aggregate with
+// metrics.MergeSnapshots, as testbed.Flood.RunTimed and the duetbench
+// deliver sweep do.
+
 import (
 	"fmt"
 	"math/rand"

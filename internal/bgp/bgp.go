@@ -9,11 +9,20 @@
 // The table is time-aware: announcements and withdrawals carry an effective
 // time, and Lookup answers "what did the fabric believe at time t", which is
 // what the discrete-event testbed needs to reproduce Figures 12–14.
+//
+// Concurrency: the table is a persistent binary trie. Mutators (Announce,
+// Withdraw, WithdrawAll) serialize on an internal lock and path-copy only the
+// nodes they touch, then publish the new root through an atomic pointer with
+// a bumped epoch. Readers (Lookup, Pick, Routes) load the root once and walk
+// an immutable structure, so any number of dataplane goroutines can resolve
+// routes concurrently with control-plane churn and never observe a torn or
+// partially applied update.
 package bgp
 
 import (
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/packet"
 	"duet/internal/telemetry"
@@ -27,20 +36,62 @@ type NodeID int32
 // matched to the paper's measured sub-40ms BGP convergence (§7.2).
 const DefaultConvergence = 0.035
 
-type routeState struct {
+// routeEntry is one (nexthop, lifetime) pair stored in a trie node. Entries
+// are immutable once published; refreshing a route replaces the entry.
+type routeEntry struct {
+	nh          NodeID
 	visibleAt   float64 // time the announcement has converged
 	withdrawnAt float64 // time a withdrawal has converged (+Inf while active)
 }
 
+// active reports whether the route is usable at time now.
+func (e routeEntry) active(now float64) bool {
+	return now >= e.visibleAt && now < e.withdrawnAt
+}
+
+// trieNode is one node of the persistent trie. Nodes are immutable after
+// publication: mutators copy every node on the root→prefix path (and the
+// terminal node's route slice) instead of writing in place.
 type trieNode struct {
 	children [2]*trieNode
-	routes   map[NodeID]*routeState // nil until a prefix terminates here
+	routes   []routeEntry // sorted by NodeID; nil until a prefix terminates here
+}
+
+// clone returns a shallow copy of n whose route slice is also copied, ready
+// for mutation before publication.
+func (n *trieNode) clone() *trieNode {
+	cp := &trieNode{children: n.children}
+	if n.routes != nil {
+		cp.routes = append(make([]routeEntry, 0, len(n.routes)), n.routes...)
+	}
+	return cp
+}
+
+func (n *trieNode) findRoute(nh NodeID) int {
+	for i := range n.routes {
+		if n.routes[i].nh == nh {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n *trieNode) hasActive(now float64) bool {
+	for i := range n.routes {
+		if n.routes[i].active(now) {
+			return true
+		}
+	}
+	return false
 }
 
 // Table is a time-aware longest-prefix-match routing table representing the
-// converged view of the whole fabric.
+// converged view of the whole fabric. Reads are lock-free; writes serialize
+// on an internal mutex and publish copy-on-write snapshots.
 type Table struct {
-	root *trieNode
+	mu    sync.Mutex // serializes mutators
+	root  atomic.Pointer[trieNode]
+	epoch atomic.Uint64 // bumped on every published mutation
 
 	telAnnounces telemetry.CounterShard
 	telWithdraws telemetry.CounterShard
@@ -48,7 +99,11 @@ type Table struct {
 }
 
 // NewTable creates an empty table.
-func NewTable() *Table { return &Table{root: &trieNode{}} }
+func NewTable() *Table {
+	t := &Table{}
+	t.root.Store(&trieNode{})
+	return t
+}
 
 // SetTelemetry attaches the table to a metric registry and flight recorder.
 // Route events are stamped with their convergence time (visibleAt /
@@ -60,141 +115,242 @@ func (t *Table) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
 	t.telRec = rec
 }
 
-func (t *Table) nodeFor(p packet.Prefix, create bool) *trieNode {
-	n := t.root
+// Epoch returns the number of published mutations. Two equal epochs from the
+// same table bracket an unchanged routing view.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// Snapshot is an immutable view of the table at one instant. It is a small
+// value (copying it does not copy the trie) and all its methods are safe for
+// concurrent use; later mutations of the source table are never visible
+// through it.
+type Snapshot struct {
+	root  *trieNode
+	epoch uint64
+}
+
+// Snapshot captures the current routing view.
+func (t *Table) Snapshot() Snapshot {
+	return Snapshot{root: t.root.Load(), epoch: t.epoch.Load()}
+}
+
+// Epoch returns the table epoch the snapshot was taken at.
+func (s Snapshot) Epoch() uint64 { return s.epoch }
+
+// mutate path-copies the root→prefix chain, applies fn to the (cloned)
+// terminal node, and publishes the new root. Must be called with t.mu held.
+// If create is false and the prefix path does not exist, fn is not called
+// and nothing is published; mutate reports whether it published.
+func (t *Table) mutate(p packet.Prefix, create bool, fn func(n *trieNode) bool) bool {
+	old := t.root.Load()
+	newRoot := old.clone()
+	n := newRoot
 	for i := 0; i < p.Bits; i++ {
 		bit := (uint32(p.Addr) >> (31 - i)) & 1
-		if n.children[bit] == nil {
+		child := n.children[bit]
+		if child == nil {
 			if !create {
-				return nil
+				return false
 			}
-			n.children[bit] = &trieNode{}
+			child = &trieNode{}
 		}
-		n = n.children[bit]
+		cp := child.clone()
+		n.children[bit] = cp
+		n = cp
 	}
-	return n
+	if !fn(n) {
+		return false
+	}
+	t.root.Store(newRoot)
+	t.epoch.Add(1)
+	return true
 }
 
 // Announce installs a route for prefix via nexthop, visible to the fabric at
 // time visibleAt (the announcement time plus convergence delay). Re-announcing
 // an active route is a no-op except that it cancels a pending withdrawal.
 func (t *Table) Announce(p packet.Prefix, nh NodeID, visibleAt float64) {
-	n := t.nodeFor(p, true)
-	if n.routes == nil {
-		n.routes = make(map[NodeID]*routeState)
-	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.telAnnounces.Inc()
 	t.telRec.RecordAt(visibleAt, telemetry.KindBGPAnnounce, uint32(nh), uint32(p.Addr), 0, uint64(p.Bits))
-	if st, ok := n.routes[nh]; ok {
-		// Refresh: keep the earliest visibility, clear any withdrawal.
-		if visibleAt < st.visibleAt {
-			st.visibleAt = visibleAt
+	t.mutate(p, true, func(n *trieNode) bool {
+		if i := n.findRoute(nh); i >= 0 {
+			// Refresh: keep the earliest visibility, clear any withdrawal.
+			e := n.routes[i]
+			if visibleAt < e.visibleAt {
+				e.visibleAt = visibleAt
+			}
+			e.withdrawnAt = math.Inf(1)
+			n.routes[i] = e
+			return true
 		}
-		st.withdrawnAt = math.Inf(1)
-		return
-	}
-	n.routes[nh] = &routeState{visibleAt: visibleAt, withdrawnAt: math.Inf(1)}
+		// Insert keeping the slice sorted by NodeID, so readers can pick the
+		// k-th next hop deterministically without sorting.
+		e := routeEntry{nh: nh, visibleAt: visibleAt, withdrawnAt: math.Inf(1)}
+		at := len(n.routes)
+		for i := range n.routes {
+			if n.routes[i].nh > nh {
+				at = i
+				break
+			}
+		}
+		n.routes = append(n.routes, routeEntry{})
+		copy(n.routes[at+1:], n.routes[at:])
+		n.routes[at] = e
+		return true
+	})
 }
 
 // Withdraw removes the route for prefix via nexthop, effective at time
 // effectiveAt. Withdrawing an unknown route is a no-op.
 func (t *Table) Withdraw(p packet.Prefix, nh NodeID, effectiveAt float64) {
-	n := t.nodeFor(p, false)
-	if n == nil || n.routes == nil {
-		return
-	}
-	if st, ok := n.routes[nh]; ok {
-		if effectiveAt < st.withdrawnAt {
-			st.withdrawnAt = effectiveAt
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mutate(p, false, func(n *trieNode) bool {
+		i := n.findRoute(nh)
+		if i < 0 {
+			return false
+		}
+		if effectiveAt < n.routes[i].withdrawnAt {
+			n.routes[i].withdrawnAt = effectiveAt
 		}
 		t.telWithdraws.Inc()
 		t.telRec.RecordAt(effectiveAt, telemetry.KindBGPWithdraw, uint32(nh), uint32(p.Addr), 0, uint64(p.Bits))
-	}
-}
-
-// active reports whether a route state is usable at time now.
-func (st *routeState) active(now float64) bool {
-	return now >= st.visibleAt && now < st.withdrawnAt
+		return true
+	})
 }
 
 // Lookup returns the next hops of the longest prefix matching addr with at
 // least one active route at time now, sorted for determinism. ok is false if
 // nothing matches.
 func (t *Table) Lookup(addr packet.Addr, now float64) (nhs []NodeID, matched packet.Prefix, ok bool) {
-	n := t.root
+	return t.Snapshot().Lookup(addr, now)
+}
+
+// Lookup resolves addr against the snapshot (see Table.Lookup).
+func (s Snapshot) Lookup(addr packet.Addr, now float64) (nhs []NodeID, matched packet.Prefix, ok bool) {
+	bestNode, bestBits := s.match(addr, now)
+	if bestNode == nil {
+		return nil, packet.Prefix{}, false
+	}
+	for _, e := range bestNode.routes {
+		if e.active(now) {
+			nhs = append(nhs, e.nh)
+		}
+	}
+	return nhs, packet.PrefixFrom(addr, bestBits), true
+}
+
+// Pick resolves addr like Lookup but returns the (hash mod n)-th of the n
+// active next hops directly — the ECMP decision — without allocating. This is
+// the dataplane entry point.
+func (s Snapshot) Pick(addr packet.Addr, now float64, hash uint64) (nh NodeID, matched packet.Prefix, ok bool) {
+	bestNode, bestBits := s.match(addr, now)
+	if bestNode == nil {
+		return 0, packet.Prefix{}, false
+	}
+	active := 0
+	for _, e := range bestNode.routes {
+		if e.active(now) {
+			active++
+		}
+	}
+	k := int(hash % uint64(active))
+	for _, e := range bestNode.routes {
+		if !e.active(now) {
+			continue
+		}
+		if k == 0 {
+			return e.nh, packet.PrefixFrom(addr, bestBits), true
+		}
+		k--
+	}
+	return 0, packet.Prefix{}, false // unreachable: active > 0
+}
+
+// match returns the deepest node on addr's path holding an active route.
+func (s Snapshot) match(addr packet.Addr, now float64) (*trieNode, int) {
+	n := s.root
 	var bestNode *trieNode
 	var bestBits int
-	if hasActive(n, now) {
+	if n.hasActive(now) {
 		bestNode, bestBits = n, 0
 	}
 	for i := 0; i < 32 && n != nil; i++ {
 		bit := (uint32(addr) >> (31 - i)) & 1
 		n = n.children[bit]
-		if n != nil && hasActive(n, now) {
+		if n != nil && n.hasActive(now) {
 			bestNode, bestBits = n, i+1
 		}
 	}
-	if bestNode == nil {
-		return nil, packet.Prefix{}, false
-	}
-	for nh, st := range bestNode.routes {
-		if st.active(now) {
-			nhs = append(nhs, nh)
-		}
-	}
-	sort.Slice(nhs, func(i, j int) bool { return nhs[i] < nhs[j] })
-	return nhs, packet.PrefixFrom(addr, bestBits), true
-}
-
-func hasActive(n *trieNode, now float64) bool {
-	for _, st := range n.routes {
-		if st.active(now) {
-			return true
-		}
-	}
-	return false
+	return bestNode, bestBits
 }
 
 // WithdrawAll withdraws every route announced by nexthop anywhere in the
 // table, effective at effectiveAt — what the fabric does when it detects a
 // dead HMux (paper §5.1 "HMux failure").
 func (t *Table) WithdrawAll(nh NodeID, effectiveAt float64) {
-	var walk func(n *trieNode, addr uint32, bits int)
-	walk = func(n *trieNode, addr uint32, bits int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.root.Load()
+	var walk func(n *trieNode, addr uint32, bits int) *trieNode
+	walk = func(n *trieNode, addr uint32, bits int) *trieNode {
 		if n == nil {
-			return
+			return nil
 		}
-		if st, ok := n.routes[nh]; ok {
-			if effectiveAt < st.withdrawnAt {
-				st.withdrawnAt = effectiveAt
+		var cp *trieNode
+		ensure := func() *trieNode {
+			if cp == nil {
+				cp = n.clone()
 			}
+			return cp
+		}
+		if i := n.findRoute(nh); i >= 0 && effectiveAt < n.routes[i].withdrawnAt {
+			ensure().routes[i].withdrawnAt = effectiveAt
 			// One event per dead route, so a fabric-detected HMux failure
 			// leaves the same trace shape as explicit withdrawals.
 			t.telWithdraws.Inc()
 			t.telRec.RecordAt(effectiveAt, telemetry.KindBGPWithdraw, uint32(nh), addr, 0, uint64(bits))
 		}
 		if bits < 32 {
-			walk(n.children[0], addr, bits+1)
-			walk(n.children[1], addr|1<<(31-bits), bits+1)
+			if c := walk(n.children[0], addr, bits+1); c != nil && c != n.children[0] {
+				ensure().children[0] = c
+			}
+			if c := walk(n.children[1], addr|1<<(31-bits), bits+1); c != nil && c != n.children[1] {
+				ensure().children[1] = c
+			}
 		}
+		if cp != nil {
+			return cp
+		}
+		return n
 	}
-	walk(t.root, 0, 0)
+	newRoot := walk(old, 0, 0)
+	if newRoot != old {
+		t.root.Store(newRoot)
+		t.epoch.Add(1)
+	}
 }
 
 // Routes returns all (prefix, nexthop) pairs active at time now, mainly for
 // diagnostics and tests. Output is sorted by prefix then nexthop.
 func (t *Table) Routes(now float64) []Route {
+	return t.Snapshot().Routes(now)
+}
+
+// Routes lists the snapshot's active routes (see Table.Routes).
+func (s Snapshot) Routes(now float64) []Route {
 	var out []Route
 	var walk func(n *trieNode, addr uint32, bits int)
 	walk = func(n *trieNode, addr uint32, bits int) {
 		if n == nil {
 			return
 		}
-		for nh, st := range n.routes {
-			if st.active(now) {
+		for _, e := range n.routes {
+			if e.active(now) {
 				out = append(out, Route{
 					Prefix:  packet.PrefixFrom(packet.Addr(addr), bits),
-					NextHop: nh,
+					NextHop: e.nh,
 				})
 			}
 		}
@@ -203,17 +359,31 @@ func (t *Table) Routes(now float64) []Route {
 			walk(n.children[1], addr|1<<(31-bits), bits+1)
 		}
 	}
-	walk(t.root, 0, 0)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prefix.Addr != out[j].Prefix.Addr {
-			return out[i].Prefix.Addr < out[j].Prefix.Addr
-		}
-		if out[i].Prefix.Bits != out[j].Prefix.Bits {
-			return out[i].Prefix.Bits < out[j].Prefix.Bits
-		}
-		return out[i].NextHop < out[j].NextHop
-	})
+	walk(s.root, 0, 0)
+	// The trie walk visits prefixes in address order and each node's routes
+	// are sorted by NodeID, but shorter prefixes of the same address come
+	// first; match the documented (addr, bits, nh) order explicitly.
+	sortRoutes(out)
 	return out
+}
+
+func sortRoutes(out []Route) {
+	// Insertion sort: route dumps are small and nearly sorted already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && routeLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+func routeLess(a, b Route) bool {
+	if a.Prefix.Addr != b.Prefix.Addr {
+		return a.Prefix.Addr < b.Prefix.Addr
+	}
+	if a.Prefix.Bits != b.Prefix.Bits {
+		return a.Prefix.Bits < b.Prefix.Bits
+	}
+	return a.NextHop < b.NextHop
 }
 
 // Route is one active (prefix, nexthop) pair.

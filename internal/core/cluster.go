@@ -8,11 +8,25 @@
 // through route lookup, mux selection, IP-in-IP encapsulation (including TIP
 // indirection) and host-agent decapsulation, returning the delivery the
 // destination server observes.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"): the cluster-level
+// lookup state Deliver consults — the switch-up bitmap, TIP homes, the
+// host-agent map and the mux slices — is captured in an immutable snapshot
+// published through an atomic pointer with a monotonically increasing epoch.
+// Every control-plane mutator locks the writer mutex, updates the writer-side
+// state, and republishes a fresh snapshot; Deliver loads the pointer once and
+// resolves the whole packet against that one generation. The BGP table and
+// the muxes publish their own generations internally, so a packet observes
+// (cluster snapshot, route snapshot, mux table generation) — each complete
+// and internally consistent — and never a torn read.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/bgp"
 	"duet/internal/ecmp"
@@ -33,6 +47,7 @@ var (
 	ErrVIPExists    = errors.New("core: VIP already configured")
 	ErrSwitchDown   = errors.New("core: switch is down")
 	ErrNoSuchSwitch = errors.New("core: no such switch")
+	ErrNoHostAgent  = errors.New("core: no host agent at encap destination")
 )
 
 // smuxNodeBase offsets SMux IDs in the routing table (switches use their
@@ -60,7 +75,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Cluster is a fully wired Duet deployment.
+// clusterSnap is one immutable generation of the lookup state Deliver
+// needs. Everything in it is either deep-copied at publication (switchUp,
+// tipHome, the map and slice headers) or an internally concurrency-safe
+// component (the muxes, agents and route table publish their own
+// generations).
+type clusterSnap struct {
+	epoch    uint64
+	now      float64
+	routes   *bgp.Table
+	hmuxes   []*hmux.Mux
+	smuxes   []*smux.Mux
+	switchUp []bool
+	tipHome  map[packet.Addr]topology.SwitchID
+	agents   map[packet.Addr]*hostagent.Agent
+	topo     *topology.Topology
+}
+
+// Cluster is a fully wired Duet deployment. Deliver/DeliverBatch are safe
+// for any number of concurrent callers; control-plane mutators serialize on
+// an internal writer lock. The exported fields are wiring handles for
+// control-plane code (the controller, tests, CLIs) and must not be mutated
+// concurrently with Deliver except through Cluster methods.
 type Cluster struct {
 	Topo   *topology.Topology
 	Net    *netsim.Network
@@ -71,15 +107,22 @@ type Cluster struct {
 	// SMuxRacks locates the SMux servers.
 	SMuxRacks []int
 
+	// mu serializes all control-plane mutation (and netsim access — the
+	// network simulator is single-writer by design).
+	mu sync.Mutex
+
+	snap    atomic.Pointer[clusterSnap]
+	nowBits atomic.Uint64 // logical route clock as float64 bits
+
 	agents map[packet.Addr]*hostagent.Agent // host addr → agent
 
 	vips     map[packet.Addr]*service.VIP
 	hmuxHome map[packet.Addr]topology.SwitchID   // VIP → switch, if assigned
 	replicas map[packet.Addr][]topology.SwitchID // §9 replicated VIPs
+	tipHome  map[packet.Addr]topology.SwitchID   // TIP → hosting switch
 
 	switchUp []bool
 	tableCfg hmux.Config // per-switch table sizing, for reboot re-creation
-	now      float64     // logical route clock; every mutation advances it
 
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
@@ -106,13 +149,14 @@ func New(cfg Config) (*Cluster, error) {
 		vips:     make(map[packet.Addr]*service.VIP),
 		hmuxHome: make(map[packet.Addr]topology.SwitchID),
 		replicas: make(map[packet.Addr][]topology.SwitchID),
+		tipHome:  make(map[packet.Addr]topology.SwitchID),
 		switchUp: make([]bool, topo.NumSwitches()),
 		reg:      telemetry.NewRegistry(),
 		rec:      telemetry.NewRecorder(telemetry.DefaultRecorderSize),
 	}
 	// Trace events carry the cluster's logical route clock; callers running
 	// real time (or the testbed's virtual time) can re-clock via Telemetry().
-	c.rec.SetClock(func() float64 { return c.now })
+	c.rec.SetClock(c.Now)
 	c.Routes.SetTelemetry(c.reg, c.rec)
 	c.tableCfg = cfg.HMuxTables
 	for s := range c.HMuxes {
@@ -130,8 +174,41 @@ func New(cfg Config) (*Cluster, error) {
 		c.SMuxRacks = append(c.SMuxRacks, (i*(racks/cfg.NumSMuxes+1))%racks)
 		c.Routes.Announce(cfg.Aggregate, smuxNodeBase+bgp.NodeID(i), 0)
 	}
+	c.publishLocked()
 	return c, nil
 }
+
+// publishLocked rebuilds and installs a fresh snapshot from the writer-side
+// state. Must be called with c.mu held (or from New, before the cluster is
+// shared) at the end of every successful mutation.
+func (c *Cluster) publishLocked() {
+	var epoch uint64
+	if old := c.snap.Load(); old != nil {
+		epoch = old.epoch + 1
+	}
+	s := &clusterSnap{
+		epoch:    epoch,
+		now:      c.nowLocked(),
+		routes:   c.Routes,
+		hmuxes:   append([]*hmux.Mux(nil), c.HMuxes...),
+		smuxes:   append([]*smux.Mux(nil), c.SMuxes...),
+		switchUp: append([]bool(nil), c.switchUp...),
+		tipHome:  make(map[packet.Addr]topology.SwitchID, len(c.tipHome)),
+		agents:   make(map[packet.Addr]*hostagent.Agent, len(c.agents)),
+		topo:     c.Topo,
+	}
+	for k, v := range c.tipHome {
+		s.tipHome[k] = v
+	}
+	for k, v := range c.agents {
+		s.agents[k] = v
+	}
+	c.snap.Store(s)
+}
+
+// Epoch returns the current snapshot generation; every successful
+// control-plane mutation bumps it.
+func (c *Cluster) Epoch() uint64 { return c.snap.Load().epoch }
 
 // Telemetry exposes the cluster's always-on metric registry and flight
 // recorder (duetctl's `top` view reads these).
@@ -151,13 +228,18 @@ func switchAddr(s int) packet.Addr {
 	return packet.AddrFrom4(172, 16, byte(s>>8), byte(s))
 }
 
+func (c *Cluster) nowLocked() float64 {
+	return math.Float64frombits(c.nowBits.Load())
+}
+
 func (c *Cluster) tick() float64 {
-	c.now++
-	return c.now
+	next := c.nowLocked() + 1
+	c.nowBits.Store(math.Float64bits(next))
+	return next
 }
 
 // Now returns the logical route clock.
-func (c *Cluster) Now() float64 { return c.now }
+func (c *Cluster) Now() float64 { return math.Float64frombits(c.nowBits.Load()) }
 
 // AddVIP configures a new VIP: per §5.2 it lands on the SMuxes first; the
 // controller may later migrate it to an HMux.
@@ -165,18 +247,15 @@ func (c *Cluster) AddVIP(v *service.VIP) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.vips[v.Addr]; ok {
 		return ErrVIPExists
 	}
-	for _, sm := range c.SMuxes {
-		if err := sm.AddVIP(v); err != nil {
-			return err
-		}
-	}
-	cp := *v
-	c.vips[v.Addr] = &cp
 	// Every backend gets a host agent (one host per DIP unless the caller
-	// registered a virtualized host explicitly via RegisterHost).
+	// registered a virtualized host explicitly via RegisterHost). Agents are
+	// wired before the SMuxes accept traffic for the VIP so a concurrent
+	// Deliver never finds a mapped DIP without a host behind it.
 	for _, b := range allBackends(v) {
 		if _, ok := c.agents[b.Addr]; !ok {
 			a := c.newAgent(b.Addr)
@@ -188,7 +267,16 @@ func (c *Cluster) AddVIP(v *service.VIP) error {
 			return err
 		}
 	}
+	c.publishLocked() // expose the new agents before the VIP goes live
+	for _, sm := range c.SMuxes {
+		if err := sm.AddVIP(v); err != nil {
+			return err
+		}
+	}
+	cp := *v
+	c.vips[v.Addr] = &cp
 	c.tick()
+	c.publishLocked()
 	return nil
 }
 
@@ -204,6 +292,8 @@ func allBackends(v *service.VIP) []service.Backend {
 // (Figure 6). The VIP's backend list should reference hostAddr (the HIP),
 // possibly multiple times for weighting.
 func (c *Cluster) RegisterHost(hostAddr packet.Addr, vip packet.Addr, vmDIPs []packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	a, ok := c.agents[hostAddr]
 	if !ok {
 		a = c.newAgent(hostAddr)
@@ -214,11 +304,14 @@ func (c *Cluster) RegisterHost(hostAddr packet.Addr, vip packet.Addr, vmDIPs []p
 			return err
 		}
 	}
+	c.publishLocked()
 	return nil
 }
 
 // RemoveVIP withdraws a VIP everywhere (§5.2 "VIP removal").
 func (c *Cluster) RemoveVIP(addr packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.vips[addr]; !ok {
 		return ErrVIPUnknown
 	}
@@ -228,24 +321,29 @@ func (c *Cluster) RemoveVIP(addr packet.Addr) error {
 		delete(c.hmuxHome, addr)
 	}
 	if _, ok := c.replicas[addr]; ok {
-		_ = c.WithdrawReplicas(addr)
+		c.withdrawReplicasLocked(addr)
 	}
 	for _, sm := range c.SMuxes {
 		_ = sm.RemoveVIP(addr)
 	}
 	delete(c.vips, addr)
 	c.tick()
+	c.publishLocked()
 	return nil
 }
 
 // VIP returns the configuration of a VIP.
 func (c *Cluster) VIP(addr packet.Addr) (*service.VIP, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.vips[addr]
 	return v, ok
 }
 
 // VIPs returns all configured VIP addresses.
 func (c *Cluster) VIPs() []packet.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]packet.Addr, 0, len(c.vips))
 	for a := range c.vips {
 		out = append(out, a)
@@ -256,6 +354,8 @@ func (c *Cluster) VIPs() []packet.Addr {
 // HomeOf returns the switch hosting a VIP's HMux entry, or false if the VIP
 // is served by the SMuxes.
 func (c *Cluster) HomeOf(addr packet.Addr) (topology.SwitchID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	sw, ok := c.hmuxHome[addr]
 	return sw, ok
 }
@@ -264,6 +364,8 @@ func (c *Cluster) HomeOf(addr packet.Addr) (topology.SwitchID, bool) {
 // the raw operation underneath the controller's migration (make-after-
 // withdraw happens in the controller).
 func (c *Cluster) AssignToHMux(addr packet.Addr, sw topology.SwitchID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.vips[addr]
 	if !ok {
 		return ErrVIPUnknown
@@ -288,12 +390,15 @@ func (c *Cluster) AssignToHMux(addr packet.Addr, sw topology.SwitchID) error {
 	}
 	c.hmuxHome[addr] = sw
 	c.Routes.Announce(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
+	c.publishLocked()
 	return nil
 }
 
 // WithdrawFromHMux removes a VIP from its switch; traffic falls back to the
 // SMuxes (the stepping-stone state of §4.2).
 func (c *Cluster) WithdrawFromHMux(addr packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	sw, ok := c.hmuxHome[addr]
 	if !ok {
 		return ErrVIPUnknown
@@ -305,6 +410,7 @@ func (c *Cluster) WithdrawFromHMux(addr packet.Addr) error {
 	}
 	c.Routes.Withdraw(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
 	delete(c.hmuxHome, addr)
+	c.publishLocked()
 	return nil
 }
 
@@ -312,6 +418,8 @@ func (c *Cluster) WithdrawFromHMux(addr packet.Addr) error {
 // withdrawn (the cluster facade converges instantly; timed convergence is
 // the testbed's domain).
 func (c *Cluster) FailSwitch(sw topology.SwitchID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.switchUp[sw] {
 		return
 	}
@@ -319,19 +427,25 @@ func (c *Cluster) FailSwitch(sw topology.SwitchID) {
 	c.Net.FailSwitch(sw)
 	c.rec.Record(telemetry.KindSwitchFail, uint32(sw), 0, 0, 0)
 	c.Routes.WithdrawAll(bgp.NodeID(sw), c.tick())
-	// VIPs homed there are now SMux-served; forget the stale home.
+	// VIPs homed there are now SMux-served; forget the stale home. TIP homes
+	// are kept: the partition is still programmed, just unreachable until
+	// recovery (Deliver reports ErrSwitchDown, as the real fabric would
+	// blackhole until the controller re-installs the partition).
 	for vip, home := range c.hmuxHome {
 		if home == sw {
 			delete(c.hmuxHome, vip)
 		}
 	}
 	c.dropReplicaOn(sw)
+	c.publishLocked()
 }
 
 // RecoverSwitch brings a switch back. A rebooted switch loses its tables
 // (§5.1), so the HMux is re-created blank; the controller re-runs
 // assignment to repopulate it.
 func (c *Cluster) RecoverSwitch(sw topology.SwitchID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.switchUp[sw] {
 		return
 	}
@@ -341,15 +455,25 @@ func (c *Cluster) RecoverSwitch(sw topology.SwitchID) {
 	c.HMuxes[sw].SetTelemetry(c.reg, c.rec, uint32(sw))
 	c.switchUp[sw] = true
 	c.Net.RecoverSwitch(sw)
+	// The reboot wiped the switch's tables, so any TIP partitions it hosted
+	// are gone until reinstalled.
+	for tip, home := range c.tipHome {
+		if home == sw {
+			delete(c.tipHome, tip)
+		}
+	}
 	c.tick()
+	c.publishLocked()
 }
 
 // SwitchUp reports switch liveness.
-func (c *Cluster) SwitchUp(sw topology.SwitchID) bool { return c.switchUp[sw] }
+func (c *Cluster) SwitchUp(sw topology.SwitchID) bool {
+	return c.snap.Load().switchUp[sw]
+}
 
 // Agent returns the host agent of a host address.
 func (c *Cluster) Agent(host packet.Addr) (*hostagent.Agent, bool) {
-	a, ok := c.agents[host]
+	a, ok := c.snap.Load().agents[host]
 	return a, ok
 }
 
@@ -370,24 +494,31 @@ type Delivery struct {
 
 // Deliver pushes a VIP-addressed packet through the full datapath and
 // returns what the backend server receives. It mutates real mux state (SMux
-// connection tables) exactly as production traffic would.
+// connection tables) exactly as production traffic would. Safe for
+// concurrent callers, including concurrently with control-plane mutation:
+// the whole packet resolves against one atomically published snapshot.
 func (c *Cluster) Deliver(data []byte) (Delivery, error) {
+	return c.deliver(c.snap.Load(), data)
+}
+
+func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	tuple, err := packet.ExtractFiveTuple(data)
 	if err != nil {
 		return Delivery{}, err
 	}
-	nhs, _, ok := c.Routes.Lookup(tuple.Dst, c.now)
-	if !ok || len(nhs) == 0 {
+	hash := ecmp.Hash(tuple)
+	now := c.Now()
+	nh, _, ok := snap.routes.Snapshot().Pick(tuple.Dst, now, hash)
+	if !ok {
 		return Delivery{}, ErrNoRoute
 	}
-	nh := nhs[int(ecmp.Hash(tuple)%uint64(len(nhs)))]
 
 	var (
 		encapped []byte
 		hops     []Hop
 	)
 	if nh >= smuxNodeBase {
-		sm := c.SMuxes[int(nh-smuxNodeBase)]
+		sm := snap.smuxes[int(nh-smuxNodeBase)]
 		res, err := sm.Process(data, nil)
 		if err != nil {
 			return Delivery{}, err
@@ -396,35 +527,38 @@ func (c *Cluster) Deliver(data []byte) (Delivery, error) {
 		hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
 	} else {
 		sw := topology.SwitchID(nh)
-		if !c.switchUp[sw] {
+		if !snap.switchUp[sw] {
 			return Delivery{}, ErrSwitchDown
 		}
-		hm := c.HMuxes[sw]
-		if !hm.HasVIP(tuple.Dst) {
+		hm := snap.hmuxes[sw]
+		res, err := hm.Process(data, nil)
+		switch {
+		case errors.Is(err, hmux.ErrNotOurVIP):
 			// FIB miss during migration: fall through to the SMux layer.
-			sm := c.SMuxes[int(ecmp.Hash(tuple)%uint64(len(c.SMuxes)))]
-			res, err := sm.Process(data, nil)
+			sm := snap.smuxes[int(hash%uint64(len(snap.smuxes)))]
+			res2, err := sm.Process(data, nil)
 			if err != nil {
 				return Delivery{}, err
 			}
-			encapped = res.Packet
+			encapped = res2.Packet
 			hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
-		} else {
-			res, err := hm.Process(data, nil)
-			if err != nil {
-				return Delivery{}, err
-			}
+		case err != nil:
+			return Delivery{}, err
+		default:
 			encapped = res.Packet
-			hops = append(hops, Hop{Kind: "hmux", Node: c.Topo.Switch(sw).Name})
+			hops = append(hops, Hop{Kind: "hmux", Node: snap.topo.Switch(sw).Name})
 			// TIP indirection: the outer destination may be a TIP hosted on
 			// another switch (§5.2, Figure 7).
-			if tipSwitch, ok := c.tipHome(res.Encap); ok {
-				res2, err := c.HMuxes[tipSwitch].Process(encapped, nil)
+			if tipSwitch, ok := snap.tipHome[res.Encap]; ok {
+				if !snap.switchUp[tipSwitch] {
+					return Delivery{}, ErrSwitchDown
+				}
+				res2, err := snap.hmuxes[tipSwitch].Process(encapped, nil)
 				if err != nil {
 					return Delivery{}, err
 				}
 				encapped = res2.Packet
-				hops = append(hops, Hop{Kind: "tip", Node: c.Topo.Switch(tipSwitch).Name})
+				hops = append(hops, Hop{Kind: "tip", Node: snap.topo.Switch(tipSwitch).Name})
 			}
 		}
 	}
@@ -434,9 +568,9 @@ func (c *Cluster) Deliver(data []byte) (Delivery, error) {
 	if err := outer.DecodeFromBytes(encapped); err != nil {
 		return Delivery{}, err
 	}
-	agent, ok := c.agents[outer.Dst]
+	agent, ok := snap.agents[outer.Dst]
 	if !ok {
-		return Delivery{}, fmt.Errorf("core: no host agent at %s", outer.Dst)
+		return Delivery{}, fmt.Errorf("%w: %s", ErrNoHostAgent, outer.Dst)
 	}
 	d, err := agent.Receive(encapped, nil)
 	if err != nil {
@@ -446,19 +580,52 @@ func (c *Cluster) Deliver(data []byte) (Delivery, error) {
 	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
 }
 
-// tipHome finds the switch hosting a TIP partition.
-func (c *Cluster) tipHome(addr packet.Addr) (topology.SwitchID, bool) {
-	for s, hm := range c.HMuxes {
-		if c.switchUp[s] && hm.HasTIP(addr) {
-			return topology.SwitchID(s), true
+// BatchResult pairs one packet's delivery with its error.
+type BatchResult struct {
+	Delivery Delivery
+	Err      error
+}
+
+// DeliverBatch pushes a batch of packets through the datapath on a pool of
+// worker goroutines and returns per-packet results in input order. workers
+// ≤ 1 runs inline. Each packet loads the current snapshot independently, so
+// a batch racing control-plane churn can observe several generations — but
+// every individual packet sees exactly one.
+func (c *Cluster) DeliverBatch(pkts [][]byte, workers int) []BatchResult {
+	results := make([]BatchResult, len(pkts))
+	if workers <= 1 || len(pkts) <= 1 {
+		for i, p := range pkts {
+			results[i].Delivery, results[i].Err = c.Deliver(p)
 		}
+		return results
 	}
-	return 0, false
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkts) {
+					return
+				}
+				results[i].Delivery, results[i].Err = c.Deliver(pkts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // InstallTIP programs a TIP partition on a switch and records it for
 // datapath resolution.
 func (c *Cluster) InstallTIP(tip packet.Addr, sw topology.SwitchID, backends []service.Backend) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.switchUp[sw] {
 		return ErrSwitchDown
 	}
@@ -467,12 +634,19 @@ func (c *Cluster) InstallTIP(tip packet.Addr, sw topology.SwitchID, backends []s
 			c.agents[b.Addr] = c.newAgent(b.Addr)
 		}
 	}
-	return c.HMuxes[sw].AddTIP(tip, backends)
+	if err := c.HMuxes[sw].AddTIP(tip, backends); err != nil {
+		return err
+	}
+	c.tipHome[tip] = sw
+	c.publishLocked()
+	return nil
 }
 
 // RegisterTIPBackends attaches the TIP partition's DIPs to a VIP on the host
 // agents (so Receive accepts the inner packets).
 func (c *Cluster) RegisterTIPBackends(vip packet.Addr, backends []service.Backend) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, b := range backends {
 		a, ok := c.agents[b.Addr]
 		if !ok {
@@ -483,5 +657,6 @@ func (c *Cluster) RegisterTIPBackends(vip packet.Addr, backends []service.Backen
 			return err
 		}
 	}
+	c.publishLocked()
 	return nil
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
+	"duet/internal/bgp"
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/topology"
@@ -406,5 +409,165 @@ func TestRebootWipesTables(t *testing.T) {
 	}
 	if _, err := c.Deliver(clientPkt(v.Addr, 1)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeliverSwitchDownBlackhole models the unconverged-withdrawal window:
+// the fabric still carries a /32 toward a switch that has died (the paper's
+// §7.2 sub-40ms convergence gap). Deliver must surface the blackhole as
+// ErrSwitchDown, not route the packet through a dead HMux.
+func TestDeliverSwitchDownBlackhole(t *testing.T) {
+	c := testCluster(t)
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Topo.AggID(0, 0)
+	c.FailSwitch(sw)
+	// Simulate the not-yet-withdrawn route: announce the VIP's /32 at the
+	// dead switch, visible since t=0, as a converging fabric would still hold.
+	c.Routes.Announce(packet.HostPrefix(v.Addr), bgp.NodeID(sw), 0)
+	if _, err := c.Deliver(clientPkt(v.Addr, 1)); !errors.Is(err, ErrSwitchDown) {
+		t.Fatalf("got %v, want ErrSwitchDown", err)
+	}
+	// Once the controller recovers the switch, delivery resumes (the stale
+	// /32 now points at a live switch with no FIB entry, which falls back to
+	// the SMux layer).
+	c.RecoverSwitch(sw)
+	if _, err := c.Deliver(clientPkt(v.Addr, 2)); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+// TestDeliverTIPSwitchDown covers the indirection-specific blackhole: the
+// VIP's home HMux is alive, but the switch hosting its TIP partition is not.
+// FailSwitch deliberately keeps tipHome entries (the partition is still
+// programmed, just unreachable), so Deliver must return ErrSwitchDown for
+// the second hop until the controller re-installs the partition.
+func TestDeliverTIPSwitchDown(t *testing.T) {
+	c := testCluster(t)
+	tip := packet.MustParseAddr("20.0.0.1")
+	part := []service.Backend{{Addr: packet.MustParseAddr("100.0.0.1"), Weight: 1}}
+	v := &service.VIP{Addr: packet.AddrFrom4(10, 0, 0, 9),
+		Backends: []service.Backend{{Addr: tip, Weight: 1}}}
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(v.Addr, c.Topo.CoreID(0)); err != nil {
+		t.Fatal(err)
+	}
+	tipSw := c.Topo.AggID(0, 0)
+	if err := c.InstallTIP(tip, tipSw, part); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTIPBackends(v.Addr, part); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deliver(clientPkt(v.Addr, 1)); err != nil {
+		t.Fatalf("healthy TIP path: %v", err)
+	}
+	c.FailSwitch(tipSw)
+	if _, err := c.Deliver(clientPkt(v.Addr, 2)); !errors.Is(err, ErrSwitchDown) {
+		t.Fatalf("got %v, want ErrSwitchDown for dead TIP switch", err)
+	}
+	// Recovery wipes the rebooted switch's tables; re-installing the
+	// partition restores end-to-end delivery.
+	c.RecoverSwitch(tipSw)
+	if err := c.InstallTIP(tip, tipSw, part); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Deliver(clientPkt(v.Addr, 3))
+	if err != nil {
+		t.Fatalf("after reinstall: %v", err)
+	}
+	if d.DIP != part[0].Addr {
+		t.Fatalf("DIP = %s", d.DIP)
+	}
+}
+
+// TestDeliverNoHostAgent models a decommissioned server whose tunnel entry
+// is still installed: the encap destination resolves, but no host agent
+// answers there. The error must wrap ErrNoHostAgent and name the address.
+func TestDeliverNoHostAgent(t *testing.T) {
+	c := testCluster(t)
+	dip := packet.MustParseAddr("100.0.0.1")
+	v := mkVIP(0, "100.0.0.1")
+	if err := c.AddVIP(v); err != nil {
+		t.Fatal(err)
+	}
+	// Decommission the server out from under the installed VIP (the test is
+	// in-package: drop the agent and publish a new snapshot, exactly what a
+	// host-removal control call would do).
+	c.mu.Lock()
+	delete(c.agents, dip)
+	c.publishLocked()
+	c.mu.Unlock()
+	_, err := c.Deliver(clientPkt(v.Addr, 1))
+	if !errors.Is(err, ErrNoHostAgent) {
+		t.Fatalf("got %v, want ErrNoHostAgent", err)
+	}
+	if !strings.Contains(err.Error(), dip.String()) {
+		t.Fatalf("error %q does not name the encap destination", err)
+	}
+}
+
+// TestDeliveryHopOrdering pins the shape of Delivery.Hops for each datapath:
+// smux→agent for backstop traffic, hmux→agent for assigned VIPs, and
+// hmux→tip→agent for indirected ones — the order a real packet traverses
+// the fabric, with no hop skipped or duplicated.
+func TestDeliveryHopOrdering(t *testing.T) {
+	c := testCluster(t)
+
+	smuxVIP := mkVIP(0, "100.0.0.1")
+	hmuxVIP := mkVIP(1, "100.0.1.1")
+	tip := packet.MustParseAddr("20.0.0.1")
+	part := []service.Backend{{Addr: packet.MustParseAddr("100.0.2.1"), Weight: 1}}
+	tipVIP := &service.VIP{Addr: packet.AddrFrom4(10, 0, 0, 3),
+		Backends: []service.Backend{{Addr: tip, Weight: 1}}}
+
+	for _, v := range []*service.VIP{smuxVIP, hmuxVIP, tipVIP} {
+		if err := c.AddVIP(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AssignToHMux(hmuxVIP.Addr, c.Topo.AggID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignToHMux(tipVIP.Addr, c.Topo.CoreID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallTIP(tip, c.Topo.AggID(1, 0), part); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTIPBackends(tipVIP.Addr, part); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		vip  packet.Addr
+		want []string
+	}{
+		{smuxVIP.Addr, []string{"smux", "agent"}},
+		{hmuxVIP.Addr, []string{"hmux", "agent"}},
+		{tipVIP.Addr, []string{"hmux", "tip", "agent"}},
+	}
+	for _, tc := range cases {
+		for i := uint32(0); i < 50; i++ {
+			d, err := c.Deliver(clientPkt(tc.vip, i))
+			if err != nil {
+				t.Fatalf("%s: %v", tc.vip, err)
+			}
+			if len(d.Hops) != len(tc.want) {
+				t.Fatalf("%s: %d hops %+v, want %v", tc.vip, len(d.Hops), d.Hops, tc.want)
+			}
+			for j, kind := range tc.want {
+				if d.Hops[j].Kind != kind {
+					t.Fatalf("%s: hop %d = %q, want %q (hops %+v)", tc.vip, j, d.Hops[j].Kind, kind, d.Hops)
+				}
+				if d.Hops[j].Node == "" {
+					t.Fatalf("%s: hop %d has no node name", tc.vip, j)
+				}
+			}
+		}
 	}
 }

@@ -21,6 +21,8 @@ import (
 // must currently be SMux-hosted. All replicas announce the /32; the fabric
 // ECMPs across them.
 func (c *Cluster) AssignReplicated(addr packet.Addr, switches []topology.SwitchID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.vips[addr]
 	if !ok {
 		return ErrVIPUnknown
@@ -63,17 +65,32 @@ func (c *Cluster) AssignReplicated(addr packet.Addr, switches []topology.SwitchI
 		c.Routes.Announce(packet.HostPrefix(addr), bgp.NodeID(sw), at)
 	}
 	c.replicas[addr] = append([]topology.SwitchID(nil), switches...)
+	c.publishLocked()
 	return nil
 }
 
 // Replicas returns the switches currently replicating a VIP.
 func (c *Cluster) Replicas(addr packet.Addr) []topology.SwitchID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]topology.SwitchID(nil), c.replicas[addr]...)
 }
 
 // WithdrawReplicas removes all replicas of a VIP, returning it to the SMux
 // backstop.
 func (c *Cluster) WithdrawReplicas(addr packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.withdrawReplicasLocked(addr); err != nil {
+		return err
+	}
+	c.publishLocked()
+	return nil
+}
+
+// withdrawReplicasLocked is WithdrawReplicas without locking or publication;
+// the caller holds c.mu and republishes.
+func (c *Cluster) withdrawReplicasLocked(addr packet.Addr) error {
 	reps, ok := c.replicas[addr]
 	if !ok {
 		return ErrVIPUnknown

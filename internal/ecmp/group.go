@@ -51,6 +51,19 @@ func NewGroupSlots(slots int) *Group {
 // Size returns the number of members.
 func (g *Group) Size() int { return len(g.members) }
 
+// Clone returns a deep copy of the group. Snapshot-published tables (hmux,
+// smux) treat groups as immutable once visible to the dataplane; resilient
+// member removal therefore clones the group, mutates the copy, and republishes
+// it instead of writing in place.
+func (g *Group) Clone() *Group {
+	cp := &Group{
+		members: append([]uint32(nil), g.members...),
+		weights: append([]uint32(nil), g.weights...),
+		slots:   append([]int32(nil), g.slots...),
+	}
+	return cp
+}
+
 // Members returns a copy of the member IDs in insertion order.
 func (g *Group) Members() []uint32 {
 	out := make([]uint32, len(g.members))

@@ -12,11 +12,22 @@
 // entries, 4K ECMP entries, 512 tunneling entries. VIPs with more than 512
 // DIPs are supported through TIP indirection (§5.2, Figure 7), and port-based
 // rules through an ACL stage ahead of the host table (§5.2, Figure 8).
+//
+// Concurrency mirrors the hardware split the paper exploits: the ASIC
+// forwards at line rate while the switch agent reprograms tables underneath
+// it. Here the lookup tables live in an immutable struct published through an
+// atomic pointer; table programming (AddVIP, RemoveVIP, RemoveBackend,
+// AddTIP, RemoveTIP) serializes on a writer lock, rebuilds the affected
+// entries copy-on-write and republishes. Process/Lookup load the pointer once
+// per packet, so concurrent dataplane goroutines always see a complete,
+// consistent table generation — never a half-programmed VIP.
 package hmux
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
@@ -80,6 +91,8 @@ func DefaultConfig(self packet.Addr) Config {
 }
 
 // vipEntry is the programmed state for one VIP (or one TIP partition).
+// Entries are immutable once the tables struct holding them is published;
+// backend removal clones the entry (see removeBackendEntry).
 type vipEntry struct {
 	group    *ecmp.Group          // members are indices into encaps
 	encaps   []packet.Addr        // per-member encap destination
@@ -87,20 +100,27 @@ type vipEntry struct {
 	ports    map[uint16]*vipEntry // ACL port rules (nil for TIPs)
 }
 
-// Mux is one hardware mux.
+// tables is one immutable generation of the switch's lookup state.
+type tables struct {
+	epoch uint64
+	vips  map[packet.Addr]*vipEntry // host table: exact /32 match
+	tips  map[packet.Addr]*vipEntry // TIP partitions hosted on this switch
+}
+
+// Mux is one hardware mux. Process and Lookup are safe for any number of
+// concurrent callers; table programming serializes internally.
 type Mux struct {
 	cfg Config
 
-	vips map[packet.Addr]*vipEntry // host table: exact /32 match
-	tips map[packet.Addr]*vipEntry // TIP partitions hosted on this switch
+	tab atomic.Pointer[tables]
 
+	// Writer-side state, guarded by mu: table-occupancy accounting used for
+	// admission control, plus the serialization of all mutators.
+	mu         sync.Mutex
 	ecmpUsed   int
 	groupsUsed int
 	aclUsed    int
 	tunnelRefs map[packet.Addr]int // encap IP → reference count
-
-	// decode scratch, reused across Process calls
-	ip packet.IPv4
 
 	tel muxTelemetry
 }
@@ -171,16 +191,57 @@ func New(cfg Config) *Mux {
 	if cfg.ACLTableSize <= 0 {
 		cfg.ACLTableSize = DefaultACLTableSize
 	}
-	return &Mux{
+	m := &Mux{
 		cfg:        cfg,
-		vips:       make(map[packet.Addr]*vipEntry),
-		tips:       make(map[packet.Addr]*vipEntry),
 		tunnelRefs: make(map[packet.Addr]int),
 	}
+	m.tab.Store(&tables{
+		vips: make(map[packet.Addr]*vipEntry),
+		tips: make(map[packet.Addr]*vipEntry),
+	})
+	return m
+}
+
+// publish installs a new table generation. Must be called with m.mu held.
+// Exactly one of vips/tips may be nil to carry the previous generation's map
+// forward unchanged.
+func (m *Mux) publish(vips, tips map[packet.Addr]*vipEntry) {
+	cur := m.tab.Load()
+	if vips == nil {
+		vips = cur.vips
+	}
+	if tips == nil {
+		tips = cur.tips
+	}
+	m.tab.Store(&tables{epoch: cur.epoch + 1, vips: vips, tips: tips})
+}
+
+// cloneVIPs copies the current VIP map for mutation. Must hold m.mu.
+func (m *Mux) cloneVIPs() map[packet.Addr]*vipEntry {
+	cur := m.tab.Load().vips
+	cp := make(map[packet.Addr]*vipEntry, len(cur)+1)
+	for k, v := range cur {
+		cp[k] = v
+	}
+	return cp
+}
+
+// cloneTIPs copies the current TIP map for mutation. Must hold m.mu.
+func (m *Mux) cloneTIPs() map[packet.Addr]*vipEntry {
+	cur := m.tab.Load().tips
+	cp := make(map[packet.Addr]*vipEntry, len(cur)+1)
+	for k, v := range cur {
+		cp[k] = v
+	}
+	return cp
 }
 
 // Self returns the mux's own address.
 func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
+
+// Epoch returns the current table generation, bumped on every successful
+// programming operation.
+func (m *Mux) Epoch() uint64 { return m.tab.Load().epoch }
 
 // Stats reports table occupancy.
 type Stats struct {
@@ -194,13 +255,16 @@ type Stats struct {
 
 // Stats returns current table occupancy.
 func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
 	return Stats{
-		HostUsed: len(m.vips) + len(m.tips), HostCap: m.cfg.HostTableSize,
+		HostUsed: len(t.vips) + len(t.tips), HostCap: m.cfg.HostTableSize,
 		ECMPUsed: m.ecmpUsed, ECMPCap: m.cfg.ECMPTableSize,
 		GroupsUsed: m.groupsUsed, GroupsCap: m.cfg.ECMPGroupTableSize,
 		TunnelUsed: len(m.tunnelRefs), TunnelCap: m.cfg.TunnelTableSize,
 		ACLUsed: m.aclUsed, ACLCap: m.cfg.ACLTableSize,
-		VIPs: len(m.vips), TIPs: len(m.tips),
+		VIPs: len(t.vips), TIPs: len(t.tips),
 	}
 }
 
@@ -208,8 +272,11 @@ func (m *Mux) Stats() Stats {
 // entry, len(backends) ECMP entries and the new unique encap addresses must
 // all fit (paper §3.1: supported DIPs = min of free ECMP and tunnel entries).
 func (m *Mux) Fits(v *service.VIP) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
 	entries, newTunnels, groups, acls := m.cost(v)
-	return len(m.vips)+len(m.tips)+1 <= m.cfg.HostTableSize &&
+	return len(t.vips)+len(t.tips)+1 <= m.cfg.HostTableSize &&
 		m.ecmpUsed+entries <= m.cfg.ECMPTableSize &&
 		m.groupsUsed+groups <= m.cfg.ECMPGroupTableSize &&
 		m.aclUsed+acls <= m.cfg.ACLTableSize &&
@@ -240,13 +307,16 @@ func (m *Mux) AddVIP(v *service.VIP) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
-	if _, ok := m.vips[v.Addr]; ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if _, ok := t.vips[v.Addr]; ok {
 		return ErrVIPExists
 	}
-	if _, ok := m.tips[v.Addr]; ok {
+	if _, ok := t.tips[v.Addr]; ok {
 		return ErrVIPExists
 	}
-	if len(m.vips)+len(m.tips)+1 > m.cfg.HostTableSize {
+	if len(t.vips)+len(t.tips)+1 > m.cfg.HostTableSize {
 		return ErrHostTableFull
 	}
 	entries, newTunnels, groups, acls := m.cost(v)
@@ -271,12 +341,14 @@ func (m *Mux) AddVIP(v *service.VIP) error {
 		}
 	}
 	m.aclUsed += acls
-	m.vips[v.Addr] = e
+	vips := m.cloneVIPs()
+	vips[v.Addr] = e
+	m.publish(vips, nil)
 	return nil
 }
 
 // buildEntry allocates the ECMP group and tunnel references for a backend
-// set. Callers must have verified capacity.
+// set. Callers must hold m.mu and have verified capacity.
 func (m *Mux) buildEntry(backends []service.Backend) *vipEntry {
 	e := &vipEntry{
 		group:    ecmp.NewGroup(),
@@ -312,25 +384,30 @@ func (m *Mux) releaseEntry(e *vipEntry) {
 
 // RemoveVIP withdraws a VIP from the switch, releasing its table entries.
 func (m *Mux) RemoveVIP(addr packet.Addr) error {
-	e, ok := m.vips[addr]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.tab.Load().vips[addr]
 	if !ok {
 		return ErrVIPNotFound
 	}
 	m.releaseEntry(e)
-	delete(m.vips, addr)
+	vips := m.cloneVIPs()
+	delete(vips, addr)
+	m.publish(vips, nil)
 	return nil
 }
 
 // HasVIP reports whether the VIP is programmed here.
 func (m *Mux) HasVIP(addr packet.Addr) bool {
-	_, ok := m.vips[addr]
+	_, ok := m.tab.Load().vips[addr]
 	return ok
 }
 
 // VIPs returns the programmed VIP addresses (unordered).
 func (m *Mux) VIPs() []packet.Addr {
-	out := make([]packet.Addr, 0, len(m.vips))
-	for a := range m.vips {
+	vips := m.tab.Load().vips
+	out := make([]packet.Addr, 0, len(vips))
+	for a := range vips {
 		out = append(out, a)
 	}
 	return out
@@ -338,34 +415,42 @@ func (m *Mux) VIPs() []packet.Addr {
 
 // RemoveBackend removes one DIP from a VIP's default backend set using
 // resilient hashing: connections to surviving DIPs keep their mapping
-// (paper §5.1 "DIP failure"). The freed table entries are released.
+// (paper §5.1 "DIP failure"). The freed table entries are released. The
+// entry is cloned and republished, so concurrent Process calls see either
+// the old complete group or the new complete group.
 func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
-	e, ok := m.vips[vip]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.tab.Load().vips[vip]
 	if !ok {
 		return ErrVIPNotFound
 	}
-	removed := false
 	for i, b := range e.backends {
 		if b.Addr != dip {
 			continue
 		}
-		if err := e.group.Remove(uint32(i)); err != nil {
+		cp := &vipEntry{
+			group:    e.group.Clone(),
+			encaps:   append([]packet.Addr(nil), e.encaps...),
+			backends: append([]service.Backend(nil), e.backends...),
+			ports:    e.ports, // port entries untouched; share them
+		}
+		if err := cp.group.Remove(uint32(i)); err != nil {
 			return err
 		}
 		// Keep encaps indexed by original member id so surviving members'
 		// indices stay valid; just mark the slot dead and drop refs.
-		e.backends[i] = service.Backend{}
+		cp.backends[i] = service.Backend{}
 		if m.tunnelRefs[dip]--; m.tunnelRefs[dip] <= 0 {
 			delete(m.tunnelRefs, dip)
 		}
 		m.ecmpUsed--
-		removed = true
-		break
+		vips := m.cloneVIPs()
+		vips[vip] = cp
+		m.publish(vips, nil)
+		return nil
 	}
-	if !removed {
-		return fmt.Errorf("hmux: DIP %s not found under VIP %s", dip, vip)
-	}
-	return nil
+	return fmt.Errorf("hmux: DIP %s not found under VIP %s", dip, vip)
 }
 
 // AddTIP programs a transient-IP partition on this switch (paper §5.2,
@@ -373,16 +458,19 @@ func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
 // re-encapsulated to one of the partition's DIPs, selected by the hash of
 // the inner 5-tuple.
 func (m *Mux) AddTIP(tip packet.Addr, backends []service.Backend) error {
-	if _, ok := m.tips[tip]; ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if _, ok := t.tips[tip]; ok {
 		return ErrVIPExists
 	}
-	if _, ok := m.vips[tip]; ok {
+	if _, ok := t.vips[tip]; ok {
 		return ErrVIPExists
 	}
 	if len(backends) == 0 {
 		return fmt.Errorf("hmux: TIP %s has no backends", tip)
 	}
-	if len(m.vips)+len(m.tips)+1 > m.cfg.HostTableSize {
+	if len(t.vips)+len(t.tips)+1 > m.cfg.HostTableSize {
 		return ErrHostTableFull
 	}
 	if m.ecmpUsed+len(backends) > m.cfg.ECMPTableSize {
@@ -400,24 +488,30 @@ func (m *Mux) AddTIP(tip packet.Addr, backends []service.Backend) error {
 	if len(m.tunnelRefs)+newTunnels > m.cfg.TunnelTableSize {
 		return ErrTunnelTableFull
 	}
-	m.tips[tip] = m.buildEntry(backends)
+	tips := m.cloneTIPs()
+	tips[tip] = m.buildEntry(backends)
+	m.publish(nil, tips)
 	return nil
 }
 
 // RemoveTIP withdraws a TIP partition.
 func (m *Mux) RemoveTIP(tip packet.Addr) error {
-	e, ok := m.tips[tip]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.tab.Load().tips[tip]
 	if !ok {
 		return ErrVIPNotFound
 	}
 	m.releaseEntry(e)
-	delete(m.tips, tip)
+	tips := m.cloneTIPs()
+	delete(tips, tip)
+	m.publish(nil, tips)
 	return nil
 }
 
 // HasTIP reports whether the TIP partition is programmed here.
 func (m *Mux) HasTIP(addr packet.Addr) bool {
-	_, ok := m.tips[addr]
+	_, ok := m.tab.Load().tips[addr]
 	return ok
 }
 
@@ -436,28 +530,31 @@ type Result struct {
 // it. Packets whose destination matches no programmed VIP or TIP return
 // ErrNotOurVIP — the caller (the fabric) forwards them normally.
 //
-// This is the dataplane path, so it performs no allocation beyond growing
-// the caller's buffer.
+// This is the dataplane path: it performs no allocation beyond growing the
+// caller's buffer, and it is safe for any number of concurrent callers (each
+// call resolves against one atomically loaded table generation).
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.tel.packets.Inc()
 	sampled := m.tel.rec.Sample()
 	if sampled {
 		m.tel.rec.Record(telemetry.KindPacketIn, m.tel.node, 0, 0, uint64(len(data)))
 	}
-	if err := m.ip.DecodeFromBytes(data); err != nil {
+	var ip packet.IPv4 // stack scratch; Process must stay concurrency-safe
+	if err := ip.DecodeFromBytes(data); err != nil {
 		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
+	t := m.tab.Load()
 
 	// TIP stage: decapsulate and fall through to re-encapsulation with the
 	// inner packet (Figure 7's second hop).
-	if e, ok := m.tips[m.ip.Dst]; ok && m.ip.Protocol == packet.ProtoIPIP {
-		tip := m.ip.Dst
-		inner := m.ip.Payload()
+	if e, ok := t.tips[ip.Dst]; ok && ip.Protocol == packet.ProtoIPIP {
+		tip := ip.Dst
+		inner := ip.Payload()
 		tuple, err := packet.ExtractFiveTuple(inner)
 		if err != nil {
 			return Result{}, m.drop(telemetry.DropMalformed, tip, err)
 		}
-		encap, err := m.selectEncap(e, tuple)
+		encap, err := selectEncap(e, tuple)
 		if err != nil {
 			return Result{}, m.drop(telemetry.DropNoBackend, tip, err)
 		}
@@ -473,13 +570,13 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 		return Result{Encap: encap, Packet: pkt, ViaTIP: true}, nil
 	}
 
-	e, ok := m.vips[m.ip.Dst]
+	e, ok := t.vips[ip.Dst]
 	if !ok {
-		return Result{}, m.drop(telemetry.DropUnknownVIP, m.ip.Dst, ErrNotOurVIP)
+		return Result{}, m.drop(telemetry.DropUnknownVIP, ip.Dst, ErrNotOurVIP)
 	}
 	tuple, err := packet.ExtractFiveTuple(data)
 	if err != nil {
-		return Result{}, m.drop(telemetry.DropMalformed, m.ip.Dst, err)
+		return Result{}, m.drop(telemetry.DropMalformed, ip.Dst, err)
 	}
 	if sampled {
 		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
@@ -491,7 +588,7 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 			entry = pe
 		}
 	}
-	encap, err := m.selectEncap(entry, tuple)
+	encap, err := selectEncap(entry, tuple)
 	if err != nil {
 		return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
 	}
@@ -511,7 +608,7 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 
 // selectEncap picks the encap destination for a tuple via the entry's ECMP
 // group.
-func (m *Mux) selectEncap(e *vipEntry, tuple packet.FiveTuple) (packet.Addr, error) {
+func selectEncap(e *vipEntry, tuple packet.FiveTuple) (packet.Addr, error) {
 	member, err := e.group.SelectTuple(tuple)
 	if err != nil {
 		if errors.Is(err, ecmp.ErrEmptyGroup) {
@@ -526,7 +623,7 @@ func (m *Mux) selectEncap(e *vipEntry, tuple packet.FiveTuple) (packet.Addr, err
 // without building the packet. The controller and tests use it to reason
 // about mappings cheaply.
 func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
-	e, ok := m.vips[tuple.Dst]
+	e, ok := m.tab.Load().vips[tuple.Dst]
 	if !ok {
 		return 0, ErrNotOurVIP
 	}
@@ -536,5 +633,5 @@ func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
 			entry = pe
 		}
 	}
-	return m.selectEncap(entry, tuple)
+	return selectEncap(entry, tuple)
 }

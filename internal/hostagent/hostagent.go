@@ -4,11 +4,19 @@
 // on the send path, meters per-VIP traffic for the controller, monitors DIP
 // health, and allocates SNAT ports that are consistent with the HMux hash so
 // outbound connections work without per-connection state on the switch.
+//
+// Concurrency: the registration tables (VIP→local DIPs, DIP→VIP, health)
+// are immutable generations published through an atomic pointer — mutators
+// (RegisterDIP, UnregisterDIP, SetHealth) rebuild them copy-on-write under a
+// writer lock. Per-VIP meters are atomic counters embedded in the published
+// generation, so Receive on concurrent goroutines meters without locking.
 package hostagent
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
@@ -21,29 +29,43 @@ var (
 	ErrUnknownDIP     = errors.New("hostagent: DIP not registered on this host")
 )
 
-// Meter accumulates per-VIP traffic counters, reported to the Duet
-// controller's datacenter-monitoring module.
+// Meter is a point-in-time copy of one VIP's traffic counters, reported to
+// the Duet controller's datacenter-monitoring module.
 type Meter struct {
 	Packets uint64
 	Bytes   uint64
 }
 
-// Agent is the host agent of one server (or one hypervisor host in
-// virtualized clusters, where several VM DIPs share it — Figure 6).
-type Agent struct {
-	hostAddr packet.Addr
+// meter is the live, concurrently-updated form of Meter.
+type meter struct {
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
 
+// agentTables is one immutable generation of the agent's lookup state. The
+// maps are never mutated after publication; the meters they point at are
+// updated atomically in place (the pointer set is immutable, the counters
+// are not — that is what makes Receive lock-free).
+type agentTables struct {
 	// locals maps VIP → local DIPs for that VIP on this host. In the
 	// non-virtualized case each VIP has exactly one local DIP.
 	locals map[packet.Addr][]packet.Addr
 	vipOf  map[packet.Addr]packet.Addr // DIP → VIP, for DSR
 	health map[packet.Addr]bool        // DIP → healthy
+	meters map[packet.Addr]*meter      // per-VIP traffic metering
+}
 
-	meters map[packet.Addr]*Meter // per-VIP traffic metering
+// Agent is the host agent of one server (or one hypervisor host in
+// virtualized clusters, where several VM DIPs share it — Figure 6).
+// Receive and SendDSR are safe for concurrent callers; registration and
+// health updates serialize on an internal writer lock.
+type Agent struct {
+	hostAddr packet.Addr
+
+	tab atomic.Pointer[agentTables]
+	mu  sync.Mutex // serializes table writers
 
 	tel agentTelemetry
-
-	ip packet.IPv4 // decode scratch
 }
 
 // agentTelemetry holds the agent's instrument handles. All fields are
@@ -74,64 +96,112 @@ func (a *Agent) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, n
 
 // New creates the agent for a host.
 func New(hostAddr packet.Addr) *Agent {
-	return &Agent{
-		hostAddr: hostAddr,
-		locals:   make(map[packet.Addr][]packet.Addr),
-		vipOf:    make(map[packet.Addr]packet.Addr),
-		health:   make(map[packet.Addr]bool),
-		meters:   make(map[packet.Addr]*Meter),
+	a := &Agent{hostAddr: hostAddr}
+	a.tab.Store(&agentTables{
+		locals: make(map[packet.Addr][]packet.Addr),
+		vipOf:  make(map[packet.Addr]packet.Addr),
+		health: make(map[packet.Addr]bool),
+		meters: make(map[packet.Addr]*meter),
+	})
+	return a
+}
+
+// clone deep-copies the map structure of a generation for mutation (the
+// meter values themselves are shared — they are safe to update in place).
+func (t *agentTables) clone() *agentTables {
+	cp := &agentTables{
+		locals: make(map[packet.Addr][]packet.Addr, len(t.locals)),
+		vipOf:  make(map[packet.Addr]packet.Addr, len(t.vipOf)),
+		health: make(map[packet.Addr]bool, len(t.health)),
+		meters: make(map[packet.Addr]*meter, len(t.meters)),
 	}
+	for k, v := range t.locals {
+		cp.locals[k] = append([]packet.Addr(nil), v...)
+	}
+	for k, v := range t.vipOf {
+		cp.vipOf[k] = v
+	}
+	for k, v := range t.health {
+		cp.health[k] = v
+	}
+	for k, v := range t.meters {
+		cp.meters[k] = v
+	}
+	return cp
 }
 
 // HostAddr returns the host's (native) address.
 func (a *Agent) HostAddr() packet.Addr { return a.hostAddr }
 
+// LocalDIPs returns the local DIPs registered for a VIP.
+func (a *Agent) LocalDIPs(vip packet.Addr) []packet.Addr {
+	return a.tab.Load().locals[vip]
+}
+
 // RegisterDIP attaches a local DIP serving vip to this host. Registering the
 // host's own address as the DIP models the non-virtualized case.
 func (a *Agent) RegisterDIP(vip, dip packet.Addr) error {
-	if v, ok := a.vipOf[dip]; ok && v != vip {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tab.Load()
+	if v, ok := t.vipOf[dip]; ok && v != vip {
 		return fmt.Errorf("hostagent: DIP %s already registered for VIP %s", dip, v)
 	}
-	if _, ok := a.vipOf[dip]; !ok {
-		a.locals[vip] = append(a.locals[vip], dip)
-		a.vipOf[dip] = vip
+	cp := t.clone()
+	if _, ok := cp.vipOf[dip]; !ok {
+		cp.locals[vip] = append(cp.locals[vip], dip)
+		cp.vipOf[dip] = vip
 	}
-	a.health[dip] = true
+	cp.health[dip] = true
+	if cp.meters[vip] == nil {
+		cp.meters[vip] = &meter{}
+	}
+	a.tab.Store(cp)
 	return nil
 }
 
 // UnregisterDIP detaches a local DIP.
 func (a *Agent) UnregisterDIP(dip packet.Addr) error {
-	vip, ok := a.vipOf[dip]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tab.Load()
+	vip, ok := t.vipOf[dip]
 	if !ok {
 		return ErrUnknownDIP
 	}
-	delete(a.vipOf, dip)
-	delete(a.health, dip)
-	dips := a.locals[vip]
+	cp := t.clone()
+	delete(cp.vipOf, dip)
+	delete(cp.health, dip)
+	dips := cp.locals[vip]
 	for i, d := range dips {
 		if d == dip {
-			a.locals[vip] = append(dips[:i], dips[i+1:]...)
+			cp.locals[vip] = append(dips[:i], dips[i+1:]...)
 			break
 		}
 	}
-	if len(a.locals[vip]) == 0 {
-		delete(a.locals, vip)
+	if len(cp.locals[vip]) == 0 {
+		delete(cp.locals, vip)
 	}
+	a.tab.Store(cp)
 	return nil
 }
 
 // SetHealth records a DIP's health; the controller reads it via Healthy.
 func (a *Agent) SetHealth(dip packet.Addr, healthy bool) error {
-	if _, ok := a.vipOf[dip]; !ok {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tab.Load()
+	if _, ok := t.vipOf[dip]; !ok {
 		return ErrUnknownDIP
 	}
-	a.health[dip] = healthy
+	cp := t.clone()
+	cp.health[dip] = healthy
+	a.tab.Store(cp)
 	return nil
 }
 
 // Healthy reports the recorded health of a local DIP.
-func (a *Agent) Healthy(dip packet.Addr) bool { return a.health[dip] }
+func (a *Agent) Healthy(dip packet.Addr) bool { return a.tab.Load().health[dip] }
 
 // Delivery is the result of Receive: the decapsulated packet rewritten to
 // the selected local DIP.
@@ -146,7 +216,7 @@ type Delivery struct {
 // 5-tuple hash when several VM DIPs share the host — Figure 6), rewrites the
 // inner destination to the DIP, and meters the traffic.
 //
-// The rewritten packet is appended to out.
+// The rewritten packet is appended to out. Safe for concurrent callers.
 func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 	inner, _, err := packet.Decapsulate(data)
 	if err != nil {
@@ -161,7 +231,8 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 		return Delivery{}, err
 	}
 	vip := tuple.Dst
-	dips, ok := a.locals[vip]
+	t := a.tab.Load()
+	dips, ok := t.locals[vip]
 	if !ok || len(dips) == 0 {
 		a.tel.dropNotLocal.Inc()
 		a.tel.rec.Record(telemetry.KindDrop, a.tel.node, uint32(vip), 0, uint64(telemetry.DropNotLocal))
@@ -177,13 +248,12 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 		return Delivery{}, err
 	}
 
-	m := a.meters[vip]
+	m := t.meters[vip]
 	if m == nil {
-		m = &Meter{}
-		a.meters[vip] = m
+		m = a.ensureMeter(vip)
 	}
-	m.Packets++
-	m.Bytes += uint64(len(inner))
+	m.packets.Add(1)
+	m.bytes.Add(uint64(len(inner)))
 	a.tel.received.Inc()
 	a.tel.bytes.Add(uint64(len(inner)))
 	if a.tel.rec.Sample() {
@@ -192,20 +262,39 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 	return Delivery{VIP: vip, DIP: dip, Packet: out}, nil
 }
 
+// ensureMeter publishes a meter for a VIP that has none (possible only if
+// the VIP was registered by an older agent generation without one). Slow
+// path; RegisterDIP pre-creates meters so steady-state Receive never lands
+// here.
+func (a *Agent) ensureMeter(vip packet.Addr) *meter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tab.Load()
+	if m := t.meters[vip]; m != nil {
+		return m
+	}
+	cp := t.clone()
+	m := &meter{}
+	cp.meters[vip] = m
+	a.tab.Store(cp)
+	return m
+}
+
 // SendDSR implements direct server return: an outgoing response whose source
 // is a local DIP leaves with the VIP as its source address, bypassing the
-// load balancer entirely (paper §2.1).
+// load balancer entirely (paper §2.1). Safe for concurrent callers.
 func (a *Agent) SendDSR(data, out []byte) ([]byte, error) {
-	if err := a.ip.DecodeFromBytes(data); err != nil {
+	var ip packet.IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
 		a.tel.dsrErrors.Inc()
 		return nil, err
 	}
-	vip, ok := a.vipOf[a.ip.Src]
+	vip, ok := a.tab.Load().vipOf[ip.Src]
 	if !ok {
 		a.tel.dsrErrors.Inc()
 		return nil, ErrUnknownDIP
 	}
-	dip := a.ip.Src
+	dip := ip.Src
 	out = append(out, data...)
 	if err := packet.RewriteSrc(out, vip); err != nil {
 		a.tel.dsrErrors.Inc()
@@ -220,13 +309,23 @@ func (a *Agent) SendDSR(data, out []byte) ([]byte, error) {
 
 // MeterSnapshot returns a copy of the per-VIP traffic counters and
 // optionally resets them (the agent reports deltas each monitoring period).
+// VIPs with no traffic since the last reset are omitted. With reset, the
+// read-and-zero is atomic per counter, so packets metered concurrently are
+// counted exactly once across consecutive snapshots.
 func (a *Agent) MeterSnapshot(reset bool) map[packet.Addr]Meter {
-	out := make(map[packet.Addr]Meter, len(a.meters))
-	for vip, m := range a.meters {
-		out[vip] = *m
-	}
-	if reset {
-		a.meters = make(map[packet.Addr]*Meter)
+	t := a.tab.Load()
+	out := make(map[packet.Addr]Meter, len(t.meters))
+	for vip, m := range t.meters {
+		var snap Meter
+		if reset {
+			snap = Meter{Packets: m.packets.Swap(0), Bytes: m.bytes.Swap(0)}
+		} else {
+			snap = Meter{Packets: m.packets.Load(), Bytes: m.bytes.Load()}
+		}
+		if snap.Packets == 0 && snap.Bytes == 0 {
+			continue
+		}
+		out[vip] = snap
 	}
 	return out
 }

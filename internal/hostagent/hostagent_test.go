@@ -109,7 +109,7 @@ func TestRegisterDuplicateAndConflict(t *testing.T) {
 	if err := a.RegisterDIP(vip, dip); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(a.locals[vip]); got != 1 {
+	if got := len(a.LocalDIPs(vip)); got != 1 {
 		t.Fatalf("duplicate registration created %d entries", got)
 	}
 	// Same DIP under a different VIP conflicts.

@@ -2,6 +2,8 @@ package hostagent
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
@@ -15,6 +17,15 @@ var (
 	ErrNoRange        = errors.New("hostagent: no SNAT port range assigned")
 )
 
+// snatShards stripes the allocated-port set by port number so concurrent
+// outbound connection setups on the same host rarely contend. Power of two.
+const snatShards = 8
+
+type snatShard struct {
+	mu   sync.Mutex
+	used map[uint16]bool
+}
+
 // SNAT allocates source ports for outbound connections originating at a DIP
 // (paper §5.2 "SNAT"). Ananta keeps SNAT state on the SMuxes; Duet cannot,
 // because switches hold no connection state. Instead the host agent shares
@@ -22,14 +33,23 @@ var (
 // its VIP, the HA picks a source port such that the hash of the *inbound*
 // response 5-tuple selects this DIP's ECMP entry — so response packets
 // arriving at the HMux are tunneled straight back to us with no state.
+//
+// The allocator is safe for concurrent callers: the assigned ranges are
+// published copy-on-write, the used-port set is sharded by port with
+// per-shard locks, and a port is probed and claimed under one shard lock so
+// two goroutines can never claim the same port.
 type SNAT struct {
-	vip      packet.Addr
-	self     packet.Addr // our DIP
-	group    *ecmp.Group
-	encaps   []packet.Addr
-	ranges   []portRange
-	used     map[uint16]bool
-	searched uint64 // total candidate ports probed (diagnostics)
+	vip    packet.Addr
+	self   packet.Addr // our DIP
+	group  *ecmp.Group
+	encaps []packet.Addr
+
+	rangesMu sync.Mutex
+	ranges   atomic.Pointer[[]portRange]
+
+	shards   [snatShards]snatShard
+	usedN    atomic.Int64  // total allocated ports
+	searched atomic.Uint64 // total candidate ports probed (diagnostics)
 
 	telAllocs    telemetry.CounterShard
 	telExhausted telemetry.CounterShard
@@ -58,12 +78,15 @@ func NewSNAT(vip, self packet.Addr, backends []service.Backend) *SNAT {
 		self:   self,
 		group:  ecmp.NewGroup(),
 		encaps: make([]packet.Addr, len(backends)),
-		used:   make(map[uint16]bool),
 	}
 	for i, b := range backends {
 		s.encaps[i] = b.Addr
 		s.group.AddWeighted(uint32(i), b.Weight)
 	}
+	for i := range s.shards {
+		s.shards[i].used = make(map[uint16]bool)
+	}
+	s.ranges.Store(&[]portRange{})
 	return s
 }
 
@@ -74,23 +97,37 @@ func (s *SNAT) AssignRange(lo, hi uint16) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	s.ranges = append(s.ranges, portRange{lo, hi})
+	s.rangesMu.Lock()
+	defer s.rangesMu.Unlock()
+	cur := *s.ranges.Load()
+	next := make([]portRange, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = portRange{lo, hi}
+	s.ranges.Store(&next)
+}
+
+func (s *SNAT) shardFor(port uint16) *snatShard {
+	return &s.shards[port&(snatShards-1)]
 }
 
 // AllocatePort picks a free source port for an outbound connection to
 // remote:remotePort such that the response packet
 // (remote:remotePort → vip:port) hashes to this DIP on the HMux.
 func (s *SNAT) AllocatePort(remote packet.Addr, remotePort uint16, proto uint8) (uint16, error) {
-	if len(s.ranges) == 0 {
+	ranges := *s.ranges.Load()
+	if len(ranges) == 0 {
 		return 0, ErrNoRange
 	}
-	for _, r := range s.ranges {
+	for _, r := range ranges {
 		for p := uint32(r.lo); p <= uint32(r.hi); p++ {
 			port := uint16(p)
-			if s.used[port] {
+			sh := s.shardFor(port)
+			sh.mu.Lock()
+			if sh.used[port] {
+				sh.mu.Unlock()
 				continue
 			}
-			s.searched++
+			s.searched.Add(1)
 			// The inbound response as seen by the HMux.
 			resp := packet.FiveTuple{
 				Src: remote, Dst: s.vip,
@@ -99,26 +136,38 @@ func (s *SNAT) AllocatePort(remote packet.Addr, remotePort uint16, proto uint8) 
 			}
 			member, err := s.group.SelectTuple(resp)
 			if err != nil {
+				sh.mu.Unlock()
 				return 0, err
 			}
 			if s.encaps[member] == s.self {
-				s.used[port] = true
+				sh.used[port] = true
+				sh.mu.Unlock()
+				s.usedN.Add(1)
 				s.telAllocs.Inc()
 				return port, nil
 			}
+			sh.mu.Unlock()
 		}
 	}
 	s.telExhausted.Inc()
-	s.telRec.Record(telemetry.KindSNATExhausted, s.telNode, uint32(s.vip), uint32(s.self), uint64(len(s.used)))
+	s.telRec.Record(telemetry.KindSNATExhausted, s.telNode, uint32(s.vip), uint32(s.self), uint64(s.usedN.Load()))
 	return 0, ErrPortsExhausted
 }
 
 // ReleasePort frees a previously allocated port.
-func (s *SNAT) ReleasePort(port uint16) { delete(s.used, port) }
+func (s *SNAT) ReleasePort(port uint16) {
+	sh := s.shardFor(port)
+	sh.mu.Lock()
+	if sh.used[port] {
+		delete(sh.used, port)
+		s.usedN.Add(-1)
+	}
+	sh.mu.Unlock()
+}
 
 // Used returns the number of currently allocated ports.
-func (s *SNAT) Used() int { return len(s.used) }
+func (s *SNAT) Used() int { return int(s.usedN.Load()) }
 
 // Probed returns how many candidate ports have been hash-tested; the
 // expected value is ≈ len(backends) probes per allocation.
-func (s *SNAT) Probed() uint64 { return s.searched }
+func (s *SNAT) Probed() uint64 { return s.searched.Load() }

@@ -140,6 +140,28 @@ func (s CDFSnapshot) Fraction(x float64) float64 {
 	return float64(i) / float64(len(s.sorted))
 }
 
+// MergeSnapshots combines several snapshots into one distribution. Merging
+// immutable snapshots is the supported way to aggregate per-worker samples
+// from a parallel driver: each worker confines its own CDF to its goroutine,
+// snapshots it at the join point, and the merged result is again immutable
+// and safe to read from anywhere.
+func MergeSnapshots(snaps ...CDFSnapshot) CDFSnapshot {
+	total := 0
+	for _, s := range snaps {
+		total += len(s.sorted)
+	}
+	if total == 0 {
+		return CDFSnapshot{}
+	}
+	out := CDFSnapshot{sorted: make([]float64, 0, total)}
+	for _, s := range snaps {
+		out.sorted = append(out.sorted, s.sorted...)
+		out.sum += s.sum
+	}
+	sort.Float64s(out.sorted)
+	return out
+}
+
 // Point is one (value, cumulative-probability) pair of a rendered CDF.
 type Point struct {
 	X float64

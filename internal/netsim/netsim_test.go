@@ -414,3 +414,101 @@ func TestInternetFlowAllCoresDown(t *testing.T) {
 		t.Fatalf("got %v, %v; want nil, nil", vec, err)
 	}
 }
+
+// TestFailureInvalidatesAllCaches pins the invalidation contract the
+// assignment engine depends on: every failure-state change (FailSwitch,
+// FailLink, recovery) bumps the epoch and flushes all three memo tables —
+// distCache (via rerouted UnitFlow paths), flowCache (stale spread vectors
+// are never returned), and inetCache (ingress spread recomputed). A stale
+// cache here would silently route assignment decisions over dead links.
+func TestFailureInvalidatesAllCaches(t *testing.T) {
+	n := defaultNet(t)
+	src, dst := n.Topo.TorID(0, 0), n.Topo.TorID(0, 1)
+
+	flowBefore, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inetBefore, err := n.InternetFlow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// FailLink must bump the epoch (TestEpochBumpsOnFailureChange covers
+	// FailSwitch) and flush the flow cache: the rerouted vector must avoid
+	// the dead link, which a cache hit could not.
+	var link topology.LinkID = -1
+	for _, nb := range n.Topo.Neighbors[src] {
+		if nb.Peer == n.Topo.AggID(0, 0) {
+			link = nb.Link
+		}
+	}
+	if link < 0 {
+		t.Fatal("ToR-Agg link not found")
+	}
+	e0 := n.Epoch()
+	n.FailLink(link)
+	if n.Epoch() == e0 {
+		t.Fatal("FailLink did not bump epoch")
+	}
+	flowFailed, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flowBefore) > 0 && len(flowFailed) > 0 && &flowBefore[0] == &flowFailed[0] {
+		t.Fatal("UnitFlow returned the pre-failure cached vector")
+	}
+	for _, lf := range flowFailed {
+		if lf.Dir.LinkOf() == link {
+			t.Fatal("stale flowCache/distCache: failed link still on path")
+		}
+	}
+
+	// A core failure must flush inetCache: the new spread avoids the core.
+	core0 := n.Topo.CoreID(0)
+	n.FailSwitch(core0)
+	inetFailed, err := n.InternetFlow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inetBefore) > 0 && len(inetFailed) > 0 && &inetBefore[0] == &inetFailed[0] {
+		t.Fatal("InternetFlow returned the pre-failure cached vector")
+	}
+	for _, lf := range inetFailed {
+		l := n.Topo.Link(lf.Dir.LinkOf())
+		if l.A == core0 || l.B == core0 {
+			t.Fatal("stale inetCache: failed core still carries ingress")
+		}
+	}
+
+	// Recovery bumps the epoch again and restores the original answers —
+	// recomputed, not replayed from a stale generation.
+	e1 := n.Epoch()
+	n.ClearFailures()
+	if n.Epoch() == e1 {
+		t.Fatal("ClearFailures did not bump epoch")
+	}
+	flowAfter, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flowAfter) != len(flowBefore) {
+		t.Fatalf("recovered UnitFlow has %d links, want %d", len(flowAfter), len(flowBefore))
+	}
+	want := map[DirLink]float64{}
+	for _, lf := range flowBefore {
+		want[lf.Dir] = lf.Frac
+	}
+	for _, lf := range flowAfter {
+		if math.Abs(want[lf.Dir]-lf.Frac) > 1e-9 {
+			t.Fatalf("recovered flow on %s = %v, want %v", n.DirString(lf.Dir), lf.Frac, want[lf.Dir])
+		}
+	}
+	inetAfter, err := n.InternetFlow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantIn := intoDst(n, inetAfter, dst), 1.0; math.Abs(got-wantIn) > 1e-9 {
+		t.Fatalf("recovered internet inflow %v, want %v", got, wantIn)
+	}
+}

@@ -1,6 +1,10 @@
 package smux
 
-import "duet/internal/packet"
+import (
+	"sync"
+
+	"duet/internal/packet"
+)
 
 // Ananta's fast path (paper §2.1): once a connection between two intra-DC
 // services is established through the mux, the mux can tell the source's
@@ -17,34 +21,52 @@ type FastPathOffer struct {
 	DIP  packet.Addr
 }
 
+// fastPathState holds the offer predicate and the offered-flows dedup set.
+// The predicate is immutable after publication; the set is guarded by its
+// own lock (offers are per-flow-once, so the lock is off the steady path).
+type fastPathState struct {
+	pred func(src packet.Addr) bool
+
+	mu      sync.Mutex
+	offered map[packet.FiveTuple]bool
+}
+
 // EnableFastPath turns on fast-path offers for intra-DC sources matching
 // the given predicate (e.g. "source address is inside the DC"). Pass nil to
-// offer for every source.
+// offer for every source. Enabling resets the offered-flows set.
 func (m *Mux) EnableFastPath(isIntraDC func(src packet.Addr) bool) {
-	m.fastPathOn = true
-	m.fastPathPred = isIntraDC
+	m.fastPath.Store(&fastPathState{
+		pred:    isIntraDC,
+		offered: make(map[packet.FiveTuple]bool),
+	})
+	m.fastPathOn.Store(true)
 }
 
 // DisableFastPath turns fast-path offers off.
 func (m *Mux) DisableFastPath() {
-	m.fastPathOn = false
-	m.fastPathPred = nil
+	m.fastPathOn.Store(false)
+	m.fastPath.Store(nil)
 }
 
-// fastPathOffer decides whether to emit an offer for a flow.
+// fastPathOffer decides whether to emit an offer for a flow. The disabled
+// case — Duet's default — costs one atomic load on the hot path.
 func (m *Mux) fastPathOffer(tuple packet.FiveTuple, dip packet.Addr) *FastPathOffer {
-	if !m.fastPathOn {
+	if !m.fastPathOn.Load() {
 		return nil
 	}
-	if m.fastPathPred != nil && !m.fastPathPred(tuple.Src) {
+	st := m.fastPath.Load()
+	if st == nil {
 		return nil
 	}
-	if m.offered == nil {
-		m.offered = make(map[packet.FiveTuple]bool)
+	if st.pred != nil && !st.pred(tuple.Src) {
+		return nil
 	}
-	if m.offered[tuple] {
+	st.mu.Lock()
+	if st.offered[tuple] {
+		st.mu.Unlock()
 		return nil // offer once per flow
 	}
-	m.offered[tuple] = true
+	st.offered[tuple] = true
+	st.mu.Unlock()
 	return &FastPathOffer{Flow: tuple, DIP: dip}
 }

@@ -8,10 +8,20 @@
 // Ananta add DIPs to a VIP without remapping existing connections — the
 // reason Duet bounces a VIP through the SMuxes during DIP addition
 // (paper §5.2).
+//
+// Concurrency: the VIP table is immutable and published through an atomic
+// pointer with an epoch, exactly like the HMux tables — mutators rebuild
+// copy-on-write under a writer lock. The connection table is the one piece
+// of genuinely mutable dataplane state (a flow's first packet writes the
+// pinning every later packet reads), so it is sharded by flow hash with a
+// per-shard lock; concurrent Process calls on different flows touch
+// different shards and never serialize on a global lock.
 package smux
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
@@ -22,6 +32,11 @@ import (
 // DefaultCapacityPPS is the packet rate at which one SMux saturates its CPU
 // (paper §2.2: 300K packets/sec on the production SKU).
 const DefaultCapacityPPS = 300_000
+
+// connShards is the connection-table shard count. Power of two; shards are
+// selected by the top bits of the shared ECMP flow hash so shard choice is
+// uncorrelated with the low bits the 256-slot group tables consume.
+const connShards = 16
 
 // Errors returned by the SMux.
 var (
@@ -42,7 +57,9 @@ type Config struct {
 
 	// MaxConnections bounds the connection table; 0 means the default
 	// (1M entries). When full, new connections are served stateless (pure
-	// hash) rather than dropped.
+	// hash) rather than dropped. The bound is enforced per shard
+	// (MaxConnections / connShards), so the effective global cap can sit
+	// slightly under MaxConnections when flows hash unevenly.
 	MaxConnections int
 
 	// DisableConnTracking turns off per-connection state entirely; every
@@ -62,24 +79,37 @@ type entry struct {
 	ports    map[uint16]*entry
 }
 
-// Mux is one software mux.
+// vipTable is one immutable generation of the SMux's VIP mapping.
+type vipTable struct {
+	epoch uint64
+	vips  map[packet.Addr]*entry
+}
+
+// connShard is one lock-striped slice of the connection table. Flows map to
+// shards by hash, so one flow's packets always serialize on the same shard.
+type connShard struct {
+	mu    sync.Mutex
+	conns map[packet.FiveTuple]packet.Addr
+	order []packet.FiveTuple // FIFO eviction order
+	_     [24]byte           // pad toward a cache line to curb false sharing
+}
+
+// Mux is one software mux. Process and Lookup are safe for concurrent
+// callers; VIP programming serializes on an internal writer lock.
 type Mux struct {
-	cfg  Config
-	vips map[packet.Addr]*entry
+	cfg Config
 
-	// conns pins established flows to their DIP so backend-set changes do
-	// not remap them (Ananta semantics).
-	conns     map[packet.FiveTuple]packet.Addr
-	connOrder []packet.FiveTuple // FIFO eviction order
+	tab atomic.Pointer[vipTable]
+	mu  sync.Mutex // serializes VIP-table writers
 
-	processed uint64 // packets processed (for CPU accounting)
+	shards      [connShards]connShard
+	perShardMax int
+
+	processed atomic.Uint64 // packets processed (for CPU accounting)
 
 	// fast path state (§2.1, see fastpath.go)
-	fastPathOn   bool
-	fastPathPred func(packet.Addr) bool
-	offered      map[packet.FiveTuple]bool
-
-	ip packet.IPv4 // decode scratch
+	fastPathOn atomic.Bool
+	fastPath   atomic.Pointer[fastPathState]
 
 	tel muxTelemetry
 }
@@ -151,11 +181,39 @@ func New(cfg Config) *Mux {
 	if cfg.MaxConnections <= 0 {
 		cfg.MaxConnections = 1 << 20
 	}
-	return &Mux{
-		cfg:   cfg,
-		vips:  make(map[packet.Addr]*entry),
-		conns: make(map[packet.FiveTuple]packet.Addr),
+	m := &Mux{cfg: cfg}
+	m.perShardMax = cfg.MaxConnections / connShards
+	if m.perShardMax < 1 {
+		m.perShardMax = 1
 	}
+	for i := range m.shards {
+		m.shards[i].conns = make(map[packet.FiveTuple]packet.Addr)
+	}
+	m.tab.Store(&vipTable{vips: make(map[packet.Addr]*entry)})
+	return m
+}
+
+// shardFor returns the connection shard for a flow hash. The top bits are
+// used so shard selection stays independent of the group slot index (low
+// bits) derived from the same hash.
+func (m *Mux) shardFor(h uint64) *connShard {
+	return &m.shards[(h>>48)&(connShards-1)]
+}
+
+// publish installs a new VIP-table generation. Must hold m.mu.
+func (m *Mux) publish(vips map[packet.Addr]*entry) {
+	cur := m.tab.Load()
+	m.tab.Store(&vipTable{epoch: cur.epoch + 1, vips: vips})
+}
+
+// cloneVIPs copies the current VIP map for mutation. Must hold m.mu.
+func (m *Mux) cloneVIPs() map[packet.Addr]*entry {
+	cur := m.tab.Load().vips
+	cp := make(map[packet.Addr]*entry, len(cur)+1)
+	for k, v := range cur {
+		cp[k] = v
+	}
+	return cp
 }
 
 // Self returns the mux's address.
@@ -165,10 +223,22 @@ func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
 func (m *Mux) CapacityPPS() float64 { return m.cfg.CapacityPPS }
 
 // Processed returns the number of packets processed since creation.
-func (m *Mux) Processed() uint64 { return m.processed }
+func (m *Mux) Processed() uint64 { return m.processed.Load() }
 
-// Connections returns the current connection-table size.
-func (m *Mux) Connections() int { return len(m.conns) }
+// Epoch returns the VIP-table generation, bumped on every mutation.
+func (m *Mux) Epoch() uint64 { return m.tab.Load().epoch }
+
+// Connections returns the current connection-table size across all shards.
+func (m *Mux) Connections() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += len(s.conns)
+		s.mu.Unlock()
+	}
+	return total
+}
 
 func buildEntry(backends []service.Backend) *entry {
 	e := &entry{
@@ -183,6 +253,17 @@ func buildEntry(backends []service.Backend) *entry {
 	return e
 }
 
+func buildVIPEntry(v *service.VIP) *entry {
+	e := buildEntry(v.Backends)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*entry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = buildEntry(pr.Backends)
+		}
+	}
+	return e
+}
+
 // AddVIP installs a VIP. Unlike the HMux there is no capacity limit: the
 // mapping lives in server memory (paper §2.1 "essentially an unlimited
 // number of VIPs and DIPs").
@@ -190,70 +271,83 @@ func (m *Mux) AddVIP(v *service.VIP) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
-	if _, ok := m.vips[v.Addr]; ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[v.Addr]; ok {
 		return ErrVIPExists
 	}
-	e := buildEntry(v.Backends)
-	if len(v.Ports) > 0 {
-		e.ports = make(map[uint16]*entry, len(v.Ports))
-		for _, pr := range v.Ports {
-			e.ports[pr.Port] = buildEntry(pr.Backends)
-		}
-	}
-	m.vips[v.Addr] = e
+	vips := m.cloneVIPs()
+	vips[v.Addr] = buildVIPEntry(v)
+	m.publish(vips)
 	return nil
 }
 
-// UpdateVIP replaces a VIP's backend set in place. Existing connections keep
-// flowing to their pinned DIPs through the connection table, so DIP addition
-// does not remap them.
+// UpdateVIP replaces a VIP's backend set. Existing connections keep flowing
+// to their pinned DIPs through the connection table, so DIP addition does
+// not remap them.
 func (m *Mux) UpdateVIP(v *service.VIP) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
-	if _, ok := m.vips[v.Addr]; !ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[v.Addr]; !ok {
 		return ErrVIPNotFound
 	}
-	e := buildEntry(v.Backends)
-	if len(v.Ports) > 0 {
-		e.ports = make(map[uint16]*entry, len(v.Ports))
-		for _, pr := range v.Ports {
-			e.ports[pr.Port] = buildEntry(pr.Backends)
-		}
-	}
-	m.vips[v.Addr] = e
+	vips := m.cloneVIPs()
+	vips[v.Addr] = buildVIPEntry(v)
+	m.publish(vips)
 	return nil
 }
 
 // RemoveVIP withdraws a VIP and drops its pinned connections.
 func (m *Mux) RemoveVIP(addr packet.Addr) error {
-	if _, ok := m.vips[addr]; !ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[addr]; !ok {
 		return ErrVIPNotFound
 	}
-	delete(m.vips, addr)
-	for t := range m.conns {
-		if t.Dst == addr {
-			delete(m.conns, t)
-		}
-	}
-	m.tel.connections.Set(int64(len(m.conns)))
+	vips := m.cloneVIPs()
+	delete(vips, addr)
+	m.publish(vips)
+	m.dropConns(func(t packet.FiveTuple, _ packet.Addr) bool { return t.Dst == addr })
 	return nil
+}
+
+// dropConns removes pinned connections matching the predicate from every
+// shard and keeps the occupancy gauge in sync.
+func (m *Mux) dropConns(match func(packet.FiveTuple, packet.Addr) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		before := len(s.conns)
+		for t, d := range s.conns {
+			if match(t, d) {
+				delete(s.conns, t)
+			}
+		}
+		m.tel.connections.Add(int64(len(s.conns) - before))
+		s.mu.Unlock()
+	}
 }
 
 // HasVIP reports whether the VIP is configured.
 func (m *Mux) HasVIP(addr packet.Addr) bool {
-	_, ok := m.vips[addr]
+	_, ok := m.tab.Load().vips[addr]
 	return ok
 }
 
 // NumVIPs returns the configured VIP count.
-func (m *Mux) NumVIPs() int { return len(m.vips) }
+func (m *Mux) NumVIPs() int { return len(m.tab.Load().vips) }
 
 // RemoveBackend removes a DIP resiliently (same semantics as the HMux) and
 // terminates connections pinned to it (paper §5.1 "DIP failure": existing
-// connections to the failed DIP are necessarily terminated).
+// connections to the failed DIP are necessarily terminated). The entry is
+// cloned and republished so in-flight Process calls see a complete group.
 func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
-	e, ok := m.vips[vip]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.tab.Load().vips[vip]
 	if !ok {
 		return ErrVIPNotFound
 	}
@@ -261,16 +355,22 @@ func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
 		if b.Addr != dip {
 			continue
 		}
-		if err := e.group.Remove(uint32(i)); err != nil {
+		cp := &entry{
+			group:    e.group.Clone(),
+			encaps:   append([]packet.Addr(nil), e.encaps...),
+			backends: append([]service.Backend(nil), e.backends...),
+			ports:    e.ports,
+		}
+		if err := cp.group.Remove(uint32(i)); err != nil {
 			return err
 		}
-		e.backends[i] = service.Backend{}
-		for t, d := range m.conns {
-			if t.Dst == vip && d == dip {
-				delete(m.conns, t)
-			}
-		}
-		m.tel.connections.Set(int64(len(m.conns)))
+		cp.backends[i] = service.Backend{}
+		vips := m.cloneVIPs()
+		vips[vip] = cp
+		m.publish(vips)
+		m.dropConns(func(t packet.FiveTuple, d packet.Addr) bool {
+			return t.Dst == vip && d == dip
+		})
 		return nil
 	}
 	return ErrVIPNotFound
@@ -290,24 +390,27 @@ type Result struct {
 
 // Process load-balances one packet: decode, look up the VIP, select the DIP
 // (connection table first, then shared hash), encapsulate. The encapsulated
-// packet is appended to out.
+// packet is appended to out. Safe for concurrent callers: the VIP table is
+// read from one atomic load, and connection pinning locks only the flow's
+// hash shard.
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
-	m.processed++
+	m.processed.Add(1)
 	m.tel.packets.Inc()
 	sampled := m.tel.rec.Sample()
 	if sampled {
 		m.tel.rec.Record(telemetry.KindPacketIn, m.tel.node, 0, 0, uint64(len(data)))
 	}
-	if err := m.ip.DecodeFromBytes(data); err != nil {
+	var ip packet.IPv4 // stack scratch; Process must stay concurrency-safe
+	if err := ip.DecodeFromBytes(data); err != nil {
 		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
-	e, ok := m.vips[m.ip.Dst]
+	e, ok := m.tab.Load().vips[ip.Dst]
 	if !ok {
-		return Result{}, m.drop(telemetry.DropUnknownVIP, m.ip.Dst, ErrVIPNotFound)
+		return Result{}, m.drop(telemetry.DropUnknownVIP, ip.Dst, ErrVIPNotFound)
 	}
 	tuple, err := packet.ExtractFiveTuple(data)
 	if err != nil {
-		return Result{}, m.drop(telemetry.DropMalformed, m.ip.Dst, err)
+		return Result{}, m.drop(telemetry.DropMalformed, ip.Dst, err)
 	}
 	if sampled {
 		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
@@ -319,29 +422,45 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 		}
 	}
 
+	// One hash per packet, reused for the connection shard (top bits) and
+	// the ECMP slot pick (low bits) — the same sharing the HMux hardware
+	// pipeline gets from computing hash(5-tuple) once per stage.
+	h := ecmp.Hash(tuple)
 	var dip packet.Addr
 	pinned := false
 	if !m.cfg.DisableConnTracking {
-		if d, ok := m.conns[tuple]; ok {
+		s := m.shardFor(h)
+		s.mu.Lock()
+		if d, ok := s.conns[tuple]; ok {
 			dip, pinned = d, true
+			s.mu.Unlock()
+		} else {
+			member, err := sel.group.Select(h)
+			if err != nil {
+				s.mu.Unlock()
+				return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
+			}
+			dip = sel.encaps[member]
+			if len(s.conns) < m.perShardMax {
+				s.conns[tuple] = dip
+				s.order = append(s.order, tuple)
+				m.tel.connInserts.Inc()
+				m.evictShard(s)
+				m.tel.connections.Add(1)
+			}
+			s.mu.Unlock()
 		}
+	} else {
+		member, err := sel.group.Select(h)
+		if err != nil {
+			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
+		}
+		dip = sel.encaps[member]
 	}
 	if pinned {
 		m.tel.connHits.Inc()
 	} else {
 		m.tel.connMisses.Inc()
-		member, err := sel.group.SelectTuple(tuple)
-		if err != nil {
-			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
-		}
-		dip = sel.encaps[member]
-		if !m.cfg.DisableConnTracking && len(m.conns) < m.cfg.MaxConnections {
-			m.conns[tuple] = dip
-			m.connOrder = append(m.connOrder, tuple)
-			m.tel.connInserts.Inc()
-			m.evictIfNeeded()
-			m.tel.connections.Set(int64(len(m.conns)))
-		}
 	}
 	if sampled {
 		aux := uint64(0)
@@ -367,13 +486,16 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	return Result{Encap: dip, Packet: pkt, Pinned: pinned, FastPath: offer}, nil
 }
 
-// evictIfNeeded trims stale FIFO entries whose connections have already been
-// removed, keeping connOrder from growing unboundedly.
-func (m *Mux) evictIfNeeded() {
-	for len(m.connOrder) > 2*m.cfg.MaxConnections {
-		t := m.connOrder[0]
-		m.connOrder = m.connOrder[1:]
-		delete(m.conns, t)
+// evictShard trims stale FIFO entries whose connections have already been
+// removed, keeping order from growing unboundedly. Must hold s.mu.
+func (m *Mux) evictShard(s *connShard) {
+	for len(s.order) > 2*m.perShardMax {
+		t := s.order[0]
+		s.order = s.order[1:]
+		if _, ok := s.conns[t]; ok {
+			delete(s.conns, t)
+			m.tel.connections.Add(-1)
+		}
 		m.tel.connEvictions.Inc()
 	}
 }
@@ -381,7 +503,7 @@ func (m *Mux) evictIfNeeded() {
 // Lookup returns the DIP Process would pick for a tuple without mutating
 // connection state.
 func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
-	e, ok := m.vips[tuple.Dst]
+	e, ok := m.tab.Load().vips[tuple.Dst]
 	if !ok {
 		return 0, ErrVIPNotFound
 	}
@@ -391,12 +513,17 @@ func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
 			sel = pe
 		}
 	}
+	h := ecmp.Hash(tuple)
 	if !m.cfg.DisableConnTracking {
-		if d, ok := m.conns[tuple]; ok {
+		s := m.shardFor(h)
+		s.mu.Lock()
+		d, ok := s.conns[tuple]
+		s.mu.Unlock()
+		if ok {
 			return d, nil
 		}
 	}
-	member, err := sel.group.SelectTuple(tuple)
+	member, err := sel.group.Select(h)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,195 @@
+package testbed
+
+// The event-driven testbed in this package models latency statistically.
+// The flood harness complements it with a byte-accurate concurrent driver:
+// a real core.Cluster wired on the same small FatTree as the paper's
+// hardware testbed (§7, Figure 10), flooded through the parallel
+// DeliverBatch read path. The testbed tests and cmd/duetbench's deliver
+// sweep use it to measure how the snapshot-published datapath scales with
+// worker count.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"duet/internal/core"
+	"duet/internal/metrics"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/topology"
+)
+
+// Flood is a byte-accurate cluster plus the VIP population it serves.
+type Flood struct {
+	Cluster *core.Cluster
+	VIPs    []packet.Addr
+}
+
+// FloodConfig sizes the harness.
+type FloodConfig struct {
+	NumVIPs    int // default 8
+	DIPsPerVIP int // default 4
+	NumSMuxes  int // default 3, as on the paper's testbed
+	// HMuxFraction of the VIPs (from the front of the list) is assigned to
+	// HMuxes round-robin across Agg and Core switches; the rest stay on the
+	// SMux backstop. Default 0.75 — Duet's steady state serves almost all
+	// traffic in hardware (§7.1).
+	HMuxFraction float64
+}
+
+// NewFlood builds a cluster on the Figure-10 testbed topology and populates
+// it with VIPs.
+func NewFlood(cfg FloodConfig) (*Flood, error) {
+	if cfg.NumVIPs <= 0 {
+		cfg.NumVIPs = 8
+	}
+	if cfg.DIPsPerVIP <= 0 {
+		cfg.DIPsPerVIP = 4
+	}
+	if cfg.NumSMuxes <= 0 {
+		cfg.NumSMuxes = 3
+	}
+	if cfg.HMuxFraction == 0 {
+		cfg.HMuxFraction = 0.75
+	}
+	c, err := core.New(core.Config{
+		Topology:  topology.TestbedConfig(),
+		NumSMuxes: cfg.NumSMuxes,
+		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Flood{Cluster: c}
+
+	// Candidate homes: every Agg and Core switch (ToRs front the servers).
+	var homes []topology.SwitchID
+	for _, sw := range c.Topo.Switches {
+		if sw.Kind == topology.Agg || sw.Kind == topology.Core {
+			homes = append(homes, sw.ID)
+		}
+	}
+
+	nHMux := int(float64(cfg.NumVIPs) * cfg.HMuxFraction)
+	for i := 0; i < cfg.NumVIPs; i++ {
+		addr := packet.AddrFrom4(10, 0, byte(i>>8), byte(i&0xff)+1)
+		bs := make([]service.Backend, cfg.DIPsPerVIP)
+		for j := 0; j < cfg.DIPsPerVIP; j++ {
+			bs[j] = service.Backend{Addr: packet.AddrFrom4(100, byte(i), byte(j), 1), Weight: 1}
+		}
+		if err := c.AddVIP(&service.VIP{Addr: addr, Backends: bs}); err != nil {
+			return nil, fmt.Errorf("flood: AddVIP %s: %w", addr, err)
+		}
+		if i < nHMux {
+			if err := c.AssignToHMux(addr, homes[i%len(homes)]); err != nil {
+				return nil, fmt.Errorf("flood: AssignToHMux %s: %w", addr, err)
+			}
+		}
+		f.VIPs = append(f.VIPs, addr)
+	}
+	return f, nil
+}
+
+// Packets builds n client packets, cycling flows over the VIP population so
+// both the HMux and SMux paths are exercised and connection tables see a
+// realistic mix of new and repeated flows.
+func (f *Flood) Packets(n int) [][]byte {
+	pkts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		seq := uint32(i)
+		pkts[i] = packet.BuildTCP(packet.FiveTuple{
+			Src:     packet.AddrFrom4(30, byte(seq>>16), byte(seq>>8), byte(seq)),
+			Dst:     f.VIPs[i%len(f.VIPs)],
+			SrcPort: uint16(1024 + seq%50000),
+			DstPort: 80,
+			Proto:   packet.ProtoTCP,
+		}, packet.TCPSyn, nil)
+	}
+	return pkts
+}
+
+// FloodStats summarizes one flood run.
+type FloodStats struct {
+	Delivered int
+	Failed    int
+	Elapsed   time.Duration
+	PPS       float64
+	// Latency is the merged per-packet latency distribution in seconds
+	// (populated by RunTimed; Run leaves it empty).
+	Latency metrics.CDFSnapshot
+}
+
+// Run floods the cluster through core.DeliverBatch and reports aggregate
+// throughput.
+func (f *Flood) Run(pkts [][]byte, workers int) FloodStats {
+	start := time.Now()
+	results := f.Cluster.DeliverBatch(pkts, workers)
+	elapsed := time.Since(start)
+	st := FloodStats{Elapsed: elapsed}
+	for _, r := range results {
+		if r.Err != nil {
+			st.Failed++
+		} else {
+			st.Delivered++
+		}
+	}
+	if elapsed > 0 {
+		st.PPS = float64(len(pkts)) / elapsed.Seconds()
+	}
+	return st
+}
+
+// RunTimed floods the cluster with per-packet latency measurement: the
+// packet list is split across workers, each worker confines its own
+// metrics.CDF (the type is not concurrency-safe), and the per-worker
+// distributions are joined through immutable CDFSnapshot merges.
+func (f *Flood) RunTimed(pkts [][]byte, workers int) FloodStats {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	type workerOut struct {
+		delivered, failed int
+		snap              metrics.CDFSnapshot
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		lo := w * len(pkts) / workers
+		hi := (w + 1) * len(pkts) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var lat metrics.CDF // goroutine-confined, per its contract
+			for _, p := range pkts[lo:hi] {
+				t0 := time.Now()
+				_, err := f.Cluster.Deliver(p)
+				lat.Add(time.Since(t0).Seconds())
+				if err != nil {
+					outs[w].failed++
+				} else {
+					outs[w].delivered++
+				}
+			}
+			outs[w].snap = lat.Snapshot()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := FloodStats{Elapsed: elapsed}
+	snaps := make([]metrics.CDFSnapshot, workers)
+	for w, o := range outs {
+		st.Delivered += o.delivered
+		st.Failed += o.failed
+		snaps[w] = o.snap
+	}
+	st.Latency = metrics.MergeSnapshots(snaps...)
+	if elapsed > 0 {
+		st.PPS = float64(len(pkts)) / elapsed.Seconds()
+	}
+	return st
+}
