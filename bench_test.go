@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"duet/internal/assign"
 	"duet/internal/core"
@@ -27,10 +28,12 @@ import (
 	"duet/internal/latmodel"
 	"duet/internal/metrics"
 	"duet/internal/netsim"
+	"duet/internal/obs"
 	"duet/internal/packet"
 	"duet/internal/provision"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/telemetry"
 	"duet/internal/testbed"
 	"duet/internal/topology"
 	"duet/internal/workload"
@@ -445,6 +448,42 @@ func BenchmarkDataplaneChain(b *testing.B) {
 	vip := packet.MustParseAddr("10.0.0.1")
 	backends := []service.Backend{{Addr: packet.MustParseAddr("100.0.0.1"), Weight: 1}}
 	mustB(b, hm.AddVIP(&service.VIP{Addr: vip, Backends: backends}))
+	pkt := packet.BuildTCP(benchTuple(1, vip), packet.TCPSyn, make([]byte, 512))
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		res, err := hm.Process(pkt, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := packet.Decapsulate(res.Packet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataplaneChainWithScraper is the same chain with full telemetry
+// attached and the obs scrape pipeline ticking concurrently — the acceptance
+// bar that observability stays off the hot path: still 0 allocs/op.
+func BenchmarkDataplaneChainWithScraper(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(4096)
+	rec.SetSampleEvery(64)
+	hm := hmux.New(hmux.DefaultConfig(packet.MustParseAddr("172.16.0.1")))
+	hm.SetTelemetry(reg, rec, 1)
+	vip := packet.MustParseAddr("10.0.0.1")
+	backends := []service.Backend{{Addr: packet.MustParseAddr("100.0.0.1"), Weight: 1}}
+	mustB(b, hm.AddVIP(&service.VIP{Addr: vip, Backends: backends}))
+
+	p := obs.New(obs.Config{Registry: reg, Recorder: rec, Windows: 64})
+	p.AddRules(obs.DefaultRules(obs.DefaultSLO())...)
+	for i := 0; i < 3; i++ { // warm the series cache and histogram buffers
+		p.Tick()
+	}
+	stop := p.Start(time.Millisecond)
+	defer stop()
+
 	pkt := packet.BuildTCP(benchTuple(1, vip), packet.TCPSyn, make([]byte, 512))
 	buf := make([]byte, 0, 2048)
 	b.ReportAllocs()

@@ -1,0 +1,107 @@
+// Command benchgate compares a `go test -bench BenchmarkDeliverParallel`
+// run against the recorded baseline in BENCH_deliver.json and exits non-zero
+// when any worker count regresses beyond the tolerance. CI runs it as a
+// non-blocking step; it is deliberately loud on failure so regressions are
+// visible in the log even though they do not fail the build.
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkDeliverParallel . | go run ./cmd/benchgate
+//	go run ./cmd/benchgate -baseline BENCH_deliver.json -tolerance 0.15 < bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Benchmark string `json:"benchmark"`
+	Results   []struct {
+		Workers  int     `json:"workers"`
+		NsPerPkt float64 `json:"ns_per_pkt"`
+	} `json:"results"`
+}
+
+// benchLine matches a sub-benchmark result line and captures the worker
+// count and the custom ns/pkt metric, e.g.:
+//
+//	BenchmarkDeliverParallel/workers=4-8   292   8175270 ns/op   998.2 ns/pkt   1.002 Mpps
+var benchLine = regexp.MustCompile(`^BenchmarkDeliverParallel/workers=(\d+)\S*\s.*?([0-9.]+) ns/pkt`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_deliver.json", "recorded baseline JSON")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: bad baseline:", err)
+		os.Exit(2)
+	}
+	want := map[int]float64{}
+	for _, r := range base.Results {
+		want[r.Workers] = r.NsPerPkt
+	}
+
+	measured := map[int]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		workers, _ := strconv.Atoi(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		measured[workers] = ns
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no BenchmarkDeliverParallel ns/pkt samples on stdin")
+		os.Exit(2)
+	}
+
+	fail := false
+	fmt.Printf("\nbenchgate: %s vs %s (tolerance %.0f%%)\n", base.Benchmark, *baselinePath, *tolerance*100)
+	for _, r := range base.Results {
+		got, ok := measured[r.Workers]
+		if !ok {
+			fmt.Printf("  workers=%d: MISSING from bench output\n", r.Workers)
+			fail = true
+			continue
+		}
+		ratio := got / r.NsPerPkt
+		status := "ok"
+		if ratio > 1+*tolerance {
+			status = "REGRESSION"
+			fail = true
+		} else if ratio < 1-*tolerance {
+			status = "faster (consider re-recording baseline)"
+		}
+		fmt.Printf("  workers=%d: %7.0f ns/pkt vs baseline %7.0f (%+.1f%%)  %s\n",
+			r.Workers, got, r.NsPerPkt, (ratio-1)*100, status)
+	}
+	if fail {
+		fmt.Println("\nbenchgate: FAIL — deliver path slower than recorded baseline")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

@@ -21,9 +21,17 @@
 //	probe <vip> [n]                  send n flows, show the DIP split
 //	tables <switch>                  switch table occupancy
 //	switches                         list switches
-//	top [events]                     live counters + recent trace events
+//	top [events|url]                 live counters + recent trace events
+//	serve [addr]                     expose this cluster's observability HTTP
 //	demo                             run a scripted tour
 //	help | quit
+//
+// Subcommands (non-interactive):
+//
+//	duetctl serve [-addr host:port] [-interval 1s] [-traffic pps]
+//	    demo cluster + background traffic + observability HTTP server
+//	duetctl watch [-interval 2s] [-n polls] http://host:port
+//	    poll a serve endpoint: health, key rates, alert transitions
 package main
 
 import (
@@ -33,17 +41,30 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"duet"
+	"duet/internal/obs"
 	"duet/internal/topology"
 )
 
 type console struct {
 	cluster *duet.Cluster
 	out     *bufio.Writer
+	obs     *obs.Pipeline // set once by the REPL serve command
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "watch":
+			runWatch(os.Args[2:])
+			return
+		}
+	}
 	cluster, err := duet.NewCluster(duet.ClusterConfig{
 		Topology: duet.TopologyConfig{
 			Containers:       2,
@@ -122,6 +143,8 @@ func (c *console) exec(line string) (quit bool) {
 		c.switches()
 	case "top":
 		c.top(args)
+	case "serve":
+		c.serve(args)
 	case "demo":
 		c.demo()
 	default:
@@ -137,8 +160,9 @@ func (c *console) help() {
   dip add <vip> <dip>            dip rm <vip> <dip>
   fail <switch>                  recover <switch>
   probe <vip> [flows]            tables <switch>
-  switches                       top [events]
-  demo                           quit
+  switches                       top [events|url]
+  serve [addr]                   demo
+  quit
 switch names look like tor-0-1, agg-1-0, core-2
 `)
 }
@@ -373,12 +397,16 @@ func (c *console) tables(args []string) {
 }
 
 // top prints the cluster's live telemetry: every registered counter, gauge
-// and histogram, followed by the most recent flight-recorder events.
+// and histogram, followed by the most recent flight-recorder events. With a
+// URL argument it renders the same view from a remote duetctl serve.
 func (c *console) top(args []string) {
 	nEvents := 10
 	if len(args) > 0 {
 		if v, err := strconv.Atoi(args[0]); err == nil && v >= 0 {
 			nEvents = v
+		} else {
+			topRemote(c.out, args[0], nEvents)
+			return
 		}
 	}
 	reg, rec := c.cluster.Telemetry()
@@ -395,6 +423,32 @@ func (c *console) top(args []string) {
 	for _, e := range evs {
 		fmt.Fprintf(c.out, "  %s\n", e.String())
 	}
+}
+
+// serve starts the observability HTTP server over the console's own cluster
+// in the background, so operator commands and the exposition share state.
+func (c *console) serve(args []string) {
+	if c.obs != nil {
+		fmt.Fprintln(c.out, "observability server already running")
+		return
+	}
+	addr := "localhost:8080"
+	if len(args) > 0 {
+		addr = args[0]
+	}
+	reg, rec := c.cluster.Telemetry()
+	p := obs.New(obs.Config{Registry: reg, Recorder: rec, Windows: 300})
+	p.AddCollector(c.cluster.Collect)
+	p.AddRules(obs.DefaultRules(obs.DefaultSLO())...)
+	p.Start(time.Second)
+	c.obs = p
+	go func() {
+		if err := obs.NewServer(p).ListenAndServe(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "obs server:", err)
+		}
+	}()
+	fmt.Fprintf(c.out, "observability server on http://%s (scraping every 1s)\n", addr)
+	printEndpoints(c.out, addr)
 }
 
 func (c *console) switches() {

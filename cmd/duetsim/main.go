@@ -7,7 +7,7 @@
 //	duetsim -fig all           # everything (several minutes)
 //	duetsim -fig 20a -epochs 6 # shorter trace
 //
-// Figures: 1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c
+// Figures: 1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs
 //
 // The large-scale simulations run on a fabric whose bisection bandwidth is
 // 0.4× the paper's production DC (16 containers × 40 ToRs vs 40 × 40), so
@@ -52,13 +52,14 @@ var figures = map[string]struct {
 	"20a": {fig20a, "% traffic on HMux: One-time vs Sticky vs Non-sticky"},
 	"20b": {fig20b, "% traffic shuffled during migration: Sticky vs Non-sticky"},
 	"20c": {fig20c, "number of SMuxes: No-migration/Sticky/Non-sticky/Ananta"},
+	"obs": {figObs, "observability plane: watchdogs through failover + overload"},
 }
 
-var figOrder = []string{"1a", "1b", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20a", "20b", "20c"}
+var figOrder = []string{"1a", "1b", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20a", "20b", "20c", "obs"}
 
 func main() {
 	f := &simFlags{}
-	fig := flag.String("fig", "", "figure to regenerate (1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c, or 'all')")
+	fig := flag.String("fig", "", "figure to regenerate (1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs, or 'all')")
 	flag.Int64Var(&f.seed, "seed", 1, "random seed (all experiments are deterministic per seed)")
 	flag.IntVar(&f.vips, "vips", 2000, "number of VIPs in the simulated workload")
 	flag.IntVar(&f.epochs, "epochs", 18, "trace epochs for figure 20 (paper: 18 = 3 hours)")

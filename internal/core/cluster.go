@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"duet/internal/bgp"
 	"duet/internal/ecmp"
@@ -63,6 +64,10 @@ type Config struct {
 	Aggregate packet.Prefix
 	// HMuxTables overrides switch table sizes (zero = paper defaults).
 	HMuxTables hmux.Config
+	// SMuxCapacityPPS overrides each SMux's CPU saturation point (zero =
+	// the §2.2 production default of 300K pps). The obs watchdogs compare
+	// the fleet's delivered rate against the aggregate capacity.
+	SMuxCapacityPPS float64
 }
 
 // DefaultConfig returns a cluster matching the scaled-down default fabric
@@ -126,6 +131,46 @@ type Cluster struct {
 
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
+
+	dtel    deliverTelemetry
+	ctel    collectGauges
+	hopTick atomic.Uint64 // rotates the per-hop timing sample gate
+}
+
+// deliverTelemetry is Deliver's pre-resolved instrument block. The per-hop
+// histograms let the obs watchdogs localize latency inflation to a pipeline
+// stage (hmux vs smux vs TIP indirection vs host agent) instead of seeing
+// only end-to-end time.
+type deliverTelemetry struct {
+	packets, errors                    telemetry.CounterShard
+	hopHMux, hopSMux, hopTIP, hopAgent *telemetry.Histogram
+}
+
+// hopSampleMask times 1 in 16 packets. Reading the clock twice per hop costs
+// more than the entire lookup on hosts without a vDSO fast path, so hop
+// attribution is sampled; the histograms converge on the same distribution
+// while the un-timed packets pay only one atomic add.
+const hopSampleMask = 15
+
+// sampleHop decides whether this packet's hops are timed.
+func (c *Cluster) sampleHop() bool { return c.hopTick.Add(1)&hopSampleMask == 0 }
+
+// collectGauges is the point-in-time state Collect republishes every scrape.
+type collectGauges struct {
+	hostUsed, hostCap     *telemetry.Gauge
+	ecmpUsed, ecmpCap     *telemetry.Gauge
+	tunnelUsed, tunnelCap *telemetry.Gauge
+	smuxCapacity          *telemetry.Gauge
+	smuxConns             *telemetry.Gauge
+	epoch                 *telemetry.Gauge
+}
+
+// hopBuckets spans the in-process hop latencies (hundreds of ns) up through
+// the paper's device latencies: 2µs HMux, 196µs/1ms SMux (§2.2), with room
+// above for inflation the smux-latency watchdog should catch.
+var hopBuckets = []float64{
+	250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6,
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3,
 }
 
 // New builds a cluster.
@@ -158,6 +203,25 @@ func New(cfg Config) (*Cluster, error) {
 	// real time (or the testbed's virtual time) can re-clock via Telemetry().
 	c.rec.SetClock(c.Now)
 	c.Routes.SetTelemetry(c.reg, c.rec)
+	c.dtel = deliverTelemetry{
+		packets:  c.reg.Counter("core.deliver.packets").Shard(),
+		errors:   c.reg.Counter("core.deliver.errors").Shard(),
+		hopHMux:  c.reg.Histogram("core.deliver.hop.hmux.seconds", hopBuckets),
+		hopSMux:  c.reg.Histogram("core.deliver.hop.smux.seconds", hopBuckets),
+		hopTIP:   c.reg.Histogram("core.deliver.hop.tip.seconds", hopBuckets),
+		hopAgent: c.reg.Histogram("core.deliver.hop.agent.seconds", hopBuckets),
+	}
+	c.ctel = collectGauges{
+		hostUsed:     c.reg.Gauge("hmux.tables.host_used_max"),
+		hostCap:      c.reg.Gauge("hmux.tables.host_cap"),
+		ecmpUsed:     c.reg.Gauge("hmux.tables.ecmp_used_max"),
+		ecmpCap:      c.reg.Gauge("hmux.tables.ecmp_cap"),
+		tunnelUsed:   c.reg.Gauge("hmux.tables.tunnel_used_max"),
+		tunnelCap:    c.reg.Gauge("hmux.tables.tunnel_cap"),
+		smuxCapacity: c.reg.Gauge("smux.capacity_pps"),
+		smuxConns:    c.reg.Gauge("smux.conns_total"),
+		epoch:        c.reg.Gauge("core.epoch"),
+	}
 	c.tableCfg = cfg.HMuxTables
 	for s := range c.HMuxes {
 		tcfg := cfg.HMuxTables
@@ -168,7 +232,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	racks := topo.NumRacks()
 	for i := 0; i < cfg.NumSMuxes; i++ {
-		sm := smux.New(smux.DefaultConfig(packet.AddrFrom4(192, 168, byte(i>>8), byte(i))))
+		scfg := smux.DefaultConfig(packet.AddrFrom4(192, 168, byte(i>>8), byte(i)))
+		if cfg.SMuxCapacityPPS > 0 {
+			scfg.CapacityPPS = cfg.SMuxCapacityPPS
+		}
+		sm := smux.New(scfg)
 		sm.SetTelemetry(c.reg, c.rec, uint32(smuxNodeBase)+uint32(i))
 		c.SMuxes = append(c.SMuxes, sm)
 		c.SMuxRacks = append(c.SMuxRacks, (i*(racks/cfg.NumSMuxes+1))%racks)
@@ -498,7 +566,12 @@ type Delivery struct {
 // concurrent callers, including concurrently with control-plane mutation:
 // the whole packet resolves against one atomically published snapshot.
 func (c *Cluster) Deliver(data []byte) (Delivery, error) {
-	return c.deliver(c.snap.Load(), data)
+	d, err := c.deliver(c.snap.Load(), data)
+	c.dtel.packets.Inc()
+	if err != nil {
+		c.dtel.errors.Inc()
+	}
+	return d, err
 }
 
 func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
@@ -516,10 +589,18 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	var (
 		encapped []byte
 		hops     []Hop
+		t0       time.Time
 	)
+	timed := c.sampleHop()
 	if nh >= smuxNodeBase {
 		sm := snap.smuxes[int(nh-smuxNodeBase)]
+		if timed {
+			t0 = time.Now()
+		}
 		res, err := sm.Process(data, nil)
+		if timed {
+			c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
+		}
 		if err != nil {
 			return Delivery{}, err
 		}
@@ -531,12 +612,24 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 			return Delivery{}, ErrSwitchDown
 		}
 		hm := snap.hmuxes[sw]
+		if timed {
+			t0 = time.Now()
+		}
 		res, err := hm.Process(data, nil)
+		if timed {
+			c.dtel.hopHMux.Observe(time.Since(t0).Seconds())
+		}
 		switch {
 		case errors.Is(err, hmux.ErrNotOurVIP):
 			// FIB miss during migration: fall through to the SMux layer.
 			sm := snap.smuxes[int(hash%uint64(len(snap.smuxes)))]
+			if timed {
+				t0 = time.Now()
+			}
 			res2, err := sm.Process(data, nil)
+			if timed {
+				c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
+			}
 			if err != nil {
 				return Delivery{}, err
 			}
@@ -553,7 +646,13 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 				if !snap.switchUp[tipSwitch] {
 					return Delivery{}, ErrSwitchDown
 				}
+				if timed {
+					t0 = time.Now()
+				}
 				res2, err := snap.hmuxes[tipSwitch].Process(encapped, nil)
+				if timed {
+					c.dtel.hopTIP.Observe(time.Since(t0).Seconds())
+				}
 				if err != nil {
 					return Delivery{}, err
 				}
@@ -572,12 +671,56 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	if !ok {
 		return Delivery{}, fmt.Errorf("%w: %s", ErrNoHostAgent, outer.Dst)
 	}
+	if timed {
+		t0 = time.Now()
+	}
 	d, err := agent.Receive(encapped, nil)
+	if timed {
+		c.dtel.hopAgent.Observe(time.Since(t0).Seconds())
+	}
 	if err != nil {
 		return Delivery{}, err
 	}
 	hops = append(hops, Hop{Kind: "agent", Node: outer.Dst.String()})
 	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
+}
+
+// Collect republishes point-in-time gauges derived from cluster state: HMux
+// table high-water occupancy across up switches against the §4.1 capacities,
+// the SMux fleet's aggregate capacity and connection-table size, and the
+// snapshot epoch. It is the obs scrape pipeline's collector hook — called at
+// the top of every scrape tick — and performs no allocation, so the tick
+// stays allocation-free in steady state.
+func (c *Cluster) Collect() {
+	snap := c.snap.Load()
+	var hostU, hostC, ecmpU, ecmpC, tunU, tunC int
+	for sw, hm := range snap.hmuxes {
+		if !snap.switchUp[sw] {
+			continue
+		}
+		st := hm.Stats()
+		hostU = max(hostU, st.HostUsed)
+		hostC = max(hostC, st.HostCap)
+		ecmpU = max(ecmpU, st.ECMPUsed)
+		ecmpC = max(ecmpC, st.ECMPCap)
+		tunU = max(tunU, st.TunnelUsed)
+		tunC = max(tunC, st.TunnelCap)
+	}
+	var capPPS float64
+	conns := 0
+	for _, sm := range snap.smuxes {
+		capPPS += sm.CapacityPPS()
+		conns += sm.Connections()
+	}
+	c.ctel.hostUsed.Set(int64(hostU))
+	c.ctel.hostCap.Set(int64(hostC))
+	c.ctel.ecmpUsed.Set(int64(ecmpU))
+	c.ctel.ecmpCap.Set(int64(ecmpC))
+	c.ctel.tunnelUsed.Set(int64(tunU))
+	c.ctel.tunnelCap.Set(int64(tunC))
+	c.ctel.smuxCapacity.Set(int64(capPPS))
+	c.ctel.smuxConns.Set(int64(conns))
+	c.ctel.epoch.Set(int64(snap.epoch))
 }
 
 // BatchResult pairs one packet's delivery with its error.

@@ -823,3 +823,65 @@ func TestProcessZeroAllocWithTelemetry(t *testing.T) {
 		t.Fatalf("Process with telemetry: %v allocs/op, want 0", allocs)
 	}
 }
+
+// TestDropReasonLabels covers the drop paths TestDropReasons cannot reach
+// with ordinary packets: an encapsulation overflow on the VIP path and a
+// malformed inner packet on the TIP decap/re-encap path. Each must increment
+// exactly its labeled counter and leave a KindDrop trace event. (The TIP
+// no-backend and TIP encap-error branches are unreachable with wire-valid
+// input: AddTIP rejects empty backend sets, and an inner large enough to
+// overflow re-encapsulation cannot fit inside a valid outer packet.)
+func TestDropReasonLabels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(64)
+	m := newMux(t)
+	m.SetTelemetry(reg, rec, 4)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	tip := packet.MustParseAddr("20.0.0.1")
+	if err := m.AddTIP(tip, backends("100.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("encap_error", func(t *testing.T) {
+		// 20 (IP) + 20 (TCP) + 65480 payload = 65520 bytes: a valid IPv4
+		// packet that no longer fits once a 20-byte outer header is added.
+		jumbo := packet.BuildTCP(packet.FiveTuple{
+			Src: packet.MustParseAddr("30.0.0.1"), Dst: vipAddr,
+			SrcPort: 1024, DstPort: 80, Proto: packet.ProtoTCP,
+		}, packet.TCPSyn, make([]byte, 65480))
+		if _, err := m.Process(jumbo, nil); err == nil {
+			t.Fatal("oversized packet must fail encapsulation")
+		}
+		if got := reg.Counter("hmux.drops.encap_error").Value(); got != 1 {
+			t.Fatalf("hmux.drops.encap_error = %d, want 1", got)
+		}
+	})
+
+	t.Run("tip_inner_malformed", func(t *testing.T) {
+		// A wire-valid IP-in-IP packet addressed to the TIP whose inner
+		// bytes are not a parseable IPv4 packet.
+		garbage := []byte{0xde, 0xad, 0xbe, 0xef}
+		pkt, err := packet.Encapsulate(nil, selfAddr, tip, garbage, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Process(pkt, nil); err == nil {
+			t.Fatal("garbage inner must be rejected")
+		}
+		if got := reg.Counter("hmux.drops.malformed").Value(); got != 1 {
+			t.Fatalf("hmux.drops.malformed = %d, want 1", got)
+		}
+	})
+
+	drops := 0
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.KindDrop {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("recorded %d drop events, want 2", drops)
+	}
+}

@@ -1,0 +1,56 @@
+package hostagent
+
+import (
+	"testing"
+
+	"duet/internal/packet"
+	"duet/internal/telemetry"
+)
+
+// TestReceiveZeroAlloc gates the decap hot path: with telemetry attached and
+// the output buffer reused, Receive must not allocate in steady state.
+func TestReceiveZeroAlloc(t *testing.T) {
+	a := New(host)
+	a.SetTelemetry(telemetry.NewRegistry(), telemetry.NewRecorder(1024), 5)
+	if err := a.RegisterDIP(vip, dip); err != nil {
+		t.Fatal(err)
+	}
+	pkt := encapTo(t, host, clientTuple(1))
+	out := make([]byte, 0, 2048)
+	if _, err := a.Receive(pkt, out[:0]); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := a.Receive(pkt, out[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Receive: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSendDSRZeroAlloc gates the direct-server-return hot path the same way.
+func TestSendDSRZeroAlloc(t *testing.T) {
+	a := New(host)
+	a.SetTelemetry(telemetry.NewRegistry(), telemetry.NewRecorder(1024), 5)
+	if err := a.RegisterDIP(vip, dip); err != nil {
+		t.Fatal(err)
+	}
+	resp := packet.BuildTCP(packet.FiveTuple{
+		Src: dip, Dst: packet.MustParseAddr("30.0.0.1"),
+		SrcPort: 80, DstPort: 2000, Proto: packet.ProtoTCP,
+	}, packet.TCPAck, []byte("resp"))
+	out := make([]byte, 0, 2048)
+	if _, err := a.SendDSR(resp, out[:0]); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := a.SendDSR(resp, out[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SendDSR: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+// The HTTP exposition server: one handler tree over a Pipeline.
+//
+//	/metrics     Prometheus text format from the registry
+//	/timeseries  JSON rings (?last=N limits points per series)
+//	/trace       flight-recorder dump, oldest first
+//	/alerts      watchdog transitions, oldest first (JSON)
+//	/healthz     200 while no watchdog fires, 503 otherwise
+//	/debug/pprof runtime profiling (net/http/pprof)
+//
+// Readers serialize against Tick on the pipeline mutex, so every response
+// reflects complete scrapes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Server exposes a Pipeline over HTTP.
+type Server struct {
+	p *Pipeline
+}
+
+// NewServer wraps a pipeline.
+func NewServer(p *Pipeline) *Server { return &Server{p: p} }
+
+// Handler builds the endpoint tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/timeseries", s.timeseries)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/alerts", s.alerts)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe serves the handler tree on addr until the server fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `duet observability plane
+  /metrics      Prometheus text format
+  /timeseries   JSON ring buffers (?last=N)
+  /trace        flight-recorder dump
+  /alerts       SLO watchdog transitions (JSON)
+  /healthz      200 healthy / 503 firing
+  /debug/pprof  runtime profiles
+`)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.p.WritePrometheus(w)
+}
+
+func (s *Server) timeseries(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.p.Dump(last))
+}
+
+func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rec := s.p.Recorder()
+	if rec == nil {
+		return
+	}
+	_ = rec.WriteTrace(w)
+}
+
+func (s *Server) alerts(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.p.Alerts())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.p.Status()
+	sort.Slice(st, func(i, j int) bool { return st[i].Name < st[j].Name })
+	healthy := true
+	for _, rs := range st {
+		if rs.Firing {
+			healthy = false
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "unhealthy")
+	} else {
+		fmt.Fprintln(w, "ok")
+	}
+	for _, rs := range st {
+		state := "ok"
+		if rs.Firing {
+			state = "FIRING"
+		} else if !rs.OK {
+			state = "pending"
+		}
+		fmt.Fprintf(w, "%-30s %-7s value=%.6g streak=%d\n", rs.Name, state, rs.Value, rs.Streak)
+	}
+}

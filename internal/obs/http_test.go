@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"duet/internal/telemetry"
+)
+
+// newTestServer builds a pipeline with one counter, one firing-capable rule,
+// and a recorder, behind an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, *Pipeline, *telemetry.Registry, *fakeClock) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(256)
+	clk := &fakeClock{}
+	p := New(Config{Registry: reg, Recorder: rec, Windows: 8, Now: clk.now})
+	srv := httptest.NewServer(NewServer(p).Handler())
+	t.Cleanup(srv.Close)
+	return srv, p, reg, clk
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	srv, p, reg, _ := newTestServer(t)
+	reg.Counter("hmux.packets").Add(9)
+	p.Tick()
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if _, _, err := parsePrometheus([]byte(body)); err != nil {
+		t.Fatalf("/metrics not parseable: %v", err)
+	}
+	if !strings.Contains(body, "duet_hmux_packets 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestHTTPTimeseries(t *testing.T) {
+	srv, p, reg, clk := newTestServer(t)
+	c := reg.Counter("x")
+	for i := 0; i < 3; i++ {
+		c.Inc()
+		p.Tick()
+		clk.advance(1)
+	}
+	code, body := get(t, srv.URL+"/timeseries?last=1")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries status = %d", code)
+	}
+	var d TimeSeriesDump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("/timeseries not decodable: %v", err)
+	}
+	if d.Ticks != 3 {
+		t.Fatalf("dump ticks = %d, want 3", d.Ticks)
+	}
+	for _, s := range d.Series {
+		if len(s.Points) > 1 {
+			t.Fatalf("series %s has %d points, want last=1 honored", s.Name, len(s.Points))
+		}
+		if s.Name == "x" && s.Points[0].Value != 3 {
+			t.Fatalf("series x last value = %g, want 3", s.Points[0].Value)
+		}
+	}
+	if code, _ := get(t, srv.URL+"/timeseries?last=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad last parameter status = %d, want 400", code)
+	}
+}
+
+func TestHTTPHealthzAndAlerts(t *testing.T) {
+	srv, p, reg, clk := newTestServer(t)
+	g := reg.Gauge("load")
+	p.AddRules(Rule{Name: "overload", Num: "load", NumSrc: Value, Op: Above, Threshold: 10})
+
+	g.Set(5)
+	p.Tick()
+	clk.advance(1)
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+
+	g.Set(50)
+	p.Tick()
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("firing /healthz status = %d, want 503", code)
+	}
+	if !strings.Contains(body, "overload") || !strings.Contains(body, "FIRING") {
+		t.Fatalf("firing /healthz body:\n%s", body)
+	}
+
+	code, body = get(t, srv.URL+"/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("/alerts status = %d", code)
+	}
+	var alerts []Alert
+	if err := json.Unmarshal([]byte(body), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Rule != "overload" || !alerts[0].Firing {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestHTTPTraceAndPprof(t *testing.T) {
+	srv, p, _, _ := newTestServer(t)
+	p.Recorder().Record(telemetry.KindSwitchFail, 3, 0, 0, 0)
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, "switch-fail") {
+		t.Fatalf("/trace = %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+	if code, body := get(t, srv.URL+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", code)
+	}
+}

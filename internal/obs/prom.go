@@ -1,0 +1,89 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) rendered straight from a
+// telemetry.Registry. Metric names are sanitized (dots and dashes become
+// underscores) and prefixed duet_; histograms render the standard cumulative
+// _bucket{le="..."} / _sum / _count triple. The renderer is the read path of
+// the /metrics endpoint — it allocates freely.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"duet/internal/telemetry"
+)
+
+// promName sanitizes a registry metric name into the Prometheus charset
+// [a-zA-Z0-9_:] and applies the duet_ prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("duet_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == ':', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (shortest exact
+// representation; +Inf for the final bucket edge).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text format,
+// sorted by name within each metric kind.
+func (p *Pipeline) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, p.cfg.Registry)
+}
+
+// WritePrometheus renders a registry in Prometheus text format.
+func WritePrometheus(w io.Writer, r *telemetry.Registry) error {
+	if r == nil {
+		return nil
+	}
+	for _, c := range r.Counters() {
+		n := promName(c.Name())
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.Gauges() {
+		n := promName(g.Name())
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		n := promName(h.Name())
+		s := h.Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = promFloat(s.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(s.Sum), n, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"duet/internal/telemetry"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a strict parser for the subset of the text exposition
+// format (0.0.4) the renderer emits: # TYPE comments and bare samples with
+// optional labels. It errors on anything malformed, so the round-trip test
+// catches format drift.
+func parsePrometheus(data []byte) (types map[string]string, samples []promSample, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, nil, fmt.Errorf("line %d: bad comment %q", ln, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, nil, fmt.Errorf("line %d: unknown type %q", ln, fields[3])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, nil, fmt.Errorf("line %d: no value in %q", ln, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad value: %v", ln, err)
+		}
+		s := promSample{labels: map[string]string{}, value: v}
+		nameAndLabels := line[:sp]
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			if !strings.HasSuffix(nameAndLabels, "}") {
+				return nil, nil, fmt.Errorf("line %d: unterminated labels in %q", ln, line)
+			}
+			s.name = nameAndLabels[:i]
+			for _, pair := range strings.Split(nameAndLabels[i+1:len(nameAndLabels)-1], ",") {
+				k, qv, ok := strings.Cut(pair, "=")
+				if !ok {
+					return nil, nil, fmt.Errorf("line %d: bad label %q", ln, pair)
+				}
+				uq, err := strconv.Unquote(qv)
+				if err != nil {
+					return nil, nil, fmt.Errorf("line %d: label value %q: %v", ln, qv, err)
+				}
+				s.labels[k] = uq
+			}
+		} else {
+			s.name = nameAndLabels
+		}
+		for _, c := range s.name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				return nil, nil, fmt.Errorf("line %d: invalid metric name %q", ln, s.name)
+			}
+		}
+		samples = append(samples, s)
+	}
+	return types, samples, sc.Err()
+}
+
+// TestPrometheusRoundTrip renders a populated registry and parses it back,
+// checking names, types, values, and the cumulative histogram encoding.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("hmux.packets").Add(123456)
+	reg.Gauge("smux.conns_total").Set(42)
+	h := reg.Histogram("core.deliver.hop.smux.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	types, samples, err := parsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, buf.String())
+	}
+
+	byName := func(name string) []promSample {
+		var out []promSample
+		for _, s := range samples {
+			if s.name == name {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	if types["duet_hmux_packets"] != "counter" {
+		t.Fatalf("duet_hmux_packets type = %q, want counter", types["duet_hmux_packets"])
+	}
+	if s := byName("duet_hmux_packets"); len(s) != 1 || s[0].value != 123456 {
+		t.Fatalf("duet_hmux_packets = %+v", s)
+	}
+	if types["duet_smux_conns_total"] != "gauge" {
+		t.Fatalf("duet_smux_conns_total type = %q, want gauge", types["duet_smux_conns_total"])
+	}
+	if s := byName("duet_smux_conns_total"); len(s) != 1 || s[0].value != 42 {
+		t.Fatalf("duet_smux_conns_total = %+v", s)
+	}
+
+	hn := "duet_core_deliver_hop_smux_seconds"
+	if types[hn] != "histogram" {
+		t.Fatalf("%s type = %q, want histogram", hn, types[hn])
+	}
+	buckets := byName(hn + "_bucket")
+	if len(buckets) != 4 {
+		t.Fatalf("%d buckets, want 4 (3 bounds + +Inf)", len(buckets))
+	}
+	wantCum := map[string]float64{"0.001": 2, "0.01": 2, "0.1": 3, "+Inf": 4}
+	var prev float64 = -1
+	for _, b := range buckets {
+		le := b.labels["le"]
+		if want, ok := wantCum[le]; !ok || b.value != want {
+			t.Fatalf("bucket le=%q = %g, want %g", le, b.value, want)
+		}
+		if b.value < prev {
+			t.Fatalf("bucket counts not cumulative at le=%q", le)
+		}
+		prev = b.value
+	}
+	if s := byName(hn + "_count"); len(s) != 1 || s[0].value != 4 {
+		t.Fatalf("%s_count = %+v, want 4", hn, s)
+	}
+	if s := byName(hn + "_sum"); len(s) != 1 || s[0].value != 5.051 {
+		t.Fatalf("%s_sum = %+v, want 5.051", hn, s)
+	}
+
+	// Every sample's base name must carry a TYPE declaration.
+	for _, s := range samples {
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(base, suf)]; ok && t == "histogram" {
+				base = strings.TrimSuffix(base, suf)
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", s.name)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package obs
+
+// The SLO watchdog engine: declarative rules over the scraped series,
+// evaluated once per tick. A rule reads the latest point of one or two
+// series (value, delta, or rate), combines them (alone, ratio, difference),
+// compares against a threshold, and fires after For consecutive breaching
+// ticks. Transitions — firing and resolving — are appended to a fixed alert
+// ring and recorded as KindSLOAlert flight-recorder events; steady state
+// (no transition) allocates nothing.
+//
+// The default rules encode the conditions Duet's evaluation measures:
+// delivery availability through failure and migration (Figure 12), SMux
+// capacity headroom and latency inflation against the latmodel envelope
+// (Figure 1, §2.2), HMux table occupancy against the 16K/4K/512 switch
+// limits (§4.1), and switch-agent programming backlog (Figure 14).
+
+import (
+	"duet/internal/latmodel"
+	"duet/internal/telemetry"
+)
+
+// Source selects which component of a series' latest point a rule reads.
+type Source uint8
+
+const (
+	// Value is the instantaneous scraped value.
+	Value Source = iota
+	// Delta is the change since the previous tick.
+	Delta
+	// Rate is Delta divided by the tick interval.
+	Rate
+)
+
+// Combine joins a rule's numerator and denominator.
+type Combine uint8
+
+const (
+	// One evaluates the numerator alone.
+	One Combine = iota
+	// Ratio evaluates num/den (the rule is skipped when den is 0).
+	Ratio
+	// Diff evaluates num-den.
+	Diff
+)
+
+// Op is the comparison direction.
+type Op uint8
+
+const (
+	// Above breaches when the combined value exceeds the threshold.
+	Above Op = iota
+	// Below breaches when the combined value is under the threshold.
+	Below
+)
+
+// Rule is one declarative SLO watchdog. A rule whose series do not (yet)
+// exist is skipped — and its streak reset — until they appear, so rules can
+// be installed before the components that emit the metrics.
+type Rule struct {
+	Name      string // stable identifier, also the alert label
+	Desc      string // human explanation, carried on alerts
+	Num       string // numerator series name
+	NumSrc    Source
+	Combine   Combine
+	Den       string // denominator series name (Ratio/Diff only)
+	DenSrc    Source
+	Op        Op
+	Threshold float64
+	For       int // consecutive breaching ticks before firing (min 1)
+}
+
+// ruleState is a rule plus its evaluation state. num/den cache the resolved
+// series and are invalidated when the series list is rebuilt.
+type ruleState struct {
+	Rule
+	idx      int
+	num, den *series
+	streak   int
+	firing   bool
+	lastVal  float64
+	lastOK   bool
+}
+
+// Alert is one watchdog transition.
+type Alert struct {
+	Time      float64 `json:"time"`
+	Rule      string  `json:"rule"`
+	Firing    bool    `json:"firing"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Desc      string  `json:"desc,omitempty"`
+}
+
+// AddRules installs watchdogs. Rules are evaluated in installation order on
+// every subsequent tick.
+func (p *Pipeline) AddRules(rules ...Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range rules {
+		if r.For < 1 {
+			r.For = 1
+		}
+		p.rules = append(p.rules, &ruleState{Rule: r, idx: len(p.rules)})
+	}
+}
+
+// sourceVal reads one component of a series' latest point.
+func sourceVal(s *series, src Source) (float64, bool) {
+	if s == nil || s.n == 0 {
+		return 0, false
+	}
+	pt := s.last()
+	switch src {
+	case Delta:
+		return pt.Delta, true
+	case Rate:
+		return pt.Rate, true
+	default:
+		return pt.Value, true
+	}
+}
+
+// evalLocked computes the rule's combined value. ok is false when a series
+// is missing, empty, or a Ratio denominator is zero.
+func (rs *ruleState) evalLocked(p *Pipeline) (float64, bool) {
+	if rs.num == nil {
+		rs.num = p.byName[rs.Num]
+	}
+	num, ok := sourceVal(rs.num, rs.NumSrc)
+	if !ok {
+		return 0, false
+	}
+	if rs.Combine == One {
+		return num, true
+	}
+	if rs.den == nil {
+		rs.den = p.byName[rs.Den]
+	}
+	den, ok := sourceVal(rs.den, rs.DenSrc)
+	if !ok {
+		return 0, false
+	}
+	switch rs.Combine {
+	case Ratio:
+		if den == 0 {
+			return 0, false
+		}
+		return num / den, true
+	default: // Diff
+		return num - den, true
+	}
+}
+
+// evalRulesLocked runs every watchdog against the just-scraped tick.
+func (p *Pipeline) evalRulesLocked(now float64) {
+	for _, rs := range p.rules {
+		v, ok := rs.evalLocked(p)
+		rs.lastVal, rs.lastOK = v, ok
+		breach := ok && ((rs.Op == Above && v > rs.Threshold) || (rs.Op == Below && v < rs.Threshold))
+		if breach {
+			rs.streak++
+			if !rs.firing && rs.streak >= rs.For {
+				rs.firing = true
+				p.pushAlertLocked(now, rs, v)
+			}
+			continue
+		}
+		rs.streak = 0
+		if rs.firing {
+			rs.firing = false
+			p.pushAlertLocked(now, rs, v)
+		}
+	}
+}
+
+// pushAlertLocked appends a transition to the alert ring and the flight
+// recorder. Allocation here is fine: transitions are rare by construction.
+func (p *Pipeline) pushAlertLocked(now float64, rs *ruleState, v float64) {
+	a := Alert{Time: now, Rule: rs.Name, Firing: rs.firing, Value: v, Threshold: rs.Threshold, Desc: rs.Desc}
+	p.alerts[p.alertHead] = a
+	p.alertHead = (p.alertHead + 1) % len(p.alerts)
+	if p.alertN < len(p.alerts) {
+		p.alertN++
+	}
+	var aux uint64
+	if rs.firing {
+		aux = 1
+	}
+	p.cfg.Recorder.RecordAt(now, telemetry.KindSLOAlert, 0, uint32(rs.idx), 0, aux)
+}
+
+// Alerts returns the retained transitions, oldest first.
+func (p *Pipeline) Alerts() []Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Alert, p.alertN)
+	for i := 0; i < p.alertN; i++ {
+		out[i] = p.alerts[(p.alertHead+len(p.alerts)-p.alertN+i)%len(p.alerts)]
+	}
+	return out
+}
+
+// RuleStatus is one watchdog's current state.
+type RuleStatus struct {
+	Name   string  `json:"rule"`
+	Firing bool    `json:"firing"`
+	Streak int     `json:"streak"`
+	Value  float64 `json:"value"`
+	OK     bool    `json:"evaluated"` // false: series missing or denominator zero
+}
+
+// Status reports every installed watchdog.
+func (p *Pipeline) Status() []RuleStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RuleStatus, len(p.rules))
+	for i, rs := range p.rules {
+		out[i] = RuleStatus{Name: rs.Name, Firing: rs.firing, Streak: rs.streak, Value: rs.lastVal, OK: rs.lastOK}
+	}
+	return out
+}
+
+// Healthy reports whether no watchdog is currently firing.
+func (p *Pipeline) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rs := range p.rules {
+		if rs.firing {
+			return false
+		}
+	}
+	return true
+}
+
+// SLOConfig carries the thresholds behind DefaultRules. DefaultSLO returns
+// the paper-grounded values; tests tighten or loosen individual knobs.
+type SLOConfig struct {
+	// AvailabilityErrFrac is the tolerated delivery error fraction. Figure 12
+	// shows VIP availability dipping during failover/migration; above 1% of
+	// deliveries failing in a scrape window, the availability watchdog fires.
+	AvailabilityErrFrac float64
+	// HeadroomFrac is the tolerated fraction of aggregate SMux capacity in
+	// use. §2.2 sizes SMuxes at ~300K pps before the Figure 1 latency cliff;
+	// past 80% utilization the fleet is out of headroom.
+	HeadroomFrac float64
+	// SMuxP99Seconds bounds the per-window p99 of the SMux hop. The latmodel
+	// envelope puts the unloaded software mux at 1ms p90 (§2.2); a window p99
+	// beyond it means the software path is inflating.
+	SMuxP99Seconds float64
+	// OccupancyFrac is the tolerated fraction of any HMux table (host/ECMP/
+	// tunnel) in use against the §4.1 switch limits.
+	OccupancyFrac float64
+	// BacklogMaxMS bounds the switch-agent programming backlog. Figure 14
+	// measures rule insertion at hundreds of ms; a persistent backlog beyond
+	// a second means the controller is outrunning the switches.
+	BacklogMaxMS float64
+}
+
+// DefaultSLO returns the paper-grounded thresholds.
+func DefaultSLO() SLOConfig {
+	return SLOConfig{
+		AvailabilityErrFrac: 0.01,
+		HeadroomFrac:        0.8,
+		SMuxP99Seconds:      latmodel.SMuxBaseP90,
+		OccupancyFrac:       0.9,
+		BacklogMaxMS:        1000,
+	}
+}
+
+// DefaultRules builds the paper-grounded watchdog set over the metric names
+// the cluster emits (core.Collect publishes the gauges each tick).
+func DefaultRules(cfg SLOConfig) []Rule {
+	occupancy := func(table string) Rule {
+		return Rule{
+			Name:      "hmux-" + table + "-occupancy",
+			Desc:      "HMux " + table + " table occupancy vs the §4.1 switch capacity",
+			Num:       "hmux.tables." + table + "_used_max",
+			NumSrc:    Value,
+			Combine:   Ratio,
+			Den:       "hmux.tables." + table + "_cap",
+			DenSrc:    Value,
+			Op:        Above,
+			Threshold: cfg.OccupancyFrac,
+		}
+	}
+	return []Rule{
+		{
+			Name:      "vip-availability",
+			Desc:      "delivery error fraction over the scrape window (Fig 12 availability dip)",
+			Num:       "core.deliver.errors",
+			NumSrc:    Rate,
+			Combine:   Ratio,
+			Den:       "core.deliver.packets",
+			DenSrc:    Rate,
+			Op:        Above,
+			Threshold: cfg.AvailabilityErrFrac,
+		},
+		{
+			Name:      "smux-headroom",
+			Desc:      "SMux fleet load vs provisioned capacity (Fig 1 latency cliff past ~80%)",
+			Num:       "smux.packets",
+			NumSrc:    Rate,
+			Combine:   Ratio,
+			Den:       "smux.capacity_pps",
+			DenSrc:    Value,
+			Op:        Above,
+			Threshold: cfg.HeadroomFrac,
+		},
+		{
+			Name:      "smux-latency-p99",
+			Desc:      "per-window p99 of the SMux hop vs the latmodel unloaded envelope",
+			Num:       "core.deliver.hop.smux.seconds.p99",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.SMuxP99Seconds,
+		},
+		occupancy("host"),
+		occupancy("ecmp"),
+		occupancy("tunnel"),
+		{
+			Name:      "switch-programming-backlog",
+			Desc:      "switch-agent programming backlog (Fig 14 insertion latency) persisting",
+			Num:       "switchagent.backlog_ms",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.BacklogMaxMS,
+			For:       2,
+		},
+	}
+}

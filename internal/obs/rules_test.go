@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"testing"
+
+	"duet/internal/telemetry"
+)
+
+// TestRuleRatioFireAndResolve exercises the availability-style ratio rule:
+// it fires when the error rate crosses the threshold and resolves when the
+// breach clears, logging exactly the two transitions.
+func TestRuleRatioFireAndResolve(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pkts := reg.Counter("pkts")
+	errs := reg.Counter("errs")
+	rec := telemetry.NewRecorder(256)
+	clk := &fakeClock{}
+	p := New(Config{Registry: reg, Recorder: rec, Windows: 8, Now: clk.now})
+	p.AddRules(Rule{
+		Name: "avail", Desc: "error fraction",
+		Num: "errs", NumSrc: Rate, Combine: Ratio, Den: "pkts", DenSrc: Rate,
+		Op: Above, Threshold: 0.01,
+	})
+
+	pkts.Add(1000)
+	p.Tick() // warm-up: rates are zero
+	clk.advance(1)
+
+	pkts.Add(1000)
+	errs.Add(500) // 50% errors this window
+	p.Tick()
+	if p.Healthy() {
+		t.Fatal("pipeline healthy with 50% error rate")
+	}
+	clk.advance(1)
+
+	pkts.Add(1000) // clean window
+	p.Tick()
+	if !p.Healthy() {
+		t.Fatal("pipeline unhealthy after errors stopped")
+	}
+
+	alerts := p.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alert log = %+v, want fire+resolve", alerts)
+	}
+	if !alerts[0].Firing || alerts[0].Rule != "avail" || alerts[0].Time != 1 {
+		t.Fatalf("first alert = %+v, want avail firing at t=1", alerts[0])
+	}
+	if alerts[1].Firing || alerts[1].Time != 2 {
+		t.Fatalf("second alert = %+v, want resolve at t=2", alerts[1])
+	}
+	if alerts[0].Value != 0.5 {
+		t.Fatalf("firing value = %g, want 0.5", alerts[0].Value)
+	}
+
+	// Both transitions also land in the flight recorder.
+	var events int
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.KindSLOAlert {
+			events++
+		}
+	}
+	if events != 2 {
+		t.Fatalf("recorder has %d slo-alert events, want 2", events)
+	}
+}
+
+// TestRuleForStreak checks that a rule with For=3 needs three consecutive
+// breaching ticks, and that a clean tick resets the streak.
+func TestRuleForStreak(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("load")
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	p.AddRules(Rule{Name: "sustained", Num: "load", NumSrc: Value, Op: Above, Threshold: 10, For: 3})
+
+	steps := []struct {
+		v      int64
+		firing bool
+	}{
+		{20, false}, {20, false}, {5, false}, // streak broken before 3
+		{20, false}, {20, false}, {20, true}, // three in a row
+		{20, true}, // stays firing, no duplicate alert
+	}
+	for i, st := range steps {
+		g.Set(st.v)
+		p.Tick()
+		clk.advance(1)
+		if got := !p.Healthy(); got != st.firing {
+			t.Fatalf("step %d: firing=%v, want %v", i, got, st.firing)
+		}
+	}
+	if n := len(p.Alerts()); n != 1 {
+		t.Fatalf("alert log has %d entries, want 1 (single firing transition)", n)
+	}
+}
+
+// TestRuleMissingSeriesSkipped checks that a rule over a series that does
+// not exist (or a zero denominator) neither fires nor panics, and starts
+// evaluating once the series appears.
+func TestRuleMissingSeriesSkipped(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	p.AddRules(
+		Rule{Name: "ghost", Num: "not.there", NumSrc: Value, Op: Above, Threshold: 0},
+		Rule{Name: "div0", Num: "num", NumSrc: Value, Combine: Ratio, Den: "den", DenSrc: Value, Op: Above, Threshold: 0.5},
+	)
+	num := reg.Counter("num")
+	den := reg.Gauge("den") // stays 0: denominator-zero skip
+	num.Add(10)
+	p.Tick()
+	clk.advance(1)
+	if !p.Healthy() {
+		t.Fatal("skipped rules must not fire")
+	}
+	for _, st := range p.Status() {
+		if st.OK {
+			t.Fatalf("rule %s evaluated, want skipped", st.Name)
+		}
+	}
+
+	den.Set(10) // now 10/10 = 1 > 0.5
+	p.Tick()
+	if p.Healthy() {
+		t.Fatal("div0 rule should fire once the denominator is live")
+	}
+}
+
+// TestRuleDiffCombinator checks the Diff combine path.
+func TestRuleDiffCombinator(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := reg.Gauge("a")
+	b := reg.Gauge("b")
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	p.AddRules(Rule{Name: "gap", Num: "a", NumSrc: Value, Combine: Diff, Den: "b", DenSrc: Value, Op: Above, Threshold: 3})
+	a.Set(10)
+	b.Set(8)
+	p.Tick()
+	if !p.Healthy() {
+		t.Fatal("gap=2 must not breach threshold 3")
+	}
+	clk.advance(1)
+	b.Set(5)
+	p.Tick()
+	if p.Healthy() {
+		t.Fatal("gap=5 must breach threshold 3")
+	}
+}
+
+// TestConvergenceBacklogRule exercises the default switch-programming
+// watchdog against a synthesized backlog gauge: it needs two consecutive
+// breaching scrapes (For=2), matching a backlog that persists rather than a
+// single queued Figure-14 FIB operation.
+func TestConvergenceBacklogRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	backlog := reg.Gauge("switchagent.backlog_ms")
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	p.AddRules(DefaultRules(DefaultSLO())...)
+
+	backlog.Set(2500)
+	p.Tick()
+	clk.advance(1)
+	if !p.Healthy() {
+		t.Fatal("one breaching scrape must not fire a For=2 rule")
+	}
+	backlog.Set(3000)
+	p.Tick()
+	clk.advance(1)
+	if p.Healthy() {
+		t.Fatal("two consecutive breaching scrapes must fire")
+	}
+	alerts := p.Alerts()
+	if len(alerts) != 1 || alerts[0].Rule != "switch-programming-backlog" {
+		t.Fatalf("alerts = %+v, want switch-programming-backlog firing", alerts)
+	}
+	backlog.Set(0)
+	p.Tick()
+	if !p.Healthy() {
+		t.Fatal("drained backlog must resolve")
+	}
+}

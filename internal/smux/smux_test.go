@@ -579,3 +579,57 @@ func TestProcessZeroAllocWithTelemetry(t *testing.T) {
 		t.Fatalf("Process with telemetry: %v allocs/op, want 0", allocs)
 	}
 }
+
+// TestDropReasonLabels covers the two drop paths TestProcessTelemetry does
+// not reach: an ECMP group emptied by backend removal, and an encapsulation
+// overflow. Each must increment exactly its labeled counter and leave a
+// KindDrop trace event.
+func TestDropReasonLabels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(64)
+	m := New(DefaultConfig(selfAddr))
+	m.SetTelemetry(reg, rec, 6)
+	if err := m.AddVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no_backend", func(t *testing.T) {
+		if err := m.RemoveBackend(vipAddr, packet.MustParseAddr("100.0.0.1")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Process(vipPacket(1, 80), nil); err == nil {
+			t.Fatal("empty ECMP group must drop")
+		}
+		if got := reg.Counter("smux.drops.no_backend").Value(); got != 1 {
+			t.Fatalf("smux.drops.no_backend = %d, want 1", got)
+		}
+	})
+
+	t.Run("encap_error", func(t *testing.T) {
+		if err := m.UpdateVIP(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.2")}); err != nil {
+			t.Fatal(err)
+		}
+		// 20 (IP) + 20 (TCP) + 65480 payload = 65520 bytes: valid IPv4,
+		// but 20 more bytes of outer header overflow the length field.
+		jumbo := packet.BuildTCP(packet.FiveTuple{
+			Src: packet.MustParseAddr("30.0.0.1"), Dst: vipAddr,
+			SrcPort: 1024, DstPort: 80, Proto: packet.ProtoTCP,
+		}, packet.TCPSyn, make([]byte, 65480))
+		if _, err := m.Process(jumbo, nil); err == nil {
+			t.Fatal("oversized packet must fail encapsulation")
+		}
+		if got := reg.Counter("smux.drops.encap_error").Value(); got != 1 {
+			t.Fatalf("smux.drops.encap_error = %d, want 1", got)
+		}
+	})
+
+	drops := 0
+	for _, e := range rec.Snapshot() {
+		if e.Kind == telemetry.KindDrop {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("recorded %d drop events, want 2", drops)
+	}
+}

@@ -124,6 +124,7 @@ type agentTelemetry struct {
 	ops      telemetry.CounterShard
 	opErrors telemetry.CounterShard
 	progSecs *telemetry.Histogram
+	backlog  *telemetry.Gauge
 	rec      *telemetry.Recorder
 	node     uint32
 }
@@ -137,9 +138,20 @@ func (a *Agent) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, n
 		ops:      reg.Counter("switchagent.ops").Shard(),
 		opErrors: reg.Counter("switchagent.op_errors").Shard(),
 		progSecs: reg.Histogram("switchagent.program.seconds", []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6}),
+		backlog:  reg.Gauge("switchagent.backlog_ms"),
 		rec:      rec,
 		node:     node,
 	}
+}
+
+// BacklogSeconds reports how far the ASIC's programming queue extends past
+// now — the controller-to-switch convergence lag the obs watchdog bounds
+// (Figure 14: queued FIB operations stack up at ~0.4s apiece).
+func (a *Agent) BacklogSeconds(now float64) float64 {
+	if a.busyUntil <= now {
+		return 0
+	}
+	return a.busyUntil - now
 }
 
 // ErrNoMux is returned when the agent has no switch attached.
@@ -236,6 +248,7 @@ func (a *Agent) Submit(op Op, now float64) Ack {
 	a.acks = append(a.acks, ack)
 	a.tel.ops.Inc()
 	a.tel.progSecs.Observe(doneAt - now) // includes queueing behind a busy ASIC
+	a.tel.backlog.Set(int64((doneAt - now) * 1000))
 	// A=the affected address, B=op kind; stamped with the virtual completion
 	// time so the trace interleaves correctly with BGP convergence events.
 	addr := op.Addr

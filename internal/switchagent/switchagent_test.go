@@ -7,6 +7,7 @@ import (
 	"duet/internal/hmux"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/telemetry"
 )
 
 var vip = packet.MustParseAddr("10.0.0.1")
@@ -229,5 +230,40 @@ func TestNilAnnouncerTableOnly(t *testing.T) {
 	}
 	if !mux.HasVIP(vip) {
 		t.Fatal("tables not programmed without announcer")
+	}
+}
+
+// TestBacklogTracking checks the convergence-lag signal the obs watchdog
+// consumes: queued FIB operations (0.4s apiece, §7.3) extend the backlog,
+// both through BacklogSeconds and the switchagent.backlog_ms gauge.
+func TestBacklogTracking(t *testing.T) {
+	a, _ := newAgent(t, DefaultTiming())
+	reg := telemetry.NewRegistry()
+	a.SetTelemetry(reg, nil, 1)
+
+	if got := a.BacklogSeconds(0); got != 0 {
+		t.Fatalf("idle backlog = %g, want 0", got)
+	}
+	// Three AddVIP ops submitted at t=0 serialize on the ASIC: each costs
+	// 0.46s (0.4 VIP FIB + 0.06 DIP install), so the queue extends to
+	// 1.38s while "now" is still 0.
+	for i := 0; i < 3; i++ {
+		v := packet.AddrFrom4(10, 0, 0, byte(i+1))
+		if ack := a.Submit(Op{Kind: OpAddVIP, VIP: &service.VIP{Addr: v, Backends: backends("100.0.0.1")}}, 0); ack.Err != nil {
+			t.Fatal(ack.Err)
+		}
+	}
+	if got := a.BacklogSeconds(0); math.Abs(got-1.38) > 1e-9 {
+		t.Fatalf("backlog after 3 queued ops = %g, want 1.38", got)
+	}
+	if got := reg.Gauge("switchagent.backlog_ms").Value(); got != 1380 {
+		t.Fatalf("switchagent.backlog_ms = %d, want 1380", got)
+	}
+	// The queue drains as virtual time passes.
+	if got := a.BacklogSeconds(1.0); math.Abs(got-0.38) > 1e-9 {
+		t.Fatalf("backlog at t=1.0 = %g, want 0.38", got)
+	}
+	if got := a.BacklogSeconds(2.0); got != 0 {
+		t.Fatalf("backlog at t=2.0 = %g, want 0 (drained)", got)
 	}
 }

@@ -114,6 +114,12 @@ func (e Event) String() string {
 			state = "up"
 		}
 		fmt.Fprintf(&b, " dip=%s %s", fmtAddr(e.A), state)
+	case KindSLOAlert:
+		state := "resolved"
+		if e.Aux == 1 {
+			state = "firing"
+		}
+		fmt.Fprintf(&b, " rule=%d %s", e.A, state)
 	default:
 		if e.A != 0 || e.B != 0 || e.Aux != 0 {
 			fmt.Fprintf(&b, " a=%s b=%s aux=%d", fmtAddr(e.A), fmtAddr(e.B), e.Aux)

@@ -33,6 +33,7 @@ const (
 	KindSMuxFail         // Node = smux
 	KindControllerReact  // controller observed an event and acted; Aux = code
 	KindSNATExhausted    // A = VIP, B = DIP
+	KindSLOAlert         // obs watchdog transition; A = rule index, Aux = 1 firing / 0 resolved
 )
 
 // String names the event kind.
@@ -74,6 +75,8 @@ func (k Kind) String() string {
 		return "controller-react"
 	case KindSNATExhausted:
 		return "snat-exhausted"
+	case KindSLOAlert:
+		return "slo-alert"
 	}
 	return "unknown"
 }

@@ -234,6 +234,30 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// SnapshotInto copies the histogram state into s, reusing s.Counts when its
+// capacity suffices — the allocation-free variant of Snapshot for scrape
+// loops that snapshot the same histograms every tick.
+func (h *Histogram) SnapshotInto(s *HistogramSnapshot) {
+	if h == nil {
+		s.Bounds = nil
+		s.Counts = s.Counts[:0]
+		s.Sum = 0
+		s.Count = 0
+		return
+	}
+	s.Bounds = h.bounds
+	if cap(s.Counts) < len(h.counts) {
+		s.Counts = make([]uint64, len(h.counts))
+	} else {
+		s.Counts = s.Counts[:len(h.counts)]
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.load()
+	s.Count = h.count.Load()
+}
+
 // Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
 // within the winning bucket; the +Inf bucket reports its lower edge.
 func (s HistogramSnapshot) Quantile(p float64) float64 {
@@ -272,10 +296,11 @@ func (s HistogramSnapshot) Quantile(p float64) float64 {
 // mutex-guarded and idempotent — call it at setup, keep the returned pointer
 // for the hot path. A nil *Registry hands out nil metrics, which are no-ops.
 type Registry struct {
-	mu     sync.Mutex
-	ctrs   map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu      sync.Mutex
+	ctrs    map[string]*Counter
+	gauges  map[string]*Gauge
+	hists   map[string]*Histogram
+	version atomic.Uint64 // bumped whenever a new metric is registered
 }
 
 // NewRegistry creates an empty registry.
@@ -298,6 +323,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{name: name}
 		r.ctrs[name] = c
+		r.version.Add(1)
 	}
 	return c
 }
@@ -313,6 +339,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{name: name}
 		r.gauges[name] = g
+		r.version.Add(1)
 	}
 	return g
 }
@@ -335,8 +362,44 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 			counts: make([]atomic.Uint64, len(b)+1),
 		}
 		r.hists[name] = h
+		r.version.Add(1)
 	}
 	return h
+}
+
+// Version returns a counter that increments whenever a metric is first
+// registered. Scrapers cache the metric lists and rebuild them only when the
+// version moves, so a steady-state scrape performs no allocation (the list
+// methods below allocate on every call).
+func (r *Registry) Version() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.version.Load()
+}
+
+// Counters returns the registered counters sorted by name.
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters()
+}
+
+// Gauges returns the registered gauges sorted by name.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gaugeList()
+}
+
+// Histograms returns the registered histograms sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.histList()
 }
 
 // counters returns the registered counters sorted by name.

@@ -274,3 +274,58 @@ func TestDropReasonStrings(t *testing.T) {
 		t.Fatal("out-of-range DropReason must be unknown")
 	}
 }
+
+// TestRegistryVersion checks the registration counter the obs scraper uses
+// to cache its series list: it bumps only when a new metric appears.
+func TestRegistryVersion(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Version() != 0 {
+		t.Fatal("nil registry version must be 0")
+	}
+	r := NewRegistry()
+	v0 := r.Version()
+	r.Counter("a")
+	v1 := r.Version()
+	if v1 == v0 {
+		t.Fatal("registering a counter must bump the version")
+	}
+	r.Counter("a").Inc() // existing metric: no bump
+	r.Gauge("g")
+	r.Histogram("h", []float64{1, 2})
+	v2 := r.Version()
+	if v2 != v1+2 {
+		t.Fatalf("version = %d after gauge+histogram, want %d", v2, v1+2)
+	}
+	r.Counter("a")
+	if r.Version() != v2 {
+		t.Fatal("re-fetching an existing metric must not bump the version")
+	}
+}
+
+// TestHistogramSnapshotInto checks the allocation-free snapshot reuse path.
+func TestHistogramSnapshotInto(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	var s HistogramSnapshot
+	h.SnapshotInto(&s) // first call allocates the counts buffer
+	if s.Count != 2 || len(s.Counts) != 3 || s.Counts[0] != 1 || s.Counts[1] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	h.Observe(100)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.SnapshotInto(&s)
+	})
+	if allocs != 0 {
+		t.Fatalf("SnapshotInto reuse: %v allocs/op, want 0", allocs)
+	}
+	if s.Count != 3 || s.Counts[2] != 1 {
+		t.Fatalf("snapshot after reuse = %+v", s)
+	}
+	var nilH *Histogram
+	nilH.SnapshotInto(&s)
+	if s.Count != 0 {
+		t.Fatal("nil histogram must reset the snapshot")
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"sync"
 	"time"
 
+	"duet/internal/bgp"
 	"duet/internal/core"
 	"duet/internal/metrics"
+	"duet/internal/obs"
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/topology"
@@ -36,6 +38,10 @@ type FloodConfig struct {
 	// SMux backstop. Default 0.75 — Duet's steady state serves almost all
 	// traffic in hardware (§7.1).
 	HMuxFraction float64
+	// SMuxCapacityPPS overrides each SMux's capacity (zero = the §2.2
+	// production 300K pps). Watchdog tests shrink it so a modest flood
+	// crosses the headroom threshold deterministically.
+	SMuxCapacityPPS float64
 }
 
 // NewFlood builds a cluster on the Figure-10 testbed topology and populates
@@ -54,9 +60,10 @@ func NewFlood(cfg FloodConfig) (*Flood, error) {
 		cfg.HMuxFraction = 0.75
 	}
 	c, err := core.New(core.Config{
-		Topology:  topology.TestbedConfig(),
-		NumSMuxes: cfg.NumSMuxes,
-		Aggregate: packet.MustParsePrefix("10.0.0.0/8"),
+		Topology:        topology.TestbedConfig(),
+		NumSMuxes:       cfg.NumSMuxes,
+		Aggregate:       packet.MustParsePrefix("10.0.0.0/8"),
+		SMuxCapacityPPS: cfg.SMuxCapacityPPS,
 	})
 	if err != nil {
 		return nil, err
@@ -107,6 +114,49 @@ func (f *Flood) Packets(n int) [][]byte {
 		}, packet.TCPSyn, nil)
 	}
 	return pkts
+}
+
+// Observe wires an observability pipeline over the flood cluster: the
+// cluster's registry and flight recorder, its Collect gauge hook, and the
+// paper-grounded default watchdogs. now is the scrape clock (inject a
+// virtual clock for deterministic watchdog tests; nil uses wall time).
+func (f *Flood) Observe(windows int, now func() float64) *obs.Pipeline {
+	reg, rec := f.Cluster.Telemetry()
+	p := obs.New(obs.Config{Registry: reg, Recorder: rec, Windows: windows, Now: now})
+	p.AddCollector(f.Cluster.Collect)
+	p.AddRules(obs.DefaultRules(obs.DefaultSLO())...)
+	return p
+}
+
+// InjectBlackhole models the Figure 12 failover outage for an HMux-served
+// VIP: its home switch dies, but the fabric still carries the /32 toward the
+// dead switch until routing converges, so deliveries blackhole. The stale
+// route is re-announced after the facade's instant withdrawal; Heal
+// withdraws it (convergence) and traffic falls back to the SMux aggregate.
+func (f *Flood) InjectBlackhole(vip packet.Addr) error {
+	c := f.Cluster
+	sw, ok := c.HomeOf(vip)
+	if !ok {
+		return fmt.Errorf("flood: VIP %s is not HMux-served", vip)
+	}
+	c.FailSwitch(sw)
+	c.Routes.Announce(packet.HostPrefix(vip), bgp.NodeID(sw), c.Now())
+	return nil
+}
+
+// Heal completes the failover: the stale /32 toward the dead switch is
+// withdrawn, so the VIP's traffic reaches the SMux backstop again.
+func (f *Flood) Heal(vip packet.Addr) error {
+	c := f.Cluster
+	nh, matched, ok := c.Routes.Snapshot().Pick(vip, c.Now(), 0)
+	if !ok {
+		return fmt.Errorf("flood: VIP %s has no route", vip)
+	}
+	if matched.Bits != 32 {
+		return nil // already on the aggregate; nothing stale to withdraw
+	}
+	c.Routes.Withdraw(matched, nh, c.Now())
+	return nil
 }
 
 // FloodStats summarizes one flood run.
