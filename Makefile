@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet race allocs bench benchgate
+.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race
 
 check: fmt vet build race allocs
 
@@ -45,3 +45,18 @@ bench:
 # regression without failing the build (the 1-CPU CI box is noisy).
 benchgate:
 	$(GO) test -run XXX -bench BenchmarkDeliverParallel -benchtime 2s . | $(GO) run ./cmd/benchgate
+
+# Real-socket wire throughput: frames SYNs over loopback UDP into a
+# dataplane socket and measures delivered packets per second end to end
+# (baseline recorded in BENCH_wire.json; acceptance floor 100k pkts/s).
+bench-wire:
+	$(GO) test -run XXX -bench BenchmarkWireDeliver -benchtime 2s ./internal/wire
+
+benchgate-wire:
+	$(GO) test -run XXX -bench BenchmarkWireDeliver -benchtime 2s ./internal/wire | $(GO) run ./cmd/benchgate -baseline BENCH_wire.json
+
+# The multi-process integration test under the race detector: builds duetd,
+# spawns controller + smux + host agent as separate processes, floods real
+# UDP traffic, kills and restarts the SMux, and drives a wire-drops alert.
+wire-race:
+	$(GO) test -race -v -run TestWireClusterEndToEnd ./cmd/duetd

@@ -1,13 +1,19 @@
-// Command benchgate compares a `go test -bench BenchmarkDeliverParallel`
-// run against the recorded baseline in BENCH_deliver.json and exits non-zero
-// when any worker count regresses beyond the tolerance. CI runs it as a
-// non-blocking step; it is deliberately loud on failure so regressions are
-// visible in the log even though they do not fail the build.
+// Command benchgate compares a `go test -bench` run against a recorded
+// baseline JSON and exits non-zero when any sub-benchmark regresses beyond
+// the tolerance. CI runs it as a non-blocking step; it is deliberately loud
+// on failure so regressions are visible in the log even though they do not
+// fail the build.
+//
+// The baseline names the benchmark it gates; the gate matches any
+// `Benchmark<name>/<param>=<N>` sub-benchmark line carrying the custom
+// ns/pkt metric, so the same binary gates BENCH_deliver.json
+// (BenchmarkDeliverParallel/workers=N) and BENCH_wire.json
+// (BenchmarkWireDeliver/senders=N).
 //
 // Usage:
 //
 //	go test -run XXX -bench BenchmarkDeliverParallel . | go run ./cmd/benchgate
-//	go run ./cmd/benchgate -baseline BENCH_deliver.json -tolerance 0.15 < bench.out
+//	go run ./cmd/benchgate -baseline BENCH_wire.json -tolerance 0.15 < bench.out
 package main
 
 import (
@@ -23,16 +29,12 @@ import (
 type baseline struct {
 	Benchmark string `json:"benchmark"`
 	Results   []struct {
+		// Workers is the sub-benchmark's numeric parameter (workers,
+		// senders, ...), whatever follows the `=` in its name.
 		Workers  int     `json:"workers"`
 		NsPerPkt float64 `json:"ns_per_pkt"`
 	} `json:"results"`
 }
-
-// benchLine matches a sub-benchmark result line and captures the worker
-// count and the custom ns/pkt metric, e.g.:
-//
-//	BenchmarkDeliverParallel/workers=4-8   292   8175270 ns/op   998.2 ns/pkt   1.002 Mpps
-var benchLine = regexp.MustCompile(`^BenchmarkDeliverParallel/workers=(\d+)\S*\s.*?([0-9.]+) ns/pkt`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_deliver.json", "recorded baseline JSON")
@@ -49,10 +51,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: bad baseline:", err)
 		os.Exit(2)
 	}
+	if base.Benchmark == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline names no benchmark")
+		os.Exit(2)
+	}
 	want := map[int]float64{}
 	for _, r := range base.Results {
 		want[r.Workers] = r.NsPerPkt
 	}
+
+	// Matches a sub-benchmark result line and captures the numeric
+	// parameter and the custom ns/pkt metric, e.g.:
+	//
+	//	BenchmarkDeliverParallel/workers=4-8   292   8175270 ns/op   998.2 ns/pkt   1.002 Mpps
+	benchLine := regexp.MustCompile(`^` + regexp.QuoteMeta(base.Benchmark) + `/[A-Za-z]+=(\d+)\S*\s.*?([0-9.]+) ns/pkt`)
 
 	measured := map[int]float64{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -75,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(measured) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no BenchmarkDeliverParallel ns/pkt samples on stdin")
+		fmt.Fprintf(os.Stderr, "benchgate: no %s ns/pkt samples on stdin\n", base.Benchmark)
 		os.Exit(2)
 	}
 
@@ -84,7 +96,7 @@ func main() {
 	for _, r := range base.Results {
 		got, ok := measured[r.Workers]
 		if !ok {
-			fmt.Printf("  workers=%d: MISSING from bench output\n", r.Workers)
+			fmt.Printf("  param=%d: MISSING from bench output\n", r.Workers)
 			fail = true
 			continue
 		}
@@ -96,11 +108,11 @@ func main() {
 		} else if ratio < 1-*tolerance {
 			status = "faster (consider re-recording baseline)"
 		}
-		fmt.Printf("  workers=%d: %7.0f ns/pkt vs baseline %7.0f (%+.1f%%)  %s\n",
+		fmt.Printf("  param=%d: %7.0f ns/pkt vs baseline %7.0f (%+.1f%%)  %s\n",
 			r.Workers, got, r.NsPerPkt, (ratio-1)*100, status)
 	}
 	if fail {
-		fmt.Println("\nbenchgate: FAIL — deliver path slower than recorded baseline")
+		fmt.Printf("\nbenchgate: FAIL — %s slower than recorded baseline\n", base.Benchmark)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

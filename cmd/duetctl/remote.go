@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"duet/internal/obs"
+	"duet/internal/wire"
 )
 
 // runWatch polls a duetctl serve endpoint and renders a compact live view:
@@ -127,8 +128,29 @@ func topRemote(out io.Writer, url string, nEvents int) {
 	}
 }
 
+// fetchAttempts bounds fetch's retry loop. Pollers like watch run forever
+// anyway; the retries exist so one dropped connection or in-flight server
+// restart does not surface as a failed poll.
+const fetchAttempts = 4
+
 func fetch(url string) (int, string, error) {
 	client := http.Client{Timeout: 5 * time.Second}
+	bo := wire.Backoff{Min: 100 * time.Millisecond, Max: 2 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < fetchAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Next()) // exponential + jitter: restarts aren't hammered
+		}
+		code, body, err := fetchOnce(&client, url)
+		if err == nil {
+			return code, body, nil
+		}
+		lastErr = err
+	}
+	return 0, "", fmt.Errorf("%s: %w (after %d attempts)", url, lastErr, fetchAttempts)
+}
+
+func fetchOnce(client *http.Client, url string) (int, string, error) {
 	resp, err := client.Get(url)
 	if err != nil {
 		return 0, "", err

@@ -1,0 +1,48 @@
+// Command duetd runs one Duet node — smux, hostagent, switchagent, or
+// controller — as its own OS process, wired to its peers over real sockets:
+// UDP for the dataplane, length-prefixed TCP for the control channel.
+//
+// Usage:
+//
+//	duetd -spec cluster.json -node smux-1
+//
+// The spec is a static JSON cluster description (see internal/wire.ClusterSpec
+// and the README quickstart). The node runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"duet/internal/wire"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to the JSON cluster spec")
+	name := flag.String("node", "", "name of the node to run (must appear in the spec)")
+	flag.Parse()
+	if *specPath == "" || *name == "" {
+		fmt.Fprintln(os.Stderr, "usage: duetd -spec cluster.json -node NAME")
+		os.Exit(2)
+	}
+	spec, err := wire.LoadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duetd:", err)
+		os.Exit(1)
+	}
+	node, err := wire.StartNode(spec, *name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duetd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("duetd: %s (%s) up data=%s control=%s http=%s\n",
+		node.Me.Name, node.Me.Role, node.DataAddr(), node.ControlAddr(), node.HTTPAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	node.Close()
+}

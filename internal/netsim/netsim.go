@@ -110,6 +110,14 @@ func (n *Network) FailLink(l topology.LinkID) {
 	}
 }
 
+// RecoverLink marks a link up again.
+func (n *Network) RecoverLink(l topology.LinkID) {
+	if n.downLink[l] {
+		n.downLink[l] = false
+		n.invalidate()
+	}
+}
+
 // FailContainer fails every switch in container c (paper §8.5's container
 // failure scenario).
 func (n *Network) FailContainer(c int) {

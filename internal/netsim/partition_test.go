@@ -1,0 +1,251 @@
+package netsim
+
+// Partition and heal edge cases: what the simulator must get right when
+// failures split the fabric and when repairs arrive in awkward orders. The
+// TIP scenario models §5.2's two-hop indirection at the flow level — client
+// traffic lands on the TIP's home switch (hop 1), which re-encapsulates
+// toward the DIP's rack (hop 2) — with the blackhole arriving between the
+// hops, as it does in practice when a switch dies with traffic in flight.
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/topology"
+)
+
+// vecEqual compares two flow vectors exactly (same links, same fractions).
+func vecEqual(a, b []LinkFrac) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Dir != b[i].Dir || math.Abs(a[i].Frac-b[i].Frac) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPartitionIsolatesContainer fails every Agg in container 0: its ToRs
+// can reach nothing (not even each other — ToRs only connect through Aggs),
+// while the rest of the fabric keeps routing normally.
+func TestPartitionIsolatesContainer(t *testing.T) {
+	n := defaultNet(t)
+	cfg := n.Topo.Cfg
+	for j := 0; j < cfg.AggsPerContainer; j++ {
+		n.FailSwitch(n.Topo.AggID(0, j))
+	}
+
+	src := n.Topo.TorID(0, 0)
+	if _, err := n.UnitFlow(src, n.Topo.TorID(1, 0)); err != ErrUnreachable {
+		t.Fatalf("cross-container flow out of partition: err = %v, want ErrUnreachable", err)
+	}
+	if _, err := n.UnitFlow(src, n.Topo.TorID(0, 1)); err != ErrUnreachable {
+		t.Fatalf("intra-container flow across dead Aggs: err = %v, want ErrUnreachable", err)
+	}
+	if _, err := n.UnitFlow(src, n.Topo.CoreID(0)); err != ErrUnreachable {
+		t.Fatalf("flow to core from partition: err = %v, want ErrUnreachable", err)
+	}
+	// The rest of the fabric is unaffected.
+	vec, err := n.UnitFlow(n.Topo.TorID(1, 0), n.Topo.TorID(2, 0))
+	if err != nil {
+		t.Fatalf("flow outside the partition failed: %v", err)
+	}
+	if got := intoDst(n, vec, n.Topo.TorID(2, 0)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("conservation outside partition: %v", got)
+	}
+}
+
+// TestBlackholeDuringTIPHop stages the two TIP hops and kills the TIP's
+// home switch between them: hop 1 was routable when the packet left the
+// client, hop 2 must fail (the re-encapsulating switch is gone), and after
+// recovery the full two-hop path works again.
+func TestBlackholeDuringTIPHop(t *testing.T) {
+	n := defaultNet(t)
+	client := n.Topo.TorID(0, 0)
+	tipHome := n.Topo.AggID(1, 0) // TIP partition lives on an Agg (§5.2)
+	dipRack := n.Topo.TorID(2, 3)
+
+	hop1, err := n.UnitFlow(client, tipHome)
+	if err != nil {
+		t.Fatalf("hop 1 before failure: %v", err)
+	}
+	if got := intoDst(n, hop1, tipHome); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("hop 1 conservation: %v", got)
+	}
+	epochBefore := n.Epoch()
+
+	// The switch dies with the packet "between" hops.
+	n.FailSwitch(tipHome)
+	if n.Epoch() == epochBefore {
+		t.Fatal("failure did not bump the epoch — stale hop-1 vectors would survive")
+	}
+	if _, err := n.UnitFlow(tipHome, dipRack); err != ErrUnreachable {
+		t.Fatalf("hop 2 from dead TIP home: err = %v, want ErrUnreachable", err)
+	}
+	// Recomputing hop 1 now also fails: the fabric no longer routes toward
+	// the dead switch, which is exactly the Fig-12 blackhole window.
+	if _, err := n.UnitFlow(client, tipHome); err != ErrUnreachable {
+		t.Fatalf("hop 1 to dead TIP home: err = %v, want ErrUnreachable", err)
+	}
+
+	// Heal: both hops route again and conserve flow.
+	n.RecoverSwitch(tipHome)
+	hop1b, err := n.UnitFlow(client, tipHome)
+	if err != nil {
+		t.Fatalf("hop 1 after heal: %v", err)
+	}
+	if !vecEqual(hop1, hop1b) {
+		t.Fatal("hop 1 after heal differs from before the failure")
+	}
+	hop2, err := n.UnitFlow(tipHome, dipRack)
+	if err != nil {
+		t.Fatalf("hop 2 after heal: %v", err)
+	}
+	if got := intoDst(n, hop2, dipRack); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("hop 2 conservation after heal: %v", got)
+	}
+}
+
+// TestHealOrdering breaks a switch and a link whose failures overlap, then
+// heals them in both orders: every intermediate state must route correctly
+// for what is up, and the fully healed fabric must reproduce the
+// pre-failure vector exactly.
+func TestHealOrdering(t *testing.T) {
+	n := defaultNet(t)
+	src := n.Topo.TorID(0, 0)
+	dst := n.Topo.TorID(1, 0)
+	baseline, err := n.UnitFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg := n.Topo.AggID(0, 0)
+	// A link from a *different* Agg in the same container, so the two
+	// failures remove independent capacity on the src side.
+	var link topology.LinkID = -1
+	for _, nb := range n.Topo.Neighbors[src] {
+		if nb.Peer != agg {
+			link = nb.Link
+			break
+		}
+	}
+	if link < 0 {
+		t.Fatal("no second uplink found")
+	}
+
+	for _, order := range []string{"switch-first", "link-first"} {
+		n.FailSwitch(agg)
+		n.FailLink(link)
+
+		// Both down: the flow still conserves over the remaining uplinks.
+		vec, err := n.UnitFlow(src, dst)
+		if err != nil {
+			t.Fatalf("[%s] flow with both failures: %v", order, err)
+		}
+		if got := intoDst(n, vec, dst); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("[%s] conservation with both failures: %v", order, got)
+		}
+		for _, lf := range vec {
+			if lf.Dir.LinkOf() == link {
+				t.Fatalf("[%s] flow crossed the failed link", order)
+			}
+			l := n.Topo.Link(lf.Dir.LinkOf())
+			if l.A == agg || l.B == agg {
+				t.Fatalf("[%s] flow touched the failed switch", order)
+			}
+		}
+
+		// Heal in this order; the partial state must still avoid whatever
+		// remains down.
+		if order == "switch-first" {
+			n.RecoverSwitch(agg)
+			mid, err := n.UnitFlow(src, dst)
+			if err != nil {
+				t.Fatalf("[%s] flow after partial heal: %v", order, err)
+			}
+			for _, lf := range mid {
+				if lf.Dir.LinkOf() == link {
+					t.Fatalf("[%s] partial heal used the still-failed link", order)
+				}
+			}
+			n.RecoverLink(link)
+		} else {
+			n.RecoverLink(link)
+			mid, err := n.UnitFlow(src, dst)
+			if err != nil {
+				t.Fatalf("[%s] flow after partial heal: %v", order, err)
+			}
+			for _, lf := range mid {
+				l := n.Topo.Link(lf.Dir.LinkOf())
+				if l.A == agg || l.B == agg {
+					t.Fatalf("[%s] partial heal used the still-failed switch", order)
+				}
+			}
+			n.RecoverSwitch(agg)
+		}
+
+		healed, err := n.UnitFlow(src, dst)
+		if err != nil {
+			t.Fatalf("[%s] flow after full heal: %v", order, err)
+		}
+		if !vecEqual(baseline, healed) {
+			t.Fatalf("[%s] fully healed vector differs from baseline", order)
+		}
+	}
+}
+
+// TestRecoverLinkIdempotent checks RecoverLink's epoch discipline: healing
+// an already-up link must not invalidate caches (epoch unchanged), exactly
+// like FailSwitch/RecoverSwitch.
+func TestRecoverLinkIdempotent(t *testing.T) {
+	n := defaultNet(t)
+	e0 := n.Epoch()
+	n.RecoverLink(0)
+	if n.Epoch() != e0 {
+		t.Fatal("recovering an up link bumped the epoch")
+	}
+	n.FailLink(0)
+	e1 := n.Epoch()
+	if e1 == e0 {
+		t.Fatal("FailLink did not bump the epoch")
+	}
+	n.RecoverLink(0)
+	if n.Epoch() == e1 {
+		t.Fatal("RecoverLink did not bump the epoch")
+	}
+	n.RecoverLink(0)
+	if n.Epoch() != e1+1 {
+		t.Fatal("double RecoverLink bumped the epoch twice")
+	}
+}
+
+// TestInternetFlowDuringPartialCoreFailure checks ingress behavior while
+// some cores are down and after heal: the live-core share must still sum to
+// (live cores / all cores), the §8.5 blast-radius property, and healing
+// restores full ingress.
+func TestInternetFlowDuringPartialCoreFailure(t *testing.T) {
+	n := defaultNet(t)
+	dst := n.Topo.TorID(0, 0)
+	cores := n.Topo.Cfg.Cores
+
+	n.FailSwitch(n.Topo.CoreID(0))
+	vec, err := n.InternetFlow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cores-1) / float64(cores)
+	if got := intoDst(n, vec, dst); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ingress with one core down = %v, want %v", got, want)
+	}
+
+	n.RecoverSwitch(n.Topo.CoreID(0))
+	vec, err = n.InternetFlow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intoDst(n, vec, dst); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ingress after heal = %v, want 1", got)
+	}
+}

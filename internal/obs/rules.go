@@ -254,6 +254,11 @@ type SLOConfig struct {
 	// measures rule insertion at hundreds of ms; a persistent backlog beyond
 	// a second means the controller is outrunning the switches.
 	BacklogMaxMS float64
+	// WireDropsPerSec bounds the wire transport's aggregate drop rate
+	// (short reads, bad frames, refused sends, backlog overflow, missing
+	// routes). Sustained wire drops mean a peer is down, misconfigured, or
+	// being flooded with garbage — all conditions an operator must see.
+	WireDropsPerSec float64
 }
 
 // DefaultSLO returns the paper-grounded thresholds.
@@ -264,6 +269,25 @@ func DefaultSLO() SLOConfig {
 		SMuxP99Seconds:      latmodel.SMuxBaseP90,
 		OccupancyFrac:       0.9,
 		BacklogMaxMS:        1000,
+		WireDropsPerSec:     50,
+	}
+}
+
+// WireRules builds the watchdog set for nodes running the internal/wire
+// socket transport. Kept separate from DefaultRules so in-process clusters
+// (no wire) do not install rules that can never evaluate.
+func WireRules(cfg SLOConfig) []Rule {
+	return []Rule{
+		{
+			Name:      "wire-drops",
+			Desc:      "sustained wire transport drop rate (short reads, bad frames, refused sends, backlog overflow)",
+			Num:       "wire.drops.total",
+			NumSrc:    Rate,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.WireDropsPerSec,
+			For:       2,
+		},
 	}
 }
 

@@ -88,6 +88,11 @@ func BuildTCP(t FiveTuple, flags uint8, payload []byte) []byte {
 	return buf
 }
 
+// ErrHasOptions rejects in-place rewrites of headers carrying IP options:
+// SerializeTo emits a fixed 20-byte header, so rewriting an IHL>5 packet in
+// place would shift the payload offset and silently corrupt it.
+var ErrHasOptions = fmt.Errorf("packet: cannot rewrite header with IP options")
+
 // RewriteDst rewrites the destination address of the outermost IPv4 header
 // in place and fixes the checksum. The host agent uses it when translating
 // a decapsulated VIP packet to the local DIP.
@@ -95,6 +100,9 @@ func RewriteDst(data []byte, dst Addr) error {
 	var ip IPv4
 	if err := ip.DecodeFromBytes(data); err != nil {
 		return err
+	}
+	if ip.IHL != 5 {
+		return ErrHasOptions
 	}
 	ip.Dst = dst
 	_, err := ip.SerializeTo(data)
@@ -108,6 +116,9 @@ func RewriteSrc(data []byte, src Addr) error {
 	var ip IPv4
 	if err := ip.DecodeFromBytes(data); err != nil {
 		return err
+	}
+	if ip.IHL != 5 {
+		return ErrHasOptions
 	}
 	ip.Src = src
 	_, err := ip.SerializeTo(data)

@@ -150,6 +150,14 @@ const (
 	DropNoBackend             // VIP has no live tunnel entry (empty ECMP group)
 	DropEncapError            // encapsulation failed (buffer/length)
 	DropNotLocal              // host agent: no local DIP serves the VIP
+
+	// Wire-level reasons (internal/wire): the socket transport rejected a
+	// datagram before it reached a mux or host agent.
+	DropShortRead   // datagram shorter than its declared frame length
+	DropBadFrame    // frame magic/version mismatch
+	DropConnRefused // send failed with ECONNREFUSED (peer socket gone)
+	DropBacklogFull // receive backlog full; frame discarded
+	DropNoWireRoute // encap destination has no wire endpoint in the cluster spec
 )
 
 // String names the drop reason.
@@ -167,6 +175,16 @@ func (d DropReason) String() string {
 		return "encap-error"
 	case DropNotLocal:
 		return "not-local"
+	case DropShortRead:
+		return "short-read"
+	case DropBadFrame:
+		return "bad-frame"
+	case DropConnRefused:
+		return "conn-refused"
+	case DropBacklogFull:
+		return "backlog-full"
+	case DropNoWireRoute:
+		return "no-wire-route"
 	}
 	return "unknown"
 }

@@ -265,7 +265,7 @@ func TestExporters(t *testing.T) {
 }
 
 func TestDropReasonStrings(t *testing.T) {
-	for d := DropNone; d <= DropNotLocal; d++ {
+	for d := DropNone; d <= DropNoWireRoute; d++ {
 		if d.String() == "unknown" {
 			t.Fatalf("DropReason %d has no name", d)
 		}

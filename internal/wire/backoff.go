@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes exponential retry delays with jitter. The zero value is
+// usable (50ms..5s, factor 2, ±20% jitter). Not safe for concurrent use;
+// every retry loop owns its own Backoff.
+//
+// Jitter is what keeps a restarted peer from being hammered in lockstep: N
+// clients that all lost their connection at the same instant spread their
+// reconnect attempts across the jitter window instead of arriving as one
+// thundering herd.
+type Backoff struct {
+	// Min is the first delay (default 50ms).
+	Min time.Duration
+	// Max caps the delay (default 5s).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+	// Jitter is the uniform fractional spread applied to each delay
+	// (default 0.2: the returned delay is d * [1-0.2, 1+0.2]).
+	Jitter float64
+	// Rand supplies jitter randomness; nil uses the global source. Tests
+	// inject a seeded source for determinism.
+	Rand *rand.Rand
+
+	attempt int
+}
+
+func (b *Backoff) defaults() (time.Duration, time.Duration, float64, float64) {
+	min, max, factor, jitter := b.Min, b.Max, b.Factor, b.Jitter
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	if jitter < 0 || jitter >= 1 {
+		jitter = 0.2
+	}
+	return min, max, factor, jitter
+}
+
+// Next returns the delay before the next attempt and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	min, max, factor, jitter := b.defaults()
+	d := float64(min)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	b.attempt++
+	if jitter > 0 {
+		var u float64
+		if b.Rand != nil {
+			u = b.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d *= 1 - jitter + 2*jitter*u
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Reset rewinds the schedule to the first delay (call after a success).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns how many delays Next has handed out since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }

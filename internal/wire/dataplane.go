@@ -1,0 +1,323 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"duet/internal/telemetry"
+)
+
+// DataplaneConfig sizes one UDP dataplane endpoint.
+type DataplaneConfig struct {
+	// Workers is the number of recv loops and of batch workers (default
+	// GOMAXPROCS). Multiple goroutines blocked in ReadFromUDP on the same
+	// socket let the kernel fan received datagrams across CPUs.
+	Workers int
+	// Batch is how many queued frames one worker wakeup drains before
+	// going back to sleep (default 32). The standard library's UDPConn has
+	// no recvmmsg/sendmmsg, so batching here amortizes scheduling and
+	// cache misses rather than syscalls; the syscall-per-datagram floor is
+	// what BenchmarkWireDeliver measures.
+	Batch int
+	// Backlog bounds frames queued between the recv loops and the workers
+	// (default 1024). A full backlog drops the frame (DropBacklogFull) —
+	// the wire analog of a NIC ring overflow.
+	Backlog int
+	// MTU is the largest datagram accepted or sent (default 2048).
+	MTU int
+	// ReadBuffer is the socket receive buffer hint in bytes (default 4MiB;
+	// 0 keeps the kernel default, negative skips SetReadBuffer).
+	ReadBuffer int
+	// Registry/Recorder receive the wire.* counters and KindDrop events
+	// (nil disables instrumentation; all hot-path handles are nil-safe).
+	Registry *telemetry.Registry
+	Recorder *telemetry.Recorder
+	// Node identifies this endpoint in flight-recorder events.
+	Node uint32
+}
+
+func (cfg *DataplaneConfig) setDefaults() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.Backlog <= 0 {
+		cfg.Backlog = 1024
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 2048
+	}
+	if cfg.ReadBuffer == 0 {
+		cfg.ReadBuffer = 4 << 20
+	}
+}
+
+// dataplaneTelemetry is the dataplane's pre-resolved instrument block.
+// dropTotal is incremented alongside every labeled drop so the obs
+// "wire-drops" watchdog has a single series to rate.
+type dataplaneTelemetry struct {
+	rxFrames, rxBytes telemetry.CounterShard
+	txFrames, txBytes telemetry.CounterShard
+	dropShort         telemetry.CounterShard
+	dropBadFrame      telemetry.CounterShard
+	dropConnRefused   telemetry.CounterShard
+	dropBacklog       telemetry.CounterShard
+	dropNoRoute       telemetry.CounterShard
+	dropTotal         telemetry.CounterShard
+	rec               *telemetry.Recorder
+	node              uint32
+}
+
+func newDataplaneTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) dataplaneTelemetry {
+	return dataplaneTelemetry{
+		rxFrames:        reg.Counter("wire.rx.frames").Shard(),
+		rxBytes:         reg.Counter("wire.rx.bytes").Shard(),
+		txFrames:        reg.Counter("wire.tx.frames").Shard(),
+		txBytes:         reg.Counter("wire.tx.bytes").Shard(),
+		dropShort:       reg.Counter("wire.drops.short_read").Shard(),
+		dropBadFrame:    reg.Counter("wire.drops.bad_frame").Shard(),
+		dropConnRefused: reg.Counter("wire.drops.conn_refused").Shard(),
+		dropBacklog:     reg.Counter("wire.drops.backlog_full").Shard(),
+		dropNoRoute:     reg.Counter("wire.drops.no_route").Shard(),
+		dropTotal:       reg.Counter("wire.drops.total").Shard(),
+		rec:             rec,
+		node:            node,
+	}
+}
+
+func (t *dataplaneTelemetry) drop(shard telemetry.CounterShard, reason telemetry.DropReason) {
+	shard.Inc()
+	t.dropTotal.Inc()
+	t.rec.Record(telemetry.KindDrop, t.node, 0, 0, uint64(reason))
+}
+
+// Handler processes one received frame payload (a raw IPv4 packet). The
+// payload aliases a pooled receive buffer and is valid only for the
+// duration of the call. scratch is a per-worker reusable buffer the handler
+// may append into (typically as the out parameter of Process/Receive); it
+// returns the buffer to reuse on the next call, so steady-state handling
+// allocates nothing.
+type Handler func(payload, scratch []byte) []byte
+
+// Dataplane is one UDP dataplane endpoint: a listening socket with batched
+// receive machinery and a connected-socket send cache. Safe for concurrent
+// Send callers; Serve may be called at most once.
+type Dataplane struct {
+	cfg  DataplaneConfig
+	conn *net.UDPConn
+	q    chan []byte
+	pool sync.Pool
+
+	sendMu sync.RWMutex
+	sends  map[string]*net.UDPConn
+
+	tel dataplaneTelemetry
+
+	closed  atomic.Bool
+	recvWG  sync.WaitGroup
+	workWG  sync.WaitGroup
+	serving atomic.Bool
+}
+
+// ListenDataplane binds a UDP dataplane endpoint on addr (host:port; port 0
+// picks a free port — read it back with Addr).
+func ListenDataplane(addr string, cfg DataplaneConfig) (*Dataplane, error) {
+	cfg.setDefaults()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	if cfg.ReadBuffer > 0 {
+		_ = conn.SetReadBuffer(cfg.ReadBuffer) // best effort; kernel may clamp
+	}
+	d := &Dataplane{
+		cfg:   cfg,
+		conn:  conn,
+		q:     make(chan []byte, cfg.Backlog),
+		sends: make(map[string]*net.UDPConn),
+		tel:   newDataplaneTelemetry(cfg.Registry, cfg.Recorder, cfg.Node),
+	}
+	d.pool.New = func() any {
+		b := make([]byte, cfg.MTU)
+		return &b
+	}
+	return d, nil
+}
+
+// Addr returns the bound UDP address.
+func (d *Dataplane) Addr() *net.UDPAddr { return d.conn.LocalAddr().(*net.UDPAddr) }
+
+func (d *Dataplane) getBuf() []byte  { return *d.pool.Get().(*[]byte) }
+func (d *Dataplane) putBuf(b []byte) { b = b[:cap(b)]; d.pool.Put(&b) }
+
+// Serve starts the recv loops and batch workers and returns immediately.
+// h runs on the worker goroutines, possibly concurrently with itself.
+func (d *Dataplane) Serve(h Handler) {
+	if !d.serving.CompareAndSwap(false, true) {
+		panic("wire: Dataplane.Serve called twice")
+	}
+	for i := 0; i < d.cfg.Workers; i++ {
+		d.recvWG.Add(1)
+		go d.recvLoop()
+		d.workWG.Add(1)
+		go d.workLoop(h)
+	}
+	// When every recv loop has exited (socket closed), release the workers.
+	go func() {
+		d.recvWG.Wait()
+		close(d.q)
+	}()
+}
+
+// recvLoop reads datagrams into pooled buffers and enqueues them for the
+// batch workers, dropping (and counting) on overflow.
+func (d *Dataplane) recvLoop() {
+	defer d.recvWG.Done()
+	for {
+		buf := d.getBuf()
+		n, _, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			d.putBuf(buf)
+			if d.closed.Load() {
+				return
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient (e.g. ICMP-induced) read error
+		}
+		d.tel.rxFrames.Inc()
+		d.tel.rxBytes.Add(uint64(n))
+		select {
+		case d.q <- buf[:n]:
+		default:
+			d.tel.drop(d.tel.dropBacklog, telemetry.DropBacklogFull)
+			d.putBuf(buf)
+		}
+	}
+}
+
+// workLoop drains the backlog in batches of up to cfg.Batch frames per
+// wakeup, validating the wire header and invoking the handler.
+func (d *Dataplane) workLoop(h Handler) {
+	defer d.workWG.Done()
+	scratch := make([]byte, 0, d.cfg.MTU)
+	for frame := range d.q {
+		scratch = d.handleFrame(frame, scratch, h)
+		for i := 1; i < d.cfg.Batch; i++ {
+			select {
+			case frame, ok := <-d.q:
+				if !ok {
+					return
+				}
+				scratch = d.handleFrame(frame, scratch, h)
+			default:
+				i = d.cfg.Batch // batch drained; sleep again
+			}
+		}
+	}
+}
+
+func (d *Dataplane) handleFrame(frame, scratch []byte, h Handler) []byte {
+	payload, err := DecodeFrame(frame)
+	switch {
+	case errors.Is(err, ErrBadFrame):
+		d.tel.drop(d.tel.dropBadFrame, telemetry.DropBadFrame)
+	case err != nil:
+		d.tel.drop(d.tel.dropShort, telemetry.DropShortRead)
+	default:
+		scratch = h(payload, scratch)
+	}
+	d.putBuf(frame)
+	return scratch
+}
+
+// sendConn returns a connected UDP socket toward ep (host:port), creating
+// and caching it on first use. Connected sockets skip the per-send route
+// lookup and — unlike sendto on an unconnected socket — surface ICMP port
+// unreachable as ECONNREFUSED on a later Write, which is how a dead peer
+// becomes visible to the drop taxonomy.
+func (d *Dataplane) sendConn(ep string) (*net.UDPConn, error) {
+	d.sendMu.RLock()
+	c, ok := d.sends[ep]
+	d.sendMu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", ep)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %s: %w", ep, err)
+	}
+	d.sendMu.Lock()
+	defer d.sendMu.Unlock()
+	if c, ok := d.sends[ep]; ok {
+		return c, nil
+	}
+	c, err = net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", ep, err)
+	}
+	d.sends[ep] = c
+	return c, nil
+}
+
+// Send frames payload and writes it toward ep as one datagram. A send that
+// fails because the peer's socket is gone counts as DropConnRefused and
+// returns the error; the connected socket is kept, so sends succeed again
+// as soon as the peer is back (restart recovery needs no bookkeeping).
+func (d *Dataplane) Send(ep string, payload []byte) error {
+	if len(payload) > d.cfg.MTU-FrameHeaderLen {
+		return fmt.Errorf("wire: payload %d exceeds MTU %d", len(payload), d.cfg.MTU)
+	}
+	c, err := d.sendConn(ep)
+	if err != nil {
+		return err
+	}
+	bufp := d.pool.Get().(*[]byte)
+	frame := AppendFrame((*bufp)[:0], payload)
+	_, err = c.Write(frame)
+	d.pool.Put(bufp)
+	if err != nil {
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			d.tel.drop(d.tel.dropConnRefused, telemetry.DropConnRefused)
+		}
+		return err
+	}
+	d.tel.txFrames.Inc()
+	d.tel.txBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// DropNoRoute counts a frame the node could not forward because the encap
+// destination has no wire endpoint in the cluster spec.
+func (d *Dataplane) DropNoRoute() {
+	d.tel.drop(d.tel.dropNoRoute, telemetry.DropNoWireRoute)
+}
+
+// Close shuts the socket down and waits for the recv loops and workers to
+// drain. Safe to call once.
+func (d *Dataplane) Close() {
+	if !d.closed.CompareAndSwap(false, true) {
+		return
+	}
+	_ = d.conn.Close()
+	if d.serving.Load() {
+		d.workWG.Wait() // recvWG exit closes q, which releases the workers
+	}
+	d.sendMu.Lock()
+	defer d.sendMu.Unlock()
+	for _, c := range d.sends {
+		_ = c.Close()
+	}
+}

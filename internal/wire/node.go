@@ -1,0 +1,658 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"duet/internal/hmux"
+	"duet/internal/hostagent"
+	"duet/internal/obs"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/smux"
+	"duet/internal/switchagent"
+	"duet/internal/telemetry"
+)
+
+// Node is one running duetd role: the role's dataplane machinery (reused
+// unchanged from internal/smux, internal/hmux, internal/hostagent), its
+// control server, its observability plane, and — for the controller — the
+// anti-entropy push loops that keep every peer programmed.
+type Node struct {
+	Spec *ClusterSpec
+	Me   *NodeSpec
+	Reg  *telemetry.Registry
+	Rec  *telemetry.Recorder
+	Obs  *obs.Pipeline
+
+	start time.Time
+	hosts map[packet.Addr]string // outer dst → UDP data endpoint
+
+	dp      *Dataplane
+	ctl     *ControlServer
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	stop       chan struct{}
+	stopScrape func()
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+
+	// role state (exactly one group is populated)
+	smux  *smux.Mux
+	agent *hostagent.Agent
+	swMu  sync.Mutex // switchagent.Agent is single-writer by design
+	sw    *switchagent.Agent
+
+	vips      *telemetry.Gauge
+	dips      *telemetry.Gauge
+	delivered telemetry.CounterShard
+	resyncs   telemetry.CounterShard
+	reports   telemetry.CounterShard
+	routes    *telemetry.Gauge
+
+	announceQ chan Envelope // switchagent → controller routing side effects
+
+	ctlMu      sync.Mutex
+	routeSet   map[string]bool
+	lastHealth map[string]*HealthMsg
+}
+
+// now is the node's monotonic clock in seconds, used for switch-agent
+// timing and as the obs scrape clock.
+func (n *Node) now() float64 { return time.Since(n.start).Seconds() }
+
+// StartNode builds and starts the named node from the spec: it binds the
+// role's sockets, starts the obs scrape loop and HTTP exposition, and (for
+// the controller) launches the per-peer configuration push loops.
+func StartNode(spec *ClusterSpec, name string) (*Node, error) {
+	me, ok := spec.Node(name)
+	if !ok {
+		return nil, fmt.Errorf("wire: node %q not in spec", name)
+	}
+	n := &Node{
+		Spec:       spec,
+		Me:         me,
+		Reg:        telemetry.NewRegistry(),
+		Rec:        telemetry.NewRecorder(telemetry.DefaultRecorderSize),
+		start:      time.Now(),
+		hosts:      spec.HostMap(),
+		stop:       make(chan struct{}),
+		routeSet:   make(map[string]bool),
+		lastHealth: make(map[string]*HealthMsg),
+	}
+	n.Obs = obs.New(obs.Config{
+		Registry: n.Reg,
+		Recorder: n.Rec,
+		Windows:  256,
+		Now:      n.now,
+	})
+	n.Obs.AddRules(obs.DefaultRules(obs.DefaultSLO())...) // cluster rules skip until their series exist
+	n.Obs.AddRules(obs.WireRules(obs.DefaultSLO())...)
+
+	var err error
+	switch me.Role {
+	case RoleSMux:
+		err = n.startSMux()
+	case RoleHostAgent:
+		err = n.startHostAgent()
+	case RoleSwitch:
+		err = n.startSwitchAgent()
+	case RoleController:
+		err = n.startController()
+	default:
+		err = fmt.Errorf("wire: unknown role %q", me.Role)
+	}
+	if err != nil {
+		n.Close()
+		return nil, err
+	}
+	if err := n.startHTTP(); err != nil {
+		n.Close()
+		return nil, err
+	}
+	scrape := time.Duration(spec.ScrapeMillis) * time.Millisecond
+	if scrape <= 0 {
+		scrape = time.Second
+	}
+	n.stopScrape = n.Obs.Start(scrape)
+	return n, nil
+}
+
+// DataAddr returns the bound dataplane endpoint ("" for controllers).
+func (n *Node) DataAddr() string {
+	if n.dp == nil {
+		return ""
+	}
+	return n.dp.Addr().String()
+}
+
+// ControlAddr returns the bound control endpoint.
+func (n *Node) ControlAddr() string {
+	if n.ctl == nil {
+		return ""
+	}
+	return n.ctl.Addr()
+}
+
+// HTTPAddr returns the bound observability endpoint.
+func (n *Node) HTTPAddr() string {
+	if n.httpLn == nil {
+		return ""
+	}
+	return n.httpLn.Addr().String()
+}
+
+// Delivered returns the host-agent node's end-to-end delivery count.
+func (n *Node) Delivered() uint64 { return n.Reg.Counter("wire.delivered").Value() }
+
+func (n *Node) startHTTP() error {
+	if n.Me.HTTP == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", n.Me.HTTP)
+	if err != nil {
+		return fmt.Errorf("wire: http listen %s: %w", n.Me.HTTP, err)
+	}
+	n.httpLn = ln
+	n.httpSrv = &http.Server{
+		Handler:           obs.NewServer(n.Obs).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = n.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+func (n *Node) listenData() error {
+	dp, err := ListenDataplane(n.Me.Data, DataplaneConfig{
+		Registry: n.Reg,
+		Recorder: n.Rec,
+	})
+	if err != nil {
+		return err
+	}
+	n.dp = dp
+	return nil
+}
+
+// forward sends an encapsulated packet toward the wire endpoint serving its
+// outer destination.
+func (n *Node) forward(encap packet.Addr, pkt []byte) {
+	ep, ok := n.hosts[encap]
+	if !ok {
+		n.dp.DropNoRoute()
+		return
+	}
+	_ = n.dp.Send(ep, pkt) // send failures are counted by the dataplane
+}
+
+// --- smux role ---------------------------------------------------------
+
+func (n *Node) startSMux() error {
+	self, err := n.Me.SelfAddr()
+	if err != nil {
+		return err
+	}
+	n.smux = smux.New(smux.DefaultConfig(self))
+	n.smux.SetTelemetry(n.Reg, n.Rec, uint32(self))
+	n.vips = n.Reg.Gauge("wire.vips")
+	capacity := n.Reg.Gauge("smux.capacity_pps")
+	conns := n.Reg.Gauge("smux.conns_total")
+	n.Obs.AddCollector(func() {
+		capacity.Set(int64(n.smux.CapacityPPS()))
+		conns.Set(int64(n.smux.Connections()))
+	})
+	if err := n.listenData(); err != nil {
+		return err
+	}
+	n.dp.Serve(func(payload, scratch []byte) []byte {
+		res, err := n.smux.Process(payload, scratch[:0])
+		if err != nil {
+			return scratch // the mux counted the drop
+		}
+		n.forward(res.Encap, res.Packet)
+		return res.Packet
+	})
+	ctl, err := ListenControl(n.Me.Control, n.Reg, n.smuxControl)
+	if err != nil {
+		return err
+	}
+	n.ctl = ctl
+	return nil
+}
+
+func (n *Node) smuxControl(env *Envelope) error {
+	switch env.Type {
+	case MsgHello:
+		return nil
+	case MsgAddVIP:
+		v, err := vipFromMsg(env.VIP)
+		if err != nil {
+			return err
+		}
+		if n.smux.HasVIP(v.Addr) {
+			err = n.smux.UpdateVIP(v) // idempotent re-push from anti-entropy
+		} else {
+			err = n.smux.AddVIP(v)
+		}
+		n.vips.Set(int64(n.smux.NumVIPs()))
+		return err
+	case MsgRemoveVIP:
+		addr, err := packet.ParseAddr(env.Addr)
+		if err != nil {
+			return err
+		}
+		err = n.smux.RemoveVIP(addr)
+		n.vips.Set(int64(n.smux.NumVIPs()))
+		return err
+	}
+	return fmt.Errorf("smux: unsupported control message %s", env.Type)
+}
+
+// --- hostagent role ----------------------------------------------------
+
+func (n *Node) startHostAgent() error {
+	self, err := n.Me.SelfAddr()
+	if err != nil {
+		return err
+	}
+	n.agent = hostagent.New(self)
+	n.agent.SetTelemetry(n.Reg, n.Rec, uint32(self))
+	n.dips = n.Reg.Gauge("wire.dips")
+	n.delivered = n.Reg.Counter("wire.delivered").Shard()
+	if err := n.listenData(); err != nil {
+		return err
+	}
+	n.dp.Serve(func(payload, scratch []byte) []byte {
+		d, err := n.agent.Receive(payload, scratch[:0])
+		if err != nil {
+			return scratch // the agent counted the drop
+		}
+		n.delivered.Inc()
+		return d.Packet
+	})
+	ctl, err := ListenControl(n.Me.Control, n.Reg, n.hostControl)
+	if err != nil {
+		return err
+	}
+	n.ctl = ctl
+	n.startHealthLoop()
+	return nil
+}
+
+func (n *Node) hostControl(env *Envelope) error {
+	switch env.Type {
+	case MsgHello:
+		return nil
+	case MsgRegisterDIP:
+		vip, err := packet.ParseAddr(env.Addr)
+		if err != nil {
+			return err
+		}
+		dip, err := packet.ParseAddr(env.DIP)
+		if err != nil {
+			return err
+		}
+		// RegisterDIP is idempotent for an existing vip→dip pair.
+		if err := n.agent.RegisterDIP(vip, dip); err != nil {
+			return err
+		}
+		n.dips.Set(int64(len(n.agent.LocalDIPs(vip))))
+		return nil
+	}
+	return fmt.Errorf("hostagent: unsupported control message %s", env.Type)
+}
+
+// startHealthLoop periodically reports local DIP health to the controller
+// (best effort: a down controller is retried next interval; the control
+// client redials on its own).
+func (n *Node) startHealthLoop() {
+	ctrl, ok := n.Spec.Controller()
+	if !ok {
+		return
+	}
+	interval := time.Duration(n.Spec.HealthMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	client := DialControl(ctrl.Control, n.Reg)
+	sent := n.Reg.Counter("wire.health.reports").Shard()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer client.Close()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+			}
+			msg := &HealthMsg{Host: n.Me.Self, DIPs: make(map[string]bool)}
+			for _, v := range n.Spec.VIPs {
+				vip, err := packet.ParseAddr(v.Addr)
+				if err != nil {
+					continue
+				}
+				for _, dip := range n.agent.LocalDIPs(vip) {
+					msg.DIPs[dip.String()] = n.agent.Healthy(dip)
+				}
+			}
+			if err := client.Call(&Envelope{Type: MsgHealthReport, Health: msg}); err == nil {
+				sent.Inc()
+			}
+		}
+	}()
+}
+
+// --- switchagent role --------------------------------------------------
+
+// wireAnnouncer forwards the switch agent's routing side effects to the
+// controller over the control channel, asynchronously (Submit must not
+// block on the network).
+type wireAnnouncer struct{ n *Node }
+
+func (a wireAnnouncer) Announce(p packet.Prefix, _ float64) { a.n.queueRoute(MsgAnnounceVIP, p) }
+func (a wireAnnouncer) Withdraw(p packet.Prefix, _ float64) { a.n.queueRoute(MsgWithdrawVIP, p) }
+
+func (n *Node) queueRoute(t MsgType, p packet.Prefix) {
+	select {
+	case n.announceQ <- Envelope{Type: t, Addr: fmt.Sprintf("%s/%d", p.Addr, p.Bits)}:
+	default: // controller unreachable and queue full; resync will reconcile
+	}
+}
+
+func (n *Node) startSwitchAgent() error {
+	self, err := n.Me.SelfAddr()
+	if err != nil {
+		return err
+	}
+	hm := hmux.New(hmux.DefaultConfig(self))
+	hm.SetTelemetry(n.Reg, n.Rec, uint32(self))
+	n.announceQ = make(chan Envelope, 256)
+	n.sw = switchagent.New(hm, wireAnnouncer{n}, switchagent.Instant())
+	n.sw.SetTelemetry(n.Reg, n.Rec, uint32(self))
+	n.vips = n.Reg.Gauge("wire.vips")
+	if err := n.listenData(); err != nil {
+		return err
+	}
+	n.dp.Serve(func(payload, scratch []byte) []byte {
+		res, err := hm.Process(payload, scratch[:0])
+		if err != nil {
+			return scratch
+		}
+		n.forward(res.Encap, res.Packet)
+		return res.Packet
+	})
+	ctl, err := ListenControl(n.Me.Control, n.Reg, n.switchControl)
+	if err != nil {
+		return err
+	}
+	n.ctl = ctl
+	n.startAnnounceLoop()
+	return nil
+}
+
+func (n *Node) startAnnounceLoop() {
+	ctrl, ok := n.Spec.Controller()
+	if !ok {
+		return
+	}
+	client := DialControl(ctrl.Control, n.Reg)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer client.Close()
+		bo := &Backoff{}
+		for {
+			select {
+			case <-n.stop:
+				return
+			case env := <-n.announceQ:
+				_ = client.CallRetry(&env, bo, n.stop)
+			}
+		}
+	}()
+}
+
+func (n *Node) switchControl(env *Envelope) error {
+	if env.Type == MsgHello {
+		return nil
+	}
+	if env.Type != MsgProgramOp {
+		return fmt.Errorf("switchagent: unsupported control message %s", env.Type)
+	}
+	op, err := opFromMsg(env.Program)
+	if err != nil {
+		return err
+	}
+	n.swMu.Lock()
+	defer n.swMu.Unlock()
+	// Re-pushes from anti-entropy are expected; an already-programmed VIP
+	// is success, not an error.
+	if op.Kind == switchagent.OpAddVIP && n.sw.Mux().HasVIP(op.VIP.Addr) {
+		return nil
+	}
+	if op.Kind == switchagent.OpAddTIP && n.sw.Mux().HasTIP(op.Addr) {
+		return nil
+	}
+	ack := n.sw.Submit(op, n.now())
+	n.vips.Set(int64(len(n.sw.Mux().VIPs())))
+	return ack.Err
+}
+
+// opFromMsg converts a control-message program op to the switchagent type.
+func opFromMsg(m *ProgramMsg) (switchagent.Op, error) {
+	if m == nil {
+		return switchagent.Op{}, fmt.Errorf("wire: missing program payload")
+	}
+	parse := func(s string) (packet.Addr, error) {
+		if s == "" {
+			return 0, fmt.Errorf("wire: program op %s missing address", m.Kind)
+		}
+		return packet.ParseAddr(s)
+	}
+	switch m.Kind {
+	case "add-vip":
+		v, err := vipFromMsg(m.VIP)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		return switchagent.Op{Kind: switchagent.OpAddVIP, VIP: v}, nil
+	case "remove-vip":
+		a, err := parse(m.Addr)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		return switchagent.Op{Kind: switchagent.OpRemoveVIP, Addr: a}, nil
+	case "remove-dip":
+		a, err := parse(m.Addr)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		d, err := parse(m.DIP)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		return switchagent.Op{Kind: switchagent.OpRemoveDIP, Addr: a, DIP: d}, nil
+	case "add-tip":
+		a, err := parse(m.Addr)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		op := switchagent.Op{Kind: switchagent.OpAddTIP, Addr: a}
+		for _, b := range m.Backends {
+			ba, err := packet.ParseAddr(b.Addr)
+			if err != nil {
+				return switchagent.Op{}, err
+			}
+			w := b.Weight
+			if w == 0 {
+				w = 1
+			}
+			op.Backends = append(op.Backends, service.Backend{Addr: ba, Weight: w})
+		}
+		return op, nil
+	case "remove-tip":
+		a, err := parse(m.Addr)
+		if err != nil {
+			return switchagent.Op{}, err
+		}
+		return switchagent.Op{Kind: switchagent.OpRemoveTIP, Addr: a}, nil
+	}
+	return switchagent.Op{}, fmt.Errorf("wire: unknown program op %q", m.Kind)
+}
+
+// --- controller role ---------------------------------------------------
+
+func (n *Node) startController() error {
+	n.resyncs = n.Reg.Counter("wire.controller.resyncs").Shard()
+	n.reports = n.Reg.Counter("wire.controller.health_reports").Shard()
+	n.routes = n.Reg.Gauge("wire.controller.routes")
+	ctl, err := ListenControl(n.Me.Control, n.Reg, n.controllerControl)
+	if err != nil {
+		return err
+	}
+	n.ctl = ctl
+	resync := time.Duration(n.Spec.ResyncMillis) * time.Millisecond
+	if resync <= 0 {
+		resync = 2 * time.Second
+	}
+	for i := range n.Spec.Nodes {
+		peer := &n.Spec.Nodes[i]
+		if peer.Role == RoleController || peer.Control == "" {
+			continue
+		}
+		n.wg.Add(1)
+		go n.pushLoop(peer, resync)
+	}
+	return nil
+}
+
+func (n *Node) controllerControl(env *Envelope) error {
+	switch env.Type {
+	case MsgHello:
+		return nil
+	case MsgHealthReport:
+		n.reports.Inc()
+		if env.Health != nil {
+			n.ctlMu.Lock()
+			n.lastHealth[env.Health.Host] = env.Health
+			n.ctlMu.Unlock()
+		}
+		return nil
+	case MsgAnnounceVIP, MsgWithdrawVIP:
+		n.ctlMu.Lock()
+		if env.Type == MsgAnnounceVIP {
+			n.routeSet[env.Addr] = true
+		} else {
+			delete(n.routeSet, env.Addr)
+		}
+		n.routes.Set(int64(len(n.routeSet)))
+		n.ctlMu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("controller: unsupported control message %s", env.Type)
+}
+
+// HealthSnapshot returns the latest health report per host (tests and the
+// obs collector read it).
+func (n *Node) HealthSnapshot() map[string]*HealthMsg {
+	n.ctlMu.Lock()
+	defer n.ctlMu.Unlock()
+	out := make(map[string]*HealthMsg, len(n.lastHealth))
+	for k, v := range n.lastHealth {
+		out[k] = v
+	}
+	return out
+}
+
+// pushLoop is the controller's anti-entropy loop for one peer: push the
+// peer's full configuration, sleep, repeat. A restarted (blank) peer is
+// fully reprogrammed within one resync interval plus the reconnect backoff
+// — the cross-process Figure 12 recovery path. CallRetry rides through the
+// restart itself: transport failures redial with exponential backoff and
+// jitter until the peer answers.
+func (n *Node) pushLoop(peer *NodeSpec, resync time.Duration) {
+	defer n.wg.Done()
+	client := DialControl(peer.Control, n.Reg)
+	defer client.Close()
+	bo := &Backoff{Max: resync}
+	hello := &Envelope{Type: MsgHello, Role: RoleController, Name: n.Me.Name}
+	for {
+		ok := client.CallRetry(hello, bo, n.stop) == nil
+		if ok {
+			if err := n.pushConfig(client, peer, bo); err == nil {
+				n.resyncs.Inc()
+			}
+		}
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(resync):
+		}
+	}
+}
+
+// pushConfig pushes one peer's full intended state: every spec VIP to a
+// mux, and every local vip→dip registration to a host agent.
+func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) error {
+	vips, err := n.Spec.ServiceVIPs()
+	if err != nil {
+		return err
+	}
+	for _, v := range vips {
+		var env *Envelope
+		switch peer.Role {
+		case RoleSMux:
+			env = &Envelope{Type: MsgAddVIP, VIP: msgFromVIP(v)}
+		case RoleSwitch:
+			env = &Envelope{Type: MsgProgramOp, Program: &ProgramMsg{Kind: "add-vip", VIP: msgFromVIP(v)}}
+		case RoleHostAgent:
+			for _, b := range v.Backends {
+				if b.Addr.String() != peer.Self {
+					continue
+				}
+				reg := &Envelope{Type: MsgRegisterDIP, Addr: v.Addr.String(), DIP: b.Addr.String()}
+				if err := client.CallRetry(reg, bo, n.stop); err != nil {
+					return err
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		if err := client.CallRetry(env, bo, n.stop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every subsystem down and waits for the node's goroutines.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		if n.stopScrape != nil {
+			n.stopScrape()
+		}
+		if n.httpSrv != nil {
+			_ = n.httpSrv.Close()
+		}
+		if n.ctl != nil {
+			n.ctl.Close()
+		}
+		if n.dp != nil {
+			n.dp.Close()
+		}
+		n.wg.Wait()
+	})
+}

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// Role names accepted in a cluster spec.
+const (
+	RoleController = "controller"
+	RoleSMux       = "smux"
+	RoleHostAgent  = "hostagent"
+	RoleSwitch     = "switchagent"
+)
+
+// NodeSpec describes one duetd process.
+type NodeSpec struct {
+	Name string `json:"name"`
+	Role string `json:"role"`
+	// Self is the node's dataplane identity (dotted quad): the SMux/HMux
+	// outer source address, or the host agent's host address. Required for
+	// every role except controller.
+	Self string `json:"self,omitempty"`
+	// Data is the UDP dataplane endpoint (host:port). Frames whose outer
+	// destination equals Self are delivered here.
+	Data string `json:"data,omitempty"`
+	// Control is the TCP control endpoint (host:port).
+	Control string `json:"control,omitempty"`
+	// HTTP is the observability endpoint (host:port) serving the obs plane.
+	HTTP string `json:"http,omitempty"`
+}
+
+// SelfAddr parses the node's dataplane identity.
+func (n *NodeSpec) SelfAddr() (packet.Addr, error) {
+	if n.Self == "" {
+		return 0, fmt.Errorf("wire: node %s (%s) has no self address", n.Name, n.Role)
+	}
+	return packet.ParseAddr(n.Self)
+}
+
+// BackendSpec is one VIP backend in the spec.
+type BackendSpec struct {
+	Addr   string `json:"addr"`
+	Weight uint32 `json:"weight,omitempty"`
+}
+
+// VIPSpec is one VIP in the spec. Backend addresses double as host
+// addresses: in the wire world each DIP is served by the host-agent node
+// whose Self equals the backend address (one DIP per host, the simplest
+// production shape).
+type VIPSpec struct {
+	Addr     string        `json:"addr"`
+	Backends []BackendSpec `json:"backends"`
+}
+
+// ClusterSpec is the static JSON description of a multi-process duetd
+// deployment: who runs where, and the VIP population the controller pushes.
+type ClusterSpec struct {
+	Nodes []NodeSpec `json:"nodes"`
+	VIPs  []VIPSpec  `json:"vips"`
+	// ResyncMillis is the controller's anti-entropy interval: the full
+	// configuration is re-pushed to every peer this often, which is what
+	// heals a restarted (blank) mux or host agent. Default 2000.
+	ResyncMillis int `json:"resync_ms,omitempty"`
+	// ScrapeMillis is every node's obs scrape interval. Default 1000.
+	ScrapeMillis int `json:"scrape_ms,omitempty"`
+	// HealthMillis is the host agents' health-report interval. Default 1000.
+	HealthMillis int `json:"health_ms,omitempty"`
+}
+
+// LoadSpec reads and validates a cluster spec file.
+func LoadSpec(path string) (*ClusterSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s ClusterSpec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("wire: parse spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec for the mistakes that would otherwise surface as
+// confusing runtime failures.
+func (s *ClusterSpec) Validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("wire: spec has no nodes")
+	}
+	names := make(map[string]bool, len(s.Nodes))
+	selfs := make(map[string]string)
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("wire: node %d has no name", i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("wire: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		switch n.Role {
+		case RoleController:
+			if n.Control == "" {
+				return fmt.Errorf("wire: controller %s needs a control endpoint", n.Name)
+			}
+		case RoleSMux, RoleHostAgent, RoleSwitch:
+			if _, err := n.SelfAddr(); err != nil {
+				return err
+			}
+			if n.Data == "" {
+				return fmt.Errorf("wire: node %s needs a data endpoint", n.Name)
+			}
+			if prev, dup := selfs[n.Self]; dup {
+				return fmt.Errorf("wire: nodes %s and %s share self address %s", prev, n.Name, n.Self)
+			}
+			selfs[n.Self] = n.Name
+		default:
+			return fmt.Errorf("wire: node %s has unknown role %q", n.Name, n.Role)
+		}
+	}
+	for _, v := range s.VIPs {
+		if _, err := packet.ParseAddr(v.Addr); err != nil {
+			return err
+		}
+		if len(v.Backends) == 0 {
+			return fmt.Errorf("wire: VIP %s has no backends", v.Addr)
+		}
+		for _, b := range v.Backends {
+			if _, err := packet.ParseAddr(b.Addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Node looks a node up by name.
+func (s *ClusterSpec) Node(name string) (*NodeSpec, bool) {
+	for i := range s.Nodes {
+		if s.Nodes[i].Name == name {
+			return &s.Nodes[i], true
+		}
+	}
+	return nil, false
+}
+
+// Controller returns the (first) controller node, if any.
+func (s *ClusterSpec) Controller() (*NodeSpec, bool) {
+	for i := range s.Nodes {
+		if s.Nodes[i].Role == RoleController {
+			return &s.Nodes[i], true
+		}
+	}
+	return nil, false
+}
+
+// HostMap builds the forwarding map every dataplane node needs: outer
+// destination address → UDP data endpoint. It covers every node with a
+// self address, so SMux→host, SMux→switch and switch→host forwarding all
+// resolve through one lookup.
+func (s *ClusterSpec) HostMap() map[packet.Addr]string {
+	m := make(map[packet.Addr]string, len(s.Nodes))
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.Self == "" || n.Data == "" {
+			continue
+		}
+		if a, err := n.SelfAddr(); err == nil {
+			m[a] = n.Data
+		}
+	}
+	return m
+}
+
+// ServiceVIPs converts the spec's VIP population to service types.
+func (s *ClusterSpec) ServiceVIPs() ([]*service.VIP, error) {
+	out := make([]*service.VIP, 0, len(s.VIPs))
+	for _, v := range s.VIPs {
+		sv, err := vipFromMsg(&VIPMsg{Addr: v.Addr, Backends: backendMsgs(v.Backends)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sv)
+	}
+	return out, nil
+}
+
+func backendMsgs(bs []BackendSpec) []BackendMsg {
+	out := make([]BackendMsg, len(bs))
+	for i, b := range bs {
+		out[i] = BackendMsg{Addr: b.Addr, Weight: b.Weight}
+	}
+	return out
+}
+
+// vipFromMsg converts a control-message VIP to the service type.
+func vipFromMsg(m *VIPMsg) (*service.VIP, error) {
+	if m == nil {
+		return nil, fmt.Errorf("wire: missing vip payload")
+	}
+	addr, err := packet.ParseAddr(m.Addr)
+	if err != nil {
+		return nil, err
+	}
+	v := &service.VIP{Addr: addr}
+	for _, b := range m.Backends {
+		ba, err := packet.ParseAddr(b.Addr)
+		if err != nil {
+			return nil, err
+		}
+		w := b.Weight
+		if w == 0 {
+			w = 1
+		}
+		v.Backends = append(v.Backends, service.Backend{Addr: ba, Weight: w})
+	}
+	return v, v.Validate()
+}
+
+// msgFromVIP converts a service VIP to its control-message form.
+func msgFromVIP(v *service.VIP) *VIPMsg {
+	m := &VIPMsg{Addr: v.Addr.String()}
+	for _, b := range v.Backends {
+		m.Backends = append(m.Backends, BackendMsg{Addr: b.Addr.String(), Weight: b.Weight})
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+// Package wire puts the Duet dataplane on actual sockets. Everything the
+// in-process facade does with method dispatch — an SMux encapsulating a
+// packet and handing it to a host agent, the controller programming a mux's
+// VIP table — becomes real bytes on loopback (or a real network):
+//
+//   - The dataplane carries internal/packet frames (raw IPv4, possibly
+//     IP-in-IP) over UDP datagrams, one frame per datagram, behind a small
+//     wire header (frame.go below). Receive is a pool of per-CPU recv loops
+//     feeding batch workers through a bounded backlog; buffers come from a
+//     pool, and the frame payload handed to the handler is valid only for
+//     the duration of the call — the same discipline as the Process hot
+//     paths, so the zero-alloc encap/decap machinery is reused unchanged.
+//
+//   - The control plane is a length-prefixed TCP protocol (control.go):
+//     VIP programming, DIP registration, switch-table ops, health reports,
+//     and VIP announce/withdraw. The client survives peer restarts with
+//     exponential backoff + jitter, and the controller re-pushes the full
+//     configuration on an anti-entropy interval, so a restarted process
+//     converges back to serving state without operator action — the
+//     cross-process version of the paper's Figure 12 failover story.
+//
+// cmd/duetd runs any role (smux, hostagent, switchagent, controller) as its
+// own OS process from a static JSON cluster spec (spec.go); node.go wires
+// the roles to the existing internal/smux, internal/hostagent,
+// internal/hmux + internal/switchagent machinery and exposes each process's
+// observability plane (internal/obs) over HTTP.
+//
+// Wire-level failures get their own drop taxonomy (telemetry.DropShortRead,
+// DropBadFrame, DropConnRefused, DropBacklogFull, DropNoWireRoute), counted
+// under wire.drops.* and watched by the obs "wire-drops" SLO rule.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Frame header layout (big endian):
+//
+//	offset 0  uint16  magic (0xD0E7)
+//	offset 2  uint8   version (1)
+//	offset 3  uint8   kind (1 = dataplane frame)
+//	offset 4  uint16  payload length
+//	offset 6  ...     payload (a raw IPv4 packet, possibly IP-in-IP)
+//
+// UDP preserves datagram boundaries, so the explicit length exists to
+// detect truncation (a datagram shorter than its declared payload) and the
+// magic/version to reject foreign traffic instead of feeding it to the
+// packet decoder.
+const (
+	frameMagic   uint16 = 0xD0E7
+	frameVersion uint8  = 1
+	// FrameData is the only frame kind currently defined.
+	FrameData uint8 = 1
+	// FrameHeaderLen is the wire header size preceding every payload.
+	FrameHeaderLen = 6
+	// MaxFramePayload bounds one frame's payload (an IPv4 packet is at most
+	// 64 KiB, but the dataplane MTU below is what actually limits it).
+	MaxFramePayload = 0xffff
+)
+
+// Frame decode errors, mapped onto the telemetry drop taxonomy by the
+// dataplane receive loop.
+var (
+	ErrShortFrame = errors.New("wire: datagram shorter than declared frame")
+	ErrBadFrame   = errors.New("wire: bad frame magic or version")
+)
+
+// AppendFrame encodes payload as one wire frame appended to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [FrameHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = FrameData
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame validates the wire header of one datagram and returns the
+// payload (aliasing data).
+func DecodeFrame(data []byte) ([]byte, error) {
+	if len(data) < FrameHeaderLen {
+		return nil, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != frameMagic || data[2] != frameVersion || data[3] != FrameData {
+		return nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(data[4:6]))
+	if len(data) < FrameHeaderLen+n {
+		return nil, ErrShortFrame
+	}
+	return data[FrameHeaderLen : FrameHeaderLen+n], nil
+}
