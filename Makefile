@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race
+.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux
 
 check: fmt vet build race allocs
 
@@ -31,7 +31,7 @@ race:
 # testing.AllocsPerRun; the benchmark reports the same numbers with
 # -benchmem for inspection.
 allocs:
-	$(GO) test -run 'ZeroAlloc' ./internal/telemetry ./internal/hmux ./internal/smux ./internal/hostagent ./internal/obs
+	$(GO) test -run 'ZeroAlloc' ./internal/telemetry ./internal/hmux ./internal/smux ./internal/nmux ./internal/hostagent ./internal/obs
 	$(GO) test -run XXX -bench BenchmarkTelemetryHotPath -benchtime 100x -benchmem ./internal/telemetry
 
 # Dataplane throughput reference (compare against the seed baseline before
@@ -60,3 +60,18 @@ benchgate-wire:
 # UDP traffic, kills and restarts the SMux, and drives a wire-drops alert.
 wire-race:
 	$(GO) test -race -v -run TestWireClusterEndToEnd ./cmd/duetd
+
+# The NIC match-table tier under the race detector: the nmux package itself,
+# the three-tier core/controller/placement paths, and the testbed churn
+# scenarios (concurrent reprogramming while packets are in flight).
+nmux-race:
+	$(GO) test -race ./internal/nmux ./internal/assign ./internal/core ./internal/controller ./internal/testbed ./internal/wire
+
+# Three-tier throughput reference (baseline recorded in BENCH_nmux.json;
+# should track BENCH_deliver.json within noise — the NMux hot path is the
+# same shape as the SMux one).
+bench-nmux:
+	$(GO) test -run XXX -bench BenchmarkDeliverParallelNMux -benchmem .
+
+benchgate-nmux:
+	$(GO) test -run XXX -bench BenchmarkDeliverParallelNMux -benchtime 2s . | $(GO) run ./cmd/benchgate -baseline BENCH_nmux.json

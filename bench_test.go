@@ -527,6 +527,43 @@ func BenchmarkDeliverParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkDeliverParallelNMux is BenchmarkDeliverParallel with the NIC
+// match-table tier enabled: half the VIPs on HMuxes, a quarter on the NMuxes,
+// the rest on the SMux backstop. The NMux hot path is the same shape as the
+// SMux one (epoch-snapshot wildcard lookup + sharded flow table), so per-packet
+// cost should stay within noise of the two-tier run. Compare against the
+// recorded baseline in BENCH_nmux.json.
+func BenchmarkDeliverParallelNMux(b *testing.B) {
+	f, err := testbed.NewFlood(testbed.FloodConfig{
+		NumVIPs:       16,
+		HMuxFraction:  0.5,
+		NMuxTableSize: 4096,
+		NMuxFraction:  0.25,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := f.Packets(8192)
+	f.Run(pkts, 1) // warm connection and flow tables
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := f.Run(pkts, workers)
+				if st.Failed != 0 {
+					b.Fatalf("%d deliveries failed", st.Failed)
+				}
+			}
+			perPkt := b.Elapsed().Seconds() / float64(b.N*len(pkts))
+			b.ReportMetric(perPkt*1e9, "ns/pkt")
+			b.ReportMetric(1/perPkt/1e6, "Mpps")
+		})
+	}
+	reg, _ := f.Cluster.Telemetry()
+	if reg.Counter("core.deliver.tier.nmux").Value() == 0 {
+		b.Fatal("NMux tier served no packets — benchmark is not exercising the NIC path")
+	}
+}
+
 func benchVIP(i int) *service.VIP {
 	return &service.VIP{
 		Addr: packet.AddrFrom4(10, 0, 0, byte(i+1)),

@@ -14,6 +14,7 @@
 //	vip rm <vip>                     remove a VIP everywhere
 //	vip ls                           list VIPs and their current home
 //	assign <vip> <switch>            program a VIP onto an HMux
+//	assign <vip> nic                 program a VIP into the NIC match tables
 //	withdraw <vip>                   pull a VIP back to the SMuxes
 //	dip add <vip> <dip>              add a DIP (bounces the VIP via SMux)
 //	dip rm <vip> <dip>               remove a DIP (resilient, in place)
@@ -73,8 +74,9 @@ func main() {
 			Cores:            4,
 			ServersPerToR:    10,
 		},
-		NumSMuxes: 3,
-		Aggregate: duet.MustParsePrefix("10.0.0.0/8"),
+		NumSMuxes:     3,
+		Aggregate:     duet.MustParsePrefix("10.0.0.0/8"),
+		NMuxTableSize: 2048,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -156,14 +158,14 @@ func (c *console) exec(line string) (quit bool) {
 func (c *console) help() {
 	fmt.Fprint(c.out, `commands:
   vip add <vip> <dip> [dip...]   vip rm <vip>   vip ls
-  assign <vip> <switch>          withdraw <vip>
+  assign <vip> <switch|nic>      withdraw <vip>
   dip add <vip> <dip>            dip rm <vip> <dip>
   fail <switch>                  recover <switch>
-  probe <vip> [flows]            tables <switch>
+  probe <vip> [flows]            tables <switch|nic>
   switches                       top [events|url]
   serve [addr]                   demo
   quit
-switch names look like tor-0-1, agg-1-0, core-2
+switch names look like tor-0-1, agg-1-0, core-2; "nic" is the NIC tier
 `)
 }
 
@@ -240,6 +242,8 @@ func (c *console) vip(args []string) {
 			home := "SMux backstop"
 			if sw, ok := c.cluster.HomeOf(vip); ok {
 				home = "HMux " + c.cluster.Topo.Switch(sw).Name
+			} else if c.cluster.NMuxHosted(vip) {
+				home = "NMux (NIC tier)"
 			}
 			fmt.Fprintf(c.out, "  %-15s %2d DIPs  %s\n", vip, len(v.Backends), home)
 		}
@@ -250,11 +254,19 @@ func (c *console) vip(args []string) {
 
 func (c *console) assign(args []string) {
 	if len(args) != 2 {
-		fmt.Fprintln(c.out, "assign <vip> <switch>")
+		fmt.Fprintln(c.out, "assign <vip> <switch|nic>")
 		return
 	}
 	vip, ok := c.parseAddr(args[0])
 	if !ok {
+		return
+	}
+	if args[1] == "nic" {
+		if err := c.cluster.AssignToNMux(vip); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "VIP %s now served by the NIC match tables\n", vip)
 		return
 	}
 	sw, ok := c.findSwitch(args[1])
@@ -275,6 +287,14 @@ func (c *console) withdraw(args []string) {
 	}
 	vip, ok := c.parseAddr(args[0])
 	if !ok {
+		return
+	}
+	if c.cluster.NMuxHosted(vip) {
+		if err := c.cluster.WithdrawFromNMux(vip); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(c.out, "VIP %s withdrawn from the NIC tier to the SMux backstop\n", vip)
 		return
 	}
 	if err := c.cluster.WithdrawFromHMux(vip); err != nil {
@@ -383,7 +403,11 @@ func (c *console) probe(args []string) {
 
 func (c *console) tables(args []string) {
 	if len(args) != 1 {
-		fmt.Fprintln(c.out, "tables <switch>")
+		fmt.Fprintln(c.out, "tables <switch|nic>")
+		return
+	}
+	if args[0] == "nic" {
+		c.nicTables()
 		return
 	}
 	sw, ok := c.findSwitch(args[0])
@@ -394,6 +418,20 @@ func (c *console) tables(args []string) {
 	fmt.Fprintf(c.out, "%s: host %d/%d  ecmp %d/%d  tunnel %d/%d  (VIPs %d, TIPs %d)\n",
 		args[0], st.HostUsed, st.HostCap, st.ECMPUsed, st.ECMPCap,
 		st.TunnelUsed, st.TunnelCap, st.VIPs, st.TIPs)
+}
+
+// nicTables prints per-host NIC match-table occupancy.
+func (c *console) nicTables() {
+	if len(c.cluster.NMuxes) == 0 {
+		fmt.Fprintln(c.out, "NIC tier disabled (NMuxTableSize 0)")
+		return
+	}
+	for i, nm := range c.cluster.NMuxes {
+		st := nm.Stats()
+		fmt.Fprintf(c.out, "nmux-%d (%s): %d/%d entries (%.0f%%)  wildcard %d  flows %d  VIPs %d\n",
+			i, nm.Self(), st.Used, st.Cap, 100*float64(st.Used)/float64(st.Cap),
+			st.Wildcard, st.Flows, st.VIPs)
+	}
 }
 
 // top prints the cluster's live telemetry: every registered counter, gauge
@@ -410,6 +448,25 @@ func (c *console) top(args []string) {
 		}
 	}
 	reg, rec := c.cluster.Telemetry()
+	fmt.Fprintln(c.out, "-- tiers --")
+	hmux := reg.Counter("core.deliver.tier.hmux").Value()
+	nmuxHits := reg.Counter("core.deliver.tier.nmux").Value()
+	nmuxMiss := reg.Counter("core.deliver.tier.nmux_miss").Value()
+	smuxHits := reg.Counter("core.deliver.tier.smux").Value()
+	total := hmux + nmuxHits + smuxHits
+	share := func(n uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	fmt.Fprintf(c.out, "  hmux %d (%.1f%%)  nmux %d (%.1f%%)  smux %d (%.1f%%)  nmux-miss %d\n",
+		hmux, share(hmux), nmuxHits, share(nmuxHits), smuxHits, share(smuxHits), nmuxMiss)
+	for i, nm := range c.cluster.NMuxes {
+		st := nm.Stats()
+		fmt.Fprintf(c.out, "  nmux-%d occupancy %d/%d (%.0f%%)  flows %d\n",
+			i, st.Used, st.Cap, 100*float64(st.Used)/float64(st.Cap), st.Flows)
+	}
 	fmt.Fprintln(c.out, "-- metrics --")
 	if err := reg.WriteText(c.out); err != nil {
 		fmt.Fprintln(c.out, "error:", err)
@@ -475,6 +532,10 @@ func (c *console) demo() {
 		"fail agg-0-0",
 		"probe 10.0.0.1 600",
 		"recover agg-0-0",
+		"assign 10.0.0.1 nic",
+		"tables nic",
+		"probe 10.0.0.1 600",
+		"withdraw 10.0.0.1",
 		"assign 10.0.0.1 core-1",
 		"probe 10.0.0.1 600",
 		"vip ls",

@@ -72,10 +72,15 @@ func watchOnce(url string, seenAlerts *int) error {
 		}
 		return 0
 	}
-	fmt.Printf("[t=%8.1f] %-8s  deliver %8.0f pps (err %6.0f/s)  smux %8.0f pps  conns %6.0f  epoch %4.0f\n",
+	occ := ""
+	if capacity := value("nmux.tables.cap"); capacity > 0 {
+		occ = fmt.Sprintf("  nic-occ %3.0f%%", 100*value("nmux.tables.used_max")/capacity)
+	}
+	fmt.Printf("[t=%8.1f] %-8s  deliver %8.0f pps (err %6.0f/s)  nmux %8.0f pps  smux %8.0f pps  conns %6.0f  epoch %4.0f%s\n",
 		dump.Now, state,
 		rate("core.deliver.packets"), rate("core.deliver.errors"),
-		rate("smux.packets"), value("smux.conns_total"), value("core.epoch"))
+		rate("core.deliver.tier.nmux"), rate("smux.packets"),
+		value("smux.conns_total"), value("core.epoch"), occ)
 
 	var alerts []obs.Alert
 	if err := fetchJSON(url+"/alerts", &alerts); err != nil {

@@ -22,7 +22,13 @@ func runServe(args []string) {
 	pps := fs.Int("traffic", 2000, "background traffic rate (packets/sec, 0 to disable)")
 	fs.Parse(args)
 
-	f, err := testbed.NewFlood(testbed.FloodConfig{})
+	// Half the VIPs on HMuxes, a quarter on the NIC match tables, the rest
+	// on the SMux backstop — all three tiers show up in the exposition.
+	f, err := testbed.NewFlood(testbed.FloodConfig{
+		HMuxFraction:  0.5,
+		NMuxTableSize: 2048,
+		NMuxFraction:  0.25,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

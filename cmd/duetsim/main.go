@@ -7,7 +7,7 @@
 //	duetsim -fig all           # everything (several minutes)
 //	duetsim -fig 20a -epochs 6 # shorter trace
 //
-// Figures: 1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs
+// Figures: 1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs nmux
 //
 // The large-scale simulations run on a fabric whose bisection bandwidth is
 // 0.4× the paper's production DC (16 containers × 40 ToRs vs 40 × 40), so
@@ -38,28 +38,29 @@ var figures = map[string]struct {
 	run  func(f *simFlags)
 	desc string
 }{
-	"1a":  {fig1a, "SMux RTT CDF at 0..450K pps (latency model calibration)"},
-	"1b":  {fig1b, "SMux CPU utilization vs offered packet rate"},
-	"11":  {fig11, "HMux capacity: latency timeline 600K→1.2M pps→HMux"},
-	"12":  {fig12, "VIP availability during HMux failure (SMux backstop)"},
-	"13":  {fig13, "VIP availability during VIP migration (no loss)"},
-	"14":  {fig14, "migration delay breakdown (FIB ops dominate)"},
-	"15":  {fig15, "trace characteristics: traffic and DIP distribution"},
-	"16":  {fig16, "number of SMuxes: Duet vs Ananta across traffic loads"},
-	"17":  {fig17, "latency vs number of SMuxes: Ananta curve vs Duet point"},
-	"18":  {fig18, "number of SMuxes: Duet (greedy MRU) vs Random/FFD"},
-	"19":  {fig19, "max link utilization under switch/container failures"},
-	"20a": {fig20a, "% traffic on HMux: One-time vs Sticky vs Non-sticky"},
-	"20b": {fig20b, "% traffic shuffled during migration: Sticky vs Non-sticky"},
-	"20c": {fig20c, "number of SMuxes: No-migration/Sticky/Non-sticky/Ananta"},
-	"obs": {figObs, "observability plane: watchdogs through failover + overload"},
+	"1a":   {fig1a, "SMux RTT CDF at 0..450K pps (latency model calibration)"},
+	"1b":   {fig1b, "SMux CPU utilization vs offered packet rate"},
+	"11":   {fig11, "HMux capacity: latency timeline 600K→1.2M pps→HMux"},
+	"12":   {fig12, "VIP availability during HMux failure (SMux backstop)"},
+	"13":   {fig13, "VIP availability during VIP migration (no loss)"},
+	"14":   {fig14, "migration delay breakdown (FIB ops dominate)"},
+	"15":   {fig15, "trace characteristics: traffic and DIP distribution"},
+	"16":   {fig16, "number of SMuxes: Duet vs Ananta across traffic loads"},
+	"17":   {fig17, "latency vs number of SMuxes: Ananta curve vs Duet point"},
+	"18":   {fig18, "number of SMuxes: Duet (greedy MRU) vs Random/FFD"},
+	"19":   {fig19, "max link utilization under switch/container failures"},
+	"20a":  {fig20a, "% traffic on HMux: One-time vs Sticky vs Non-sticky"},
+	"20b":  {fig20b, "% traffic shuffled during migration: Sticky vs Non-sticky"},
+	"20c":  {fig20c, "number of SMuxes: No-migration/Sticky/Non-sticky/Ananta"},
+	"obs":  {figObs, "observability plane: watchdogs through failover + overload"},
+	"nmux": {figNMux, "three-tier placement: SMux share vs NIC match-table capacity"},
 }
 
-var figOrder = []string{"1a", "1b", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20a", "20b", "20c", "obs"}
+var figOrder = []string{"1a", "1b", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20a", "20b", "20c", "obs", "nmux"}
 
 func main() {
 	f := &simFlags{}
-	fig := flag.String("fig", "", "figure to regenerate (1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs, or 'all')")
+	fig := flag.String("fig", "", "figure to regenerate (1a 1b 11 12 13 14 15 16 17 18 19 20a 20b 20c obs nmux, or 'all')")
 	flag.Int64Var(&f.seed, "seed", 1, "random seed (all experiments are deterministic per seed)")
 	flag.IntVar(&f.vips, "vips", 2000, "number of VIPs in the simulated workload")
 	flag.IntVar(&f.epochs, "epochs", 18, "trace epochs for figure 20 (paper: 18 = 3 hours)")

@@ -35,8 +35,33 @@ const (
 	BestFit
 )
 
-// Unassigned marks a VIP that is handled by the SMuxes.
+// Unassigned marks a VIP that is not hosted on any HMux switch (it is
+// served by the NIC tier or the SMux backstop; see Assignment.TierOf).
 const Unassigned int32 = -1
+
+// Tier identifies which mux tier serves a VIP.
+type Tier int8
+
+const (
+	// TierSMux is the software backstop (the default for unplaced VIPs).
+	TierSMux Tier = iota
+	// TierHMux is the switch hardware tier.
+	TierHMux
+	// TierNMux is the per-host NIC match-table tier.
+	TierNMux
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierHMux:
+		return "hmux"
+	case TierNMux:
+		return "nmux"
+	default:
+		return "smux"
+	}
+}
 
 // Options parameterize the assignment.
 type Options struct {
@@ -73,6 +98,19 @@ type Options struct {
 	// bench to measure what the reduction buys.
 	FullScan bool
 
+	// NMuxTableSize enables the NIC match-table tier: each host NIC holds
+	// this many entries, and a VIP placed there consumes 1 + NumDIPs of
+	// them on every host (the wildcard set is replicated fleet-wide, so
+	// admission is one aggregate budget). 0 disables the tier — the
+	// two-tier paper algorithm is unchanged.
+	NMuxTableSize int
+
+	// NMuxHeadroom scales the NIC table budget the placer may fill,
+	// mirroring LinkHeadroom: the slack keeps room for the dataplane's
+	// exact-match flow entries and stays under the >90% occupancy
+	// watchdog. Default 0.9.
+	NMuxHeadroom float64
+
 	// Priority optionally orders VIPs by class before traffic volume (§9:
 	// "other orderings are possible, e.g. consider VIPs with latency
 	// sensitive traffic first"). Indexed by VIP; higher classes are placed
@@ -104,13 +142,22 @@ func (o Options) withDefaults() Options {
 	if o.Delta <= 0 {
 		o.Delta = 0.05
 	}
+	if o.NMuxHeadroom <= 0 || o.NMuxHeadroom > 1 {
+		o.NMuxHeadroom = 0.9
+	}
 	return o
 }
 
 // Assignment is the result of one placement round.
 type Assignment struct {
-	// SwitchOf maps VIP index → switch ID, or Unassigned for SMux VIPs.
+	// SwitchOf maps VIP index → switch ID, or Unassigned for VIPs not on
+	// an HMux (see TierOf for whether those went to the NIC tier).
 	SwitchOf []int32
+
+	// TierOf maps VIP index → serving tier. TierHMux entries carry their
+	// switch in SwitchOf; TierNMux and TierSMux entries are Unassigned
+	// there.
+	TierOf []Tier
 
 	// Loads are the directed-link loads of HMux-assigned VIP traffic.
 	Loads netsim.Loads
@@ -124,8 +171,18 @@ type Assignment struct {
 	// AssignedRate and TotalRate are the VIP traffic on HMuxes vs overall.
 	AssignedRate, TotalRate float64
 
+	// NMuxRate is the VIP traffic on the NIC tier.
+	NMuxRate float64
+
 	// NumAssigned counts HMux-hosted VIPs.
 	NumAssigned int
+
+	// NumNMux counts NIC-hosted VIPs.
+	NumNMux int
+
+	// NMuxEntriesUsed is the per-host NIC match-table entries the placement
+	// consumes (each host programs the same wildcard set).
+	NMuxEntriesUsed int
 }
 
 // AssignedFraction returns the fraction of VIP traffic handled by HMuxes
@@ -149,8 +206,54 @@ func (a *Assignment) RatePerSwitch(w *workload.Workload, epoch int, numSwitches 
 	return out
 }
 
-// UnassignedRate returns the traffic of SMux-handled VIPs.
+// UnassignedRate returns the traffic not hosted on HMuxes (NIC tier plus
+// SMux backstop).
 func (a *Assignment) UnassignedRate() float64 { return a.TotalRate - a.AssignedRate }
+
+// NMuxFraction returns the fraction of VIP traffic handled by the NIC tier.
+func (a *Assignment) NMuxFraction() float64 {
+	if a.TotalRate == 0 {
+		return 0
+	}
+	return a.NMuxRate / a.TotalRate
+}
+
+// SMuxRate returns the traffic left for the software backstop after both
+// hardware tiers.
+func (a *Assignment) SMuxRate() float64 { return a.TotalRate - a.AssignedRate - a.NMuxRate }
+
+// SMuxFraction returns the fraction of VIP traffic on the software backstop.
+func (a *Assignment) SMuxFraction() float64 {
+	if a.TotalRate == 0 {
+		return 0
+	}
+	return a.SMuxRate() / a.TotalRate
+}
+
+// nmuxPool models the replicated per-host NIC table during placement: every
+// SMux server programs the same wildcard set, so admission is one aggregate
+// entry budget scaled by NMuxHeadroom.
+type nmuxPool struct {
+	used, budget int
+}
+
+func newNMuxPool(opts Options) nmuxPool {
+	if opts.NMuxTableSize <= 0 {
+		return nmuxPool{}
+	}
+	return nmuxPool{budget: int(float64(opts.NMuxTableSize) * opts.NMuxHeadroom)}
+}
+
+// admit reserves VIP v's wildcard cost (one match rule plus one action entry
+// per DIP) if the budget allows.
+func (p *nmuxPool) admit(v *workload.VIP) bool {
+	cost := 1 + v.NumDIPs()
+	if p.budget <= 0 || p.used+cost > p.budget {
+		return false
+	}
+	p.used += cost
+	return true
+}
 
 // assigner carries the mutable state of one placement round.
 type assigner struct {
@@ -428,10 +531,23 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 	a := newAssigner(net, work, epoch, opts)
 	res := &Assignment{
 		SwitchOf: make([]int32, len(work.VIPs)),
+		TierOf:   make([]Tier, len(work.VIPs)), // zero value = TierSMux
 		MemUsed:  a.memUsed,
 	}
 	for i := range res.SwitchOf {
 		res.SwitchOf[i] = Unassigned
+	}
+	// The NIC tier absorbs VIPs the switch tier rejects — including after
+	// the §4.1 termination, which only stops *switch* placement.
+	pool := newNMuxPool(opts)
+	placeNMux := func(vi int, v *workload.VIP, rate float64) {
+		if !pool.admit(v) {
+			return
+		}
+		res.TierOf[vi] = TierNMux
+		res.NumNMux++
+		res.NMuxRate += rate
+		res.NMuxEntriesUsed = pool.used
 	}
 
 	var prio []float64
@@ -449,14 +565,17 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 		rate := work.Rates[epoch][vi]
 		res.TotalRate += rate
 		if terminated {
+			placeNMux(vi, v, rate)
 			continue
 		}
 		if v.NumDIPs() > opts.MemCapacity {
-			// Needs TIP indirection; handled by SMuxes in the assignment
-			// model (does not terminate the round).
+			// Needs TIP indirection on a switch; the NIC table may still
+			// hold it whole (does not terminate the round).
+			placeNMux(vi, v, rate)
 			continue
 		}
 		if res.NumAssigned >= opts.MaxHMuxVIPs {
+			placeNMux(vi, v, rate)
 			continue
 		}
 		a.dipRacks = dipRackWeights(v)
@@ -512,14 +631,17 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 
 		if bestSwitch < 0 {
 			// Paper §4.1: if no assignment can accommodate the VIP, the
-			// algorithm terminates; the rest go to the SMuxes.
+			// switch round terminates; the rest go to the NIC tier if it
+			// has room, else the SMuxes.
 			if !opts.ContinueOnFail {
 				terminated = true
 			}
+			placeNMux(vi, v, rate)
 			continue
 		}
 		a.commit(v, rate, bestSwitch)
 		res.SwitchOf[vi] = int32(bestSwitch)
+		res.TierOf[vi] = TierHMux
 		res.NumAssigned++
 		res.AssignedRate += rate
 	}

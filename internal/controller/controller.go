@@ -122,9 +122,12 @@ type EpochReport struct {
 	Epoch            int
 	AssignedFraction float64
 	NumAssigned      int
-	Moved            int
-	ShuffledRate     float64
-	MRU              float64
+	// NumNMux and NMuxFraction cover the NIC tier (zero when disabled).
+	NumNMux      int
+	NMuxFraction float64
+	Moved        int
+	ShuffledRate float64
+	MRU          float64
 }
 
 // RunEpoch runs one monitoring→engine→updater cycle for trace epoch e:
@@ -139,19 +142,22 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 		Epoch:            epoch,
 		AssignedFraction: next.AssignedFraction(),
 		NumAssigned:      next.NumAssigned,
+		NumNMux:          next.NumNMux,
+		NMuxFraction:     next.NMuxFraction(),
 		MRU:              next.MRU,
 	}
 	if ct.prev != nil {
 		rep.ShuffledRate = assign.ShuffledRate(ct.prev, next, w.Rates[epoch])
 	}
 
-	// Updater: apply moves. Step 1 — withdraw every VIP that is moving or
-	// becoming SMux-hosted (their traffic falls to the SMux backstop).
-	// Step 2 — announce the new homes. Because every move transits the
-	// SMuxes, no switch ever needs to hold both old and new state (the
-	// Figure 4 deadlock cannot arise).
+	// Updater: apply moves. Step 1 — withdraw every VIP that is leaving its
+	// current tier or switch (its traffic falls to the SMux backstop).
+	// Step 2 — announce/program the new homes. Because every move transits
+	// the SMuxes, no switch or NIC ever needs to hold both old and new
+	// state (the Figure 4 deadlock cannot arise).
 	type move struct {
 		addr packet.Addr
+		tier assign.Tier
 		to   int32
 	}
 	var moves []move
@@ -161,34 +167,58 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 			continue // not configured on this cluster (scaled-down demo)
 		}
 		from := assign.Unassigned
+		fromTier := assign.TierSMux
 		if cur, ok := ct.Cluster.HomeOf(addr); ok {
-			from = int32(cur)
+			from, fromTier = int32(cur), assign.TierHMux
+		} else if ct.Cluster.NMuxHosted(addr) {
+			fromTier = assign.TierNMux
 		}
 		to := next.SwitchOf[i]
-		if from == to {
+		toTier := assign.TierSMux
+		if next.TierOf != nil {
+			toTier = next.TierOf[i]
+		} else if to != assign.Unassigned {
+			toTier = assign.TierHMux
+		}
+		if from == to && fromTier == toTier {
 			continue
 		}
-		if from != assign.Unassigned {
+		switch fromTier {
+		case assign.TierHMux:
 			if err := ct.Cluster.WithdrawFromHMux(addr); err != nil {
 				return rep, fmt.Errorf("controller: withdraw %s: %w", addr, err)
 			}
+		case assign.TierNMux:
+			if err := ct.Cluster.WithdrawFromNMux(addr); err != nil {
+				return rep, fmt.Errorf("controller: withdraw %s from NICs: %w", addr, err)
+			}
+		}
+		if fromTier != assign.TierSMux {
 			// Migration step 1: traffic falls back to the SMux stepping stone.
 			ct.record(telemetry.KindMigrationStep, uint32(epoch), uint32(addr), uint32(from), 1)
 		}
-		if to != assign.Unassigned {
-			moves = append(moves, move{addr: addr, to: to})
+		if toTier != assign.TierSMux {
+			moves = append(moves, move{addr: addr, tier: toTier, to: to})
 		}
 		rep.Moved++
 		ct.tel.moves.Inc()
 	}
 	for _, m := range moves {
-		if err := ct.Cluster.AssignToHMux(m.addr, topology.SwitchID(m.to)); err != nil {
-			// Table contention on the target switch (the engine models the
-			// paper's memory resource, not exact table dedup): leave the VIP
-			// on the SMuxes rather than fail the epoch.
+		var err error
+		switch m.tier {
+		case assign.TierHMux:
+			err = ct.Cluster.AssignToHMux(m.addr, topology.SwitchID(m.to))
+		case assign.TierNMux:
+			err = ct.Cluster.AssignToNMux(m.addr)
+		}
+		if err != nil {
+			// Table contention on the target (the engine models the paper's
+			// memory resource, not exact table dedup — and the real NIC
+			// charges per-port rules the engine's cost model rounds): leave
+			// the VIP on the SMuxes rather than fail the epoch.
 			continue
 		}
-		// Migration step 2: the VIP's new HMux home is announced.
+		// Migration step 2: the VIP's new home is announced/programmed.
 		ct.record(telemetry.KindMigrationStep, uint32(epoch), uint32(m.addr), uint32(m.to), 2)
 	}
 	ct.prev = next
@@ -210,12 +240,25 @@ func (ct *Controller) AddDIP(vip packet.Addr, b service.Backend) error {
 		}
 		if i, ok := ct.indexOf[vip]; ok && ct.prev != nil {
 			ct.prev.SwitchOf[i] = assign.Unassigned
+			if ct.prev.TierOf != nil {
+				ct.prev.TierOf[i] = assign.TierSMux
+			}
 		}
 	}
 	v.Backends = append(v.Backends, b)
 	for _, sm := range ct.Cluster.SMuxes {
 		if err := sm.UpdateVIP(v); err != nil {
 			return err
+		}
+	}
+	// A NIC-hosted VIP updates in place: the NIC's exact-match entries pin
+	// existing connections just like the SMux connection table, so no
+	// bounce through the stepping stone is needed. If the grown backend set
+	// no longer fits the table, ReprogramNMux withdraws the VIP from the
+	// tier (the SMuxes keep serving it) — not an error here.
+	if err := ct.Cluster.ReprogramNMux(v); err != nil {
+		if i, ok := ct.indexOf[vip]; ok && ct.prev != nil && ct.prev.TierOf != nil {
+			ct.prev.TierOf[i] = assign.TierSMux
 		}
 	}
 	if _, ok := ct.Cluster.Agent(b.Addr); !ok {
@@ -238,6 +281,15 @@ func (ct *Controller) RemoveDIP(vip, dip packet.Addr) error {
 	if sw, onHMux := ct.Cluster.HomeOf(vip); onHMux {
 		if err := ct.Cluster.HMuxes[sw].RemoveBackend(vip, dip); err != nil {
 			return err
+		}
+	}
+	if ct.Cluster.NMuxHosted(vip) {
+		// Resilient removal on every NIC; flows pinned to the dead DIP are
+		// terminated, the rest keep their entries.
+		for _, nm := range ct.Cluster.NMuxes {
+			if err := nm.RemoveBackend(vip, dip); err != nil {
+				return err
+			}
 		}
 	}
 	for _, sm := range ct.Cluster.SMuxes {
@@ -289,6 +341,9 @@ func (ct *Controller) HandleSwitchFailure(sw topology.SwitchID) {
 		for i, s := range ct.prev.SwitchOf {
 			if s == int32(sw) {
 				ct.prev.SwitchOf[i] = assign.Unassigned
+				if ct.prev.TierOf != nil {
+					ct.prev.TierOf[i] = assign.TierSMux
+				}
 				orphaned++
 			}
 		}

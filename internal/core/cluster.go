@@ -34,6 +34,7 @@ import (
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
 	"duet/internal/netsim"
+	"duet/internal/nmux"
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
@@ -55,6 +56,12 @@ var (
 // SwitchID directly).
 const smuxNodeBase bgp.NodeID = 1 << 20
 
+// nmuxNodeBase offsets NMux IDs in telemetry trace events. NMuxes never
+// appear in the routing table — they front the SMux on the same server — but
+// their trace records need identities distinct from both switch and SMux
+// node IDs.
+const nmuxNodeBase = uint32(1) << 21
+
 // Config sizes a cluster.
 type Config struct {
 	Topology topology.Config
@@ -68,6 +75,10 @@ type Config struct {
 	// the §2.2 production default of 300K pps). The obs watchdogs compare
 	// the fleet's delivered rate against the aggregate capacity.
 	SMuxCapacityPPS float64
+	// NMuxTableSize enables the NIC match-table tier: every SMux server's
+	// NIC gets an nmux.Mux of this many entries, consulted before the SMux
+	// on the delivery path. 0 disables the tier (no NMuxes are created).
+	NMuxTableSize int
 }
 
 // DefaultConfig returns a cluster matching the scaled-down default fabric
@@ -91,6 +102,7 @@ type clusterSnap struct {
 	routes   *bgp.Table
 	hmuxes   []*hmux.Mux
 	smuxes   []*smux.Mux
+	nmuxes   []*nmux.Mux // paired 1:1 with smuxes; empty when the tier is off
 	switchUp []bool
 	tipHome  map[packet.Addr]topology.SwitchID
 	agents   map[packet.Addr]*hostagent.Agent
@@ -109,6 +121,9 @@ type Cluster struct {
 
 	HMuxes []*hmux.Mux // per switch
 	SMuxes []*smux.Mux
+	// NMuxes are the NIC match-table muxes, paired 1:1 with the SMuxes on
+	// the same servers (empty unless Config.NMuxTableSize > 0).
+	NMuxes []*nmux.Mux
 	// SMuxRacks locates the SMux servers.
 	SMuxRacks []int
 
@@ -123,6 +138,7 @@ type Cluster struct {
 
 	vips     map[packet.Addr]*service.VIP
 	hmuxHome map[packet.Addr]topology.SwitchID   // VIP → switch, if assigned
+	nmuxVIPs map[packet.Addr]bool                // VIPs programmed on the NIC tier
 	replicas map[packet.Addr][]topology.SwitchID // §9 replicated VIPs
 	tipHome  map[packet.Addr]topology.SwitchID   // TIP → hosting switch
 
@@ -144,6 +160,14 @@ type Cluster struct {
 type deliverTelemetry struct {
 	packets, errors                    telemetry.CounterShard
 	hopHMux, hopSMux, hopTIP, hopAgent *telemetry.Histogram
+	hopNMux                            *telemetry.Histogram
+
+	// Per-tier attribution: which mux tier terminated the packet (hit), and
+	// how often the NIC tier was consulted but missed. hmux hits exclude
+	// FIB-miss fall-throughs; nmux misses and smux hits count the same
+	// packet once each when the NIC tier declines it.
+	tierHMux, tierNMux, tierSMux telemetry.CounterShard
+	tierNMuxMiss                 telemetry.CounterShard
 }
 
 // hopSampleMask times 1 in 16 packets. Reading the clock twice per hop costs
@@ -162,6 +186,8 @@ type collectGauges struct {
 	tunnelUsed, tunnelCap *telemetry.Gauge
 	smuxCapacity          *telemetry.Gauge
 	smuxConns             *telemetry.Gauge
+	nmuxUsed, nmuxCap     *telemetry.Gauge
+	nmuxFlows             *telemetry.Gauge
 	epoch                 *telemetry.Gauge
 }
 
@@ -193,6 +219,7 @@ func New(cfg Config) (*Cluster, error) {
 		agents:   make(map[packet.Addr]*hostagent.Agent),
 		vips:     make(map[packet.Addr]*service.VIP),
 		hmuxHome: make(map[packet.Addr]topology.SwitchID),
+		nmuxVIPs: make(map[packet.Addr]bool),
 		replicas: make(map[packet.Addr][]topology.SwitchID),
 		tipHome:  make(map[packet.Addr]topology.SwitchID),
 		switchUp: make([]bool, topo.NumSwitches()),
@@ -210,6 +237,12 @@ func New(cfg Config) (*Cluster, error) {
 		hopSMux:  c.reg.Histogram("core.deliver.hop.smux.seconds", hopBuckets),
 		hopTIP:   c.reg.Histogram("core.deliver.hop.tip.seconds", hopBuckets),
 		hopAgent: c.reg.Histogram("core.deliver.hop.agent.seconds", hopBuckets),
+		hopNMux:  c.reg.Histogram("core.deliver.hop.nmux.seconds", hopBuckets),
+
+		tierHMux:     c.reg.Counter("core.deliver.tier.hmux").Shard(),
+		tierNMux:     c.reg.Counter("core.deliver.tier.nmux").Shard(),
+		tierSMux:     c.reg.Counter("core.deliver.tier.smux").Shard(),
+		tierNMuxMiss: c.reg.Counter("core.deliver.tier.nmux_miss").Shard(),
 	}
 	c.ctel = collectGauges{
 		hostUsed:     c.reg.Gauge("hmux.tables.host_used_max"),
@@ -220,6 +253,9 @@ func New(cfg Config) (*Cluster, error) {
 		tunnelCap:    c.reg.Gauge("hmux.tables.tunnel_cap"),
 		smuxCapacity: c.reg.Gauge("smux.capacity_pps"),
 		smuxConns:    c.reg.Gauge("smux.conns_total"),
+		nmuxUsed:     c.reg.Gauge("nmux.tables.used_max"),
+		nmuxCap:      c.reg.Gauge("nmux.tables.cap"),
+		nmuxFlows:    c.reg.Gauge("nmux.flows_total"),
 		epoch:        c.reg.Gauge("core.epoch"),
 	}
 	c.tableCfg = cfg.HMuxTables
@@ -241,6 +277,14 @@ func New(cfg Config) (*Cluster, error) {
 		c.SMuxes = append(c.SMuxes, sm)
 		c.SMuxRacks = append(c.SMuxRacks, (i*(racks/cfg.NumSMuxes+1))%racks)
 		c.Routes.Announce(cfg.Aggregate, smuxNodeBase+bgp.NodeID(i), 0)
+		if cfg.NMuxTableSize > 0 {
+			// The NIC mux shares the SMux server's address so both tiers
+			// emit identical outer sources (and thus identical encap bytes
+			// for a given flow).
+			nm := nmux.New(nmux.Config{SelfAddr: scfg.SelfAddr, TableSize: cfg.NMuxTableSize})
+			nm.SetTelemetry(c.reg, c.rec, nmuxNodeBase+uint32(i))
+			c.NMuxes = append(c.NMuxes, nm)
+		}
 	}
 	c.publishLocked()
 	return c, nil
@@ -260,6 +304,7 @@ func (c *Cluster) publishLocked() {
 		routes:   c.Routes,
 		hmuxes:   append([]*hmux.Mux(nil), c.HMuxes...),
 		smuxes:   append([]*smux.Mux(nil), c.SMuxes...),
+		nmuxes:   append([]*nmux.Mux(nil), c.NMuxes...),
 		switchUp: append([]bool(nil), c.switchUp...),
 		tipHome:  make(map[packet.Addr]topology.SwitchID, len(c.tipHome)),
 		agents:   make(map[packet.Addr]*hostagent.Agent, len(c.agents)),
@@ -391,6 +436,12 @@ func (c *Cluster) RemoveVIP(addr packet.Addr) error {
 	if _, ok := c.replicas[addr]; ok {
 		c.withdrawReplicasLocked(addr)
 	}
+	if c.nmuxVIPs[addr] {
+		for _, nm := range c.NMuxes {
+			_ = nm.RemoveVIP(addr)
+		}
+		delete(c.nmuxVIPs, addr)
+	}
 	for _, sm := range c.SMuxes {
 		_ = sm.RemoveVIP(addr)
 	}
@@ -453,6 +504,9 @@ func (c *Cluster) AssignToHMux(addr packet.Addr, sw topology.SwitchID) error {
 	if c.replicas[addr] != nil {
 		return fmt.Errorf("core: VIP %s is replicated; withdraw replicas first", addr)
 	}
+	if c.nmuxVIPs[addr] {
+		return fmt.Errorf("core: VIP %s is on the NIC tier; withdraw first", addr)
+	}
 	if err := c.HMuxes[sw].AddVIP(v); err != nil {
 		return err
 	}
@@ -478,6 +532,97 @@ func (c *Cluster) WithdrawFromHMux(addr packet.Addr) error {
 	}
 	c.Routes.Withdraw(packet.HostPrefix(addr), bgp.NodeID(sw), c.tick())
 	delete(c.hmuxHome, addr)
+	c.publishLocked()
+	return nil
+}
+
+// ErrNMuxDisabled rejects NIC-tier operations on a cluster built without
+// Config.NMuxTableSize.
+var ErrNMuxDisabled = errors.New("core: NIC mux tier is not enabled")
+
+// AssignToNMux programs a VIP's wildcard entries on every NIC in the fleet.
+// No route changes: the VIP stays on the SMux aggregate, and packets landing
+// on any SMux server hit the NIC table in front of it. Idempotent; fails
+// with nmux.ErrTableFull (after rolling back partial programming) when the
+// tables cannot hold the VIP.
+func (c *Cluster) AssignToNMux(addr packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vips[addr]
+	if !ok {
+		return ErrVIPUnknown
+	}
+	if len(c.NMuxes) == 0 {
+		return ErrNMuxDisabled
+	}
+	if _, onSwitch := c.hmuxHome[addr]; onSwitch {
+		return fmt.Errorf("core: VIP %s is on an HMux; withdraw first", addr)
+	}
+	if c.nmuxVIPs[addr] {
+		return nil
+	}
+	for i, nm := range c.NMuxes {
+		if err := nm.AddVIP(v); err != nil {
+			for _, prev := range c.NMuxes[:i] {
+				_ = prev.RemoveVIP(addr)
+			}
+			return err
+		}
+	}
+	c.nmuxVIPs[addr] = true
+	c.tick()
+	c.publishLocked()
+	return nil
+}
+
+// WithdrawFromNMux deprograms a VIP from every NIC; its traffic is served by
+// the SMuxes alone again (flows pinned in the NIC tables are dropped, but
+// the SMux picks the same DIPs — shared hash — so connections survive).
+func (c *Cluster) WithdrawFromNMux(addr packet.Addr) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.nmuxVIPs[addr] {
+		return ErrVIPUnknown
+	}
+	for _, nm := range c.NMuxes {
+		_ = nm.RemoveVIP(addr)
+	}
+	delete(c.nmuxVIPs, addr)
+	c.tick()
+	c.publishLocked()
+	return nil
+}
+
+// NMuxHosted reports whether the VIP is programmed on the NIC tier.
+func (c *Cluster) NMuxHosted(addr packet.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nmuxVIPs[addr]
+}
+
+// ReprogramNMux pushes a VIP's current backend set to every NIC in place
+// (pinned flows keep their DIPs across the update). No-op for VIPs not on
+// the NIC tier. If any table cannot hold the new cost, the VIP is withdrawn
+// from the whole tier instead — the SMuxes keep serving it — and the
+// programming error is returned.
+func (c *Cluster) ReprogramNMux(v *service.VIP) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.nmuxVIPs[v.Addr] {
+		return nil
+	}
+	for _, nm := range c.NMuxes {
+		if err := nm.UpdateVIP(v); err != nil {
+			for _, all := range c.NMuxes {
+				_ = all.RemoveVIP(v.Addr)
+			}
+			delete(c.nmuxVIPs, v.Addr)
+			c.tick()
+			c.publishLocked()
+			return err
+		}
+	}
+	c.tick()
 	c.publishLocked()
 	return nil
 }
@@ -547,7 +692,7 @@ func (c *Cluster) Agent(host packet.Addr) (*hostagent.Agent, bool) {
 
 // Hop describes one step a packet took through the datapath.
 type Hop struct {
-	Kind string // "hmux", "smux", "tip", "agent"
+	Kind string // "hmux", "nmux", "smux", "tip", "agent"
 	Node string // description of the entity
 }
 
@@ -593,19 +738,12 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	)
 	timed := c.sampleHop()
 	if nh >= smuxNodeBase {
-		sm := snap.smuxes[int(nh-smuxNodeBase)]
-		if timed {
-			t0 = time.Now()
-		}
-		res, err := sm.Process(data, nil)
-		if timed {
-			c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
-		}
+		var hop Hop
+		encapped, hop, err = c.hostTier(snap, int(nh-smuxNodeBase), data, timed)
 		if err != nil {
 			return Delivery{}, err
 		}
-		encapped = res.Packet
-		hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
+		hops = append(hops, hop)
 	} else {
 		sw := topology.SwitchID(nh)
 		if !snap.switchUp[sw] {
@@ -621,24 +759,18 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 		}
 		switch {
 		case errors.Is(err, hmux.ErrNotOurVIP):
-			// FIB miss during migration: fall through to the SMux layer.
-			sm := snap.smuxes[int(hash%uint64(len(snap.smuxes)))]
-			if timed {
-				t0 = time.Now()
-			}
-			res2, err := sm.Process(data, nil)
-			if timed {
-				c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
-			}
+			// FIB miss during migration: fall through to the host tiers.
+			var hop Hop
+			encapped, hop, err = c.hostTier(snap, int(hash%uint64(len(snap.smuxes))), data, timed)
 			if err != nil {
 				return Delivery{}, err
 			}
-			encapped = res2.Packet
-			hops = append(hops, Hop{Kind: "smux", Node: sm.Self().String()})
+			hops = append(hops, hop)
 		case err != nil:
 			return Delivery{}, err
 		default:
 			encapped = res.Packet
+			c.dtel.tierHMux.Inc()
 			hops = append(hops, Hop{Kind: "hmux", Node: snap.topo.Switch(sw).Name})
 			// TIP indirection: the outer destination may be a TIP hosted on
 			// another switch (§5.2, Figure 7).
@@ -685,6 +817,46 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
 }
 
+// hostTier processes a packet on the host mux pair at index idx: the NIC
+// match table first (when the tier is enabled), falling through to the SMux
+// on a table miss. Because the pair shares one self address and the ECMP
+// hash, the encap bytes are identical whichever tier serves the flow — the
+// fall-through is invisible to the backend.
+func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) ([]byte, Hop, error) {
+	var t0 time.Time
+	if len(snap.nmuxes) > 0 {
+		nm := snap.nmuxes[idx]
+		if timed {
+			t0 = time.Now()
+		}
+		res, err := nm.Process(data, nil)
+		if timed {
+			c.dtel.hopNMux.Observe(time.Since(t0).Seconds())
+		}
+		switch {
+		case err == nil:
+			c.dtel.tierNMux.Inc()
+			return res.Packet, Hop{Kind: "nmux", Node: nm.Self().String()}, nil
+		case !errors.Is(err, nmux.ErrNotOurVIP):
+			return nil, Hop{}, err
+		}
+		c.dtel.tierNMuxMiss.Inc()
+	}
+	sm := snap.smuxes[idx]
+	if timed {
+		t0 = time.Now()
+	}
+	res, err := sm.Process(data, nil)
+	if timed {
+		c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
+	}
+	if err != nil {
+		return nil, Hop{}, err
+	}
+	c.dtel.tierSMux.Inc()
+	return res.Packet, Hop{Kind: "smux", Node: sm.Self().String()}, nil
+}
+
 // Collect republishes point-in-time gauges derived from cluster state: HMux
 // table high-water occupancy across up switches against the §4.1 capacities,
 // the SMux fleet's aggregate capacity and connection-table size, and the
@@ -712,6 +884,13 @@ func (c *Cluster) Collect() {
 		capPPS += sm.CapacityPPS()
 		conns += sm.Connections()
 	}
+	var nmUsed, nmCap, nmFlows int
+	for _, nm := range snap.nmuxes {
+		st := nm.Stats()
+		nmUsed = max(nmUsed, st.Used)
+		nmCap = max(nmCap, st.Cap)
+		nmFlows += st.Flows
+	}
 	c.ctel.hostUsed.Set(int64(hostU))
 	c.ctel.hostCap.Set(int64(hostC))
 	c.ctel.ecmpUsed.Set(int64(ecmpU))
@@ -720,6 +899,9 @@ func (c *Cluster) Collect() {
 	c.ctel.tunnelCap.Set(int64(tunC))
 	c.ctel.smuxCapacity.Set(int64(capPPS))
 	c.ctel.smuxConns.Set(int64(conns))
+	c.ctel.nmuxUsed.Set(int64(nmUsed))
+	c.ctel.nmuxCap.Set(int64(nmCap))
+	c.ctel.nmuxFlows.Set(int64(nmFlows))
 	c.ctel.epoch.Set(int64(snap.epoch))
 }
 

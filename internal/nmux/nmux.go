@@ -1,0 +1,545 @@
+// Package nmux implements a NIC/DPU match-table mux: the third tier of the
+// load-balancing hierarchy, sitting between the switch HMux and the software
+// SMux on each SMux server's NIC. The model follows the NIC-offload
+// literature (HNLB's stateful NIC load balancer, Gryphon's DPU co-offload):
+// a bounded match table holding two entry kinds —
+//
+//   - per-VIP wildcard entries (one match rule plus one action entry per
+//     backend, like the HMux's ECMP+tunneling pipeline), programmed by the
+//     controller; and
+//   - exact 5-tuple flow entries, inserted by the dataplane on a flow's
+//     first packet so later packets hit a pinned DIP without re-hashing
+//     (like the SMux connection table, but capacity-bounded).
+//
+// Both kinds draw from one shared table budget — NIC TCAM/SRAM does not
+// distinguish them — so programming a fat VIP shrinks the room left for flow
+// pinning. When the flow region is full, new flows are served stateless by
+// the shared ECMP hash (never dropped, never evicted: real NICs age entries
+// out, but arbitrary eviction would un-pin live connections, so the model
+// declines the insert instead and counts it).
+//
+// A packet whose destination VIP has no wildcard entry is a MISS
+// (ErrNotOurVIP): the caller falls through to the SMux tier. Because an NMux
+// is paired with the SMux on the same server and shares its self address and
+// ECMP hash, the encapsulated output for a given flow is byte-identical
+// whichever tier serves it — which is what makes the fall-through (and table
+// reprogramming under live traffic) invisible to backends.
+//
+// Concurrency: identical to internal/smux — the VIP table is an immutable
+// generation behind an atomic pointer (writers rebuild copy-on-write under a
+// mutex); the flow table is sharded by flow hash with per-shard locks; the
+// shared table budget is a pair of atomics so the hot path never takes the
+// writer lock.
+package nmux
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/telemetry"
+)
+
+// DefaultTableSize is the match-table capacity in entries. NIC match tables
+// sit at O(1k–10k) entries — small like the HMux's tables, not the SMux's
+// million-entry RAM table.
+const DefaultTableSize = 4096
+
+// flowShards is the flow-table shard count. Power of two; shards are picked
+// by the top bits of the shared ECMP hash, uncorrelated with the low bits
+// the 256-slot group tables consume.
+const flowShards = 16
+
+// Errors returned by the NMux.
+var (
+	// ErrNotOurVIP is a table miss: the caller should fall through to the
+	// SMux tier, exactly like hmux.ErrNotOurVIP falls through on FIB miss.
+	ErrNotOurVIP = errors.New("nmux: packet does not match any programmed entry")
+	// ErrTableFull rejects wildcard programming that exceeds the table.
+	ErrTableFull   = errors.New("nmux: match table full")
+	ErrVIPExists   = errors.New("nmux: VIP already programmed")
+	ErrVIPNotFound = errors.New("nmux: VIP not programmed")
+)
+
+// Config parameterizes one NMux instance.
+type Config struct {
+	// SelfAddr is the hosting server's address — the same address as the
+	// SMux behind it, so both tiers produce identical outer sources.
+	SelfAddr packet.Addr
+
+	// TableSize bounds the match table (wildcard + flow entries combined);
+	// 0 means DefaultTableSize.
+	TableSize int
+}
+
+type entry struct {
+	group    *ecmp.Group
+	encaps   []packet.Addr
+	backends []service.Backend
+	ports    map[uint16]*entry
+}
+
+// vipTable is one immutable generation of the programmed wildcard entries.
+type vipTable struct {
+	epoch uint64
+	vips  map[packet.Addr]*entry
+}
+
+// flowShard is one lock-striped slice of the exact-match flow region.
+type flowShard struct {
+	mu    sync.Mutex
+	flows map[packet.FiveTuple]packet.Addr
+	_     [24]byte // pad toward a cache line to curb false sharing
+}
+
+// Mux is one NIC match-table mux. Process and Lookup are safe for concurrent
+// callers; programming serializes on an internal writer lock.
+type Mux struct {
+	cfg Config
+
+	tab atomic.Pointer[vipTable]
+	mu  sync.Mutex // serializes writers
+
+	// Writer-side wildcard accounting: entries consumed by programmed VIPs,
+	// and the per-VIP cost needed to release them. Guarded by mu.
+	wildcardUsed int
+	vipCost      map[packet.Addr]int
+
+	// flowBudget is the table space left for exact-match entries
+	// (TableSize − wildcardUsed), republished by writers; flowCount is the
+	// live exact-match population. Atomics so Process admits flows without
+	// the writer lock.
+	flowBudget atomic.Int64
+	flowCount  atomic.Int64
+
+	shards [flowShards]flowShard
+
+	tel muxTelemetry
+}
+
+// muxTelemetry is the NMux's pre-resolved instrument block; all fields are
+// nil-safe no-ops until SetTelemetry is called.
+type muxTelemetry struct {
+	packets, encapped telemetry.CounterShard
+	hits, misses      telemetry.CounterShard
+	flowHits          telemetry.CounterShard
+	flowInserts       telemetry.CounterShard
+	flowRejectedFull  telemetry.CounterShard
+
+	dropMalformed, dropNoBackend telemetry.CounterShard
+	dropEncapError               telemetry.CounterShard
+
+	flows *telemetry.Gauge
+
+	rec  *telemetry.Recorder
+	node uint32
+}
+
+// SetTelemetry attaches the mux to a metric registry and flight recorder.
+// node identifies this NMux in trace events. Counters are shared across the
+// fleet on the same registry; each mux claims its own shard. Call during
+// setup, not concurrently with Process.
+func (m *Mux) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
+	m.tel = muxTelemetry{
+		packets:          reg.Counter("nmux.packets").Shard(),
+		encapped:         reg.Counter("nmux.encapped").Shard(),
+		hits:             reg.Counter("nmux.hits").Shard(),
+		misses:           reg.Counter("nmux.misses").Shard(),
+		flowHits:         reg.Counter("nmux.flow.hits").Shard(),
+		flowInserts:      reg.Counter("nmux.flow.inserts").Shard(),
+		flowRejectedFull: reg.Counter("nmux.flow.rejected_full").Shard(),
+		dropMalformed:    reg.Counter("nmux.drops.malformed").Shard(),
+		dropNoBackend:    reg.Counter("nmux.drops.no_backend").Shard(),
+		dropEncapError:   reg.Counter("nmux.drops.encap_error").Shard(),
+		flows:            reg.Gauge("nmux.flows"),
+		rec:              rec,
+		node:             node,
+	}
+}
+
+// drop accounts a rejected packet and returns err unchanged. A table miss is
+// not a drop — the packet falls through to the SMux — so DropUnknownVIP never
+// appears here.
+func (m *Mux) drop(reason telemetry.DropReason, dst packet.Addr, err error) error {
+	switch reason {
+	case telemetry.DropMalformed:
+		m.tel.dropMalformed.Inc()
+	case telemetry.DropNoBackend:
+		m.tel.dropNoBackend.Inc()
+	case telemetry.DropEncapError:
+		m.tel.dropEncapError.Inc()
+	}
+	m.tel.rec.Record(telemetry.KindDrop, m.tel.node, uint32(dst), 0, uint64(reason))
+	return err
+}
+
+// New creates an NMux.
+func New(cfg Config) *Mux {
+	if cfg.TableSize <= 0 {
+		cfg.TableSize = DefaultTableSize
+	}
+	m := &Mux{cfg: cfg, vipCost: make(map[packet.Addr]int)}
+	for i := range m.shards {
+		m.shards[i].flows = make(map[packet.FiveTuple]packet.Addr)
+	}
+	m.flowBudget.Store(int64(cfg.TableSize))
+	m.tab.Store(&vipTable{vips: make(map[packet.Addr]*entry)})
+	return m
+}
+
+// Self returns the mux's address.
+func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
+
+// TableSize returns the configured match-table capacity.
+func (m *Mux) TableSize() int { return m.cfg.TableSize }
+
+// Epoch returns the wildcard-table generation, bumped on every mutation.
+func (m *Mux) Epoch() uint64 { return m.tab.Load().epoch }
+
+// Flows returns the current exact-match flow population.
+func (m *Mux) Flows() int { return int(m.flowCount.Load()) }
+
+// NumVIPs returns the programmed VIP count.
+func (m *Mux) NumVIPs() int { return len(m.tab.Load().vips) }
+
+// HasVIP reports whether the VIP is programmed.
+func (m *Mux) HasVIP(addr packet.Addr) bool {
+	_, ok := m.tab.Load().vips[addr]
+	return ok
+}
+
+// Cost returns the wildcard entries programming v consumes: one match rule
+// plus one action entry per backend, per port range.
+func Cost(v *service.VIP) int {
+	c := 1 + len(v.Backends)
+	for _, pr := range v.Ports {
+		c += 1 + len(pr.Backends)
+	}
+	return c
+}
+
+// Fits reports whether v's wildcard entries fit the remaining table space.
+func (m *Mux) Fits(v *service.VIP) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wildcardUsed+Cost(v) <= m.cfg.TableSize
+}
+
+// Stats is a point-in-time occupancy snapshot.
+type Stats struct {
+	Cap      int // configured table capacity
+	Wildcard int // entries consumed by programmed VIPs
+	Flows    int // exact-match flow entries
+	Used     int // Wildcard + Flows
+	VIPs     int // programmed VIP count
+}
+
+// Stats returns the current table occupancy.
+func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	w := m.wildcardUsed
+	m.mu.Unlock()
+	f := int(m.flowCount.Load())
+	return Stats{
+		Cap:      m.cfg.TableSize,
+		Wildcard: w,
+		Flows:    f,
+		Used:     w + f,
+		VIPs:     m.NumVIPs(),
+	}
+}
+
+// shardFor returns the flow shard for a flow hash (top bits, independent of
+// the group slot index derived from the low bits of the same hash).
+func (m *Mux) shardFor(h uint64) *flowShard {
+	return &m.shards[(h>>48)&(flowShards-1)]
+}
+
+// publish installs a new wildcard-table generation and republishes the flow
+// budget. Must hold m.mu.
+func (m *Mux) publish(vips map[packet.Addr]*entry) {
+	cur := m.tab.Load()
+	m.tab.Store(&vipTable{epoch: cur.epoch + 1, vips: vips})
+	m.flowBudget.Store(int64(m.cfg.TableSize - m.wildcardUsed))
+}
+
+// cloneVIPs copies the current wildcard map for mutation. Must hold m.mu.
+func (m *Mux) cloneVIPs() map[packet.Addr]*entry {
+	cur := m.tab.Load().vips
+	cp := make(map[packet.Addr]*entry, len(cur)+1)
+	for k, v := range cur {
+		cp[k] = v
+	}
+	return cp
+}
+
+func buildEntry(backends []service.Backend) *entry {
+	e := &entry{
+		group:    ecmp.NewGroup(),
+		encaps:   make([]packet.Addr, len(backends)),
+		backends: append([]service.Backend(nil), backends...),
+	}
+	for i, b := range backends {
+		e.encaps[i] = b.Addr
+		e.group.AddWeighted(uint32(i), b.Weight)
+	}
+	return e
+}
+
+func buildVIPEntry(v *service.VIP) *entry {
+	e := buildEntry(v.Backends)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*entry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = buildEntry(pr.Backends)
+		}
+	}
+	return e
+}
+
+// AddVIP programs a VIP's wildcard entries. Unlike the SMux the table is
+// bounded: programming fails with ErrTableFull rather than evicting.
+func (m *Mux) AddVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	cost := Cost(v)
+	if m.wildcardUsed+cost > m.cfg.TableSize {
+		return ErrTableFull
+	}
+	vips := m.cloneVIPs()
+	vips[v.Addr] = buildVIPEntry(v)
+	m.wildcardUsed += cost
+	m.vipCost[v.Addr] = cost
+	m.publish(vips)
+	return nil
+}
+
+// UpdateVIP replaces a VIP's backend set, re-checking the table budget for
+// the new cost. Existing flows keep their pinned DIPs — that is what makes a
+// reprogram invisible to connections straddling it.
+func (m *Mux) UpdateVIP(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[v.Addr]; !ok {
+		return ErrVIPNotFound
+	}
+	cost := Cost(v)
+	if m.wildcardUsed-m.vipCost[v.Addr]+cost > m.cfg.TableSize {
+		return ErrTableFull
+	}
+	vips := m.cloneVIPs()
+	vips[v.Addr] = buildVIPEntry(v)
+	m.wildcardUsed += cost - m.vipCost[v.Addr]
+	m.vipCost[v.Addr] = cost
+	m.publish(vips)
+	return nil
+}
+
+// RemoveVIP deprograms a VIP, releases its wildcard entries and drops its
+// pinned flows.
+func (m *Mux) RemoveVIP(addr packet.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tab.Load().vips[addr]; !ok {
+		return ErrVIPNotFound
+	}
+	vips := m.cloneVIPs()
+	delete(vips, addr)
+	m.wildcardUsed -= m.vipCost[addr]
+	delete(m.vipCost, addr)
+	m.publish(vips)
+	m.dropFlows(func(t packet.FiveTuple, _ packet.Addr) bool { return t.Dst == addr })
+	return nil
+}
+
+// RemoveBackend removes a DIP resiliently (same semantics as the HMux: the
+// action slot stays allocated but dead, so the wildcard cost is unchanged)
+// and terminates flows pinned to it.
+func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.tab.Load().vips[vip]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	for i, b := range e.backends {
+		if b.Addr != dip {
+			continue
+		}
+		cp := &entry{
+			group:    e.group.Clone(),
+			encaps:   append([]packet.Addr(nil), e.encaps...),
+			backends: append([]service.Backend(nil), e.backends...),
+			ports:    e.ports,
+		}
+		if err := cp.group.Remove(uint32(i)); err != nil {
+			return err
+		}
+		cp.backends[i] = service.Backend{}
+		vips := m.cloneVIPs()
+		vips[vip] = cp
+		m.publish(vips)
+		m.dropFlows(func(t packet.FiveTuple, d packet.Addr) bool {
+			return t.Dst == vip && d == dip
+		})
+		return nil
+	}
+	return ErrVIPNotFound
+}
+
+// dropFlows removes pinned flows matching the predicate from every shard and
+// keeps the count and gauge in sync.
+func (m *Mux) dropFlows(match func(packet.FiveTuple, packet.Addr) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		before := len(s.flows)
+		for t, d := range s.flows {
+			if match(t, d) {
+				delete(s.flows, t)
+			}
+		}
+		freed := before - len(s.flows)
+		s.mu.Unlock()
+		if freed > 0 {
+			m.flowCount.Add(int64(-freed))
+			m.tel.flows.Add(int64(-freed))
+		}
+	}
+}
+
+// Result describes the outcome of Process.
+type Result struct {
+	Encap  packet.Addr
+	Packet []byte
+	// Pinned reports the DIP came from an exact-match flow entry rather
+	// than a fresh hash.
+	Pinned bool
+}
+
+// Process load-balances one packet through the NIC table: decode, match the
+// wildcard region (miss → ErrNotOurVIP, fall through to the SMux), pick the
+// DIP (exact-match flow entry first, then the shared hash, pinning the flow
+// if the table has room), encapsulate. The output is appended to out. Safe
+// for concurrent callers; the hot path allocates nothing (flow-map growth
+// aside) and never takes the writer lock.
+func (m *Mux) Process(data []byte, out []byte) (Result, error) {
+	m.tel.packets.Inc()
+	var ip packet.IPv4 // stack scratch; Process must stay concurrency-safe
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
+	}
+	e, ok := m.tab.Load().vips[ip.Dst]
+	if !ok {
+		m.tel.misses.Inc()
+		return Result{}, ErrNotOurVIP
+	}
+	tuple, err := packet.ExtractFiveTuple(data)
+	if err != nil {
+		return Result{}, m.drop(telemetry.DropMalformed, ip.Dst, err)
+	}
+	m.tel.hits.Inc()
+	sampled := m.tel.rec.Sample()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
+	}
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+
+	// One hash per packet, shared between the flow shard (top bits) and the
+	// ECMP slot pick (low bits) — the same hash the HMux and SMux compute,
+	// which is what keeps tier fall-through consistent for a given flow.
+	h := ecmp.Hash(tuple)
+	s := m.shardFor(h)
+	var dip packet.Addr
+	pinned := false
+	s.mu.Lock()
+	if d, ok := s.flows[tuple]; ok {
+		dip, pinned = d, true
+		s.mu.Unlock()
+	} else {
+		member, err := sel.group.Select(h)
+		if err != nil {
+			s.mu.Unlock()
+			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
+		}
+		dip = sel.encaps[member]
+		// Reserve an exact-match entry if the shared budget has room; when
+		// the table is full the flow is served stateless instead (no
+		// eviction — evicting would un-pin a live connection).
+		if n := m.flowCount.Add(1); n <= m.flowBudget.Load() {
+			s.flows[tuple] = dip
+			s.mu.Unlock()
+			m.tel.flowInserts.Inc()
+			m.tel.flows.Add(1)
+		} else {
+			m.flowCount.Add(-1)
+			s.mu.Unlock()
+			m.tel.flowRejectedFull.Inc()
+		}
+	}
+	if pinned {
+		m.tel.flowHits.Inc()
+	}
+	if sampled {
+		aux := uint64(0)
+		if pinned {
+			aux = 1
+		}
+		m.tel.rec.Record(telemetry.KindECMPPick, m.tel.node, uint32(tuple.Dst), uint32(dip), aux)
+	}
+
+	pkt, err := packet.Encapsulate(out, m.cfg.SelfAddr, dip, data, 64)
+	if err != nil {
+		return Result{}, m.drop(telemetry.DropEncapError, tuple.Dst, err)
+	}
+	m.tel.encapped.Inc()
+	if sampled {
+		m.tel.rec.Record(telemetry.KindEncap, m.tel.node, uint32(tuple.Dst), uint32(dip), 0)
+	}
+	return Result{Encap: dip, Packet: pkt, Pinned: pinned}, nil
+}
+
+// Lookup returns the DIP Process would pick for a tuple without mutating
+// flow state.
+func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
+	e, ok := m.tab.Load().vips[tuple.Dst]
+	if !ok {
+		return 0, ErrNotOurVIP
+	}
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+	h := ecmp.Hash(tuple)
+	s := m.shardFor(h)
+	s.mu.Lock()
+	d, ok := s.flows[tuple]
+	s.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	member, err := sel.group.Select(h)
+	if err != nil {
+		return 0, err
+	}
+	return sel.encaps[member], nil
+}

@@ -343,6 +343,21 @@ func DefaultRules(cfg SLOConfig) []Rule {
 		occupancy("ecmp"),
 		occupancy("tunnel"),
 		{
+			// Mirrors the HMux occupancy rules for the NIC tier. The cap gauge
+			// is 0 on clusters without NMuxes, which skips the rule (Ratio with
+			// a zero denominator never evaluates), so it is safe to install
+			// unconditionally.
+			Name:      "nmux-table-occupancy",
+			Desc:      "NIC match-table occupancy (wildcard + flow entries) vs the per-host table size",
+			Num:       "nmux.tables.used_max",
+			NumSrc:    Value,
+			Combine:   Ratio,
+			Den:       "nmux.tables.cap",
+			DenSrc:    Value,
+			Op:        Above,
+			Threshold: cfg.OccupancyFrac,
+		},
+		{
 			Name:      "switch-programming-backlog",
 			Desc:      "switch-agent programming backlog (Fig 14 insertion latency) persisting",
 			Num:       "switchagent.backlog_ms",

@@ -42,6 +42,12 @@ type FloodConfig struct {
 	// production 300K pps). Watchdog tests shrink it so a modest flood
 	// crosses the headroom threshold deterministically.
 	SMuxCapacityPPS float64
+	// NMuxTableSize enables the NIC match-table tier with the given per-host
+	// capacity. Zero leaves the tier off, preserving the two-tier harness.
+	NMuxTableSize int
+	// NMuxFraction of the VIPs (taken after the HMux slice) is assigned to
+	// the NIC tier. Only meaningful when NMuxTableSize > 0.
+	NMuxFraction float64
 }
 
 // NewFlood builds a cluster on the Figure-10 testbed topology and populates
@@ -64,6 +70,7 @@ func NewFlood(cfg FloodConfig) (*Flood, error) {
 		NumSMuxes:       cfg.NumSMuxes,
 		Aggregate:       packet.MustParsePrefix("10.0.0.0/8"),
 		SMuxCapacityPPS: cfg.SMuxCapacityPPS,
+		NMuxTableSize:   cfg.NMuxTableSize,
 	})
 	if err != nil {
 		return nil, err
@@ -79,6 +86,10 @@ func NewFlood(cfg FloodConfig) (*Flood, error) {
 	}
 
 	nHMux := int(float64(cfg.NumVIPs) * cfg.HMuxFraction)
+	nNMux := 0
+	if cfg.NMuxTableSize > 0 {
+		nNMux = int(float64(cfg.NumVIPs) * cfg.NMuxFraction)
+	}
 	for i := 0; i < cfg.NumVIPs; i++ {
 		addr := packet.AddrFrom4(10, 0, byte(i>>8), byte(i&0xff)+1)
 		bs := make([]service.Backend, cfg.DIPsPerVIP)
@@ -88,9 +99,14 @@ func NewFlood(cfg FloodConfig) (*Flood, error) {
 		if err := c.AddVIP(&service.VIP{Addr: addr, Backends: bs}); err != nil {
 			return nil, fmt.Errorf("flood: AddVIP %s: %w", addr, err)
 		}
-		if i < nHMux {
+		switch {
+		case i < nHMux:
 			if err := c.AssignToHMux(addr, homes[i%len(homes)]); err != nil {
 				return nil, fmt.Errorf("flood: AssignToHMux %s: %w", addr, err)
+			}
+		case i < nHMux+nNMux:
+			if err := c.AssignToNMux(addr); err != nil {
+				return nil, fmt.Errorf("flood: AssignToNMux %s: %w", addr, err)
 			}
 		}
 		f.VIPs = append(f.VIPs, addr)

@@ -45,6 +45,12 @@ const (
 	MsgProgramOp
 	// MsgAck acknowledges any request, echoing its Seq.
 	MsgAck
+	// MsgNMuxAdd programs a VIP into the NIC match table fronting an SMux
+	// node (only meaningful for smux nodes with nmux_table > 0).
+	MsgNMuxAdd
+	// MsgNMuxRemove withdraws a VIP from the NIC match table; the SMux
+	// backstop keeps serving it.
+	MsgNMuxRemove
 )
 
 // String names the message type.
@@ -68,6 +74,10 @@ func (t MsgType) String() string {
 		return "program-op"
 	case MsgAck:
 		return "ack"
+	case MsgNMuxAdd:
+		return "nmux-add"
+	case MsgNMuxRemove:
+		return "nmux-remove"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"duet/internal/packet"
+)
+
+// TestNodeNMuxTierDelivers runs the three-tier story over real sockets: an
+// smux node fronted by a NIC match table, one NIC-flagged VIP and one plain
+// VIP. The controller's anti-entropy push programs both tables; NIC-VIP
+// traffic is served entirely by the match table while plain-VIP traffic
+// misses into the SMux backstop.
+func TestNodeNMuxTierDelivers(t *testing.T) {
+	spec := testClusterSpec(t)
+	spec.Nodes[1].NMuxTable = 256
+	spec.VIPs[0].Nic = true
+	// The plain VIP needs its own host: a DIP registers under exactly one
+	// VIP in the wire world (one DIP per host).
+	spec.Nodes = append(spec.Nodes, NodeSpec{
+		Name: "host-2", Role: RoleHostAgent, Self: "100.0.0.3",
+		Data: freeUDP(t), Control: freeTCP(t),
+	})
+	spec.VIPs = append(spec.VIPs, VIPSpec{Addr: "10.0.0.3", Backends: []BackendSpec{{Addr: "100.0.0.3"}}})
+
+	var nodes []*Node
+	for _, name := range []string{"ctl", "smux-1", "host-1", "host-2"} {
+		n, err := StartNode(spec, name)
+		if err != nil {
+			t.Fatalf("StartNode %s: %v", name, err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	sm, host, host2 := nodes[1], nodes[2], nodes[3]
+
+	waitFor(t, "smux programmed", func() bool { return sm.Reg.Gauge("wire.vips").Value() >= 2 })
+	// The NIC table is programmed when its scraped occupancy shows the
+	// VIP's wildcard cost (1 + 1 backend = 2 entries).
+	waitFor(t, "nic table programmed", func() bool {
+		return sm.Reg.Gauge("nmux.tables.used_max").Value() >= 2
+	})
+	if got := sm.Reg.Gauge("nmux.tables.cap").Value(); got != 256 {
+		t.Fatalf("nmux.tables.cap = %d, want 256", got)
+	}
+	waitFor(t, "host programmed", func() bool { return host.Reg.Gauge("wire.dips").Value() >= 1 })
+
+	client, err := net.Dial("udp", spec.Nodes[1].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	send := func(vip string, port uint16) {
+		syn := packet.BuildTCP(packet.FiveTuple{
+			Src: packet.MustParseAddr("30.0.0.1"), Dst: packet.MustParseAddr(vip),
+			SrcPort: port, DstPort: 80, Proto: packet.ProtoTCP,
+		}, packet.TCPSyn, nil)
+		if _, err := client.Write(AppendFrame(nil, syn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// NIC-flagged VIP: served by the match table, the SMux never sees it.
+	send("10.0.0.1", 40100)
+	waitFor(t, "nic-tier delivery", func() bool { return host.Delivered() >= 1 })
+	if hits := sm.Reg.Counter("nmux.hits").Value(); hits < 1 {
+		t.Fatalf("nmux.hits = %d, want >= 1", hits)
+	}
+	if got := sm.Reg.Counter("smux.packets").Value(); got != 0 {
+		t.Fatalf("smux.packets = %d before any miss, want 0", got)
+	}
+
+	// Plain VIP: a NIC-table miss that falls through to the SMux backstop.
+	waitFor(t, "host-2 programmed", func() bool { return host2.Reg.Gauge("wire.dips").Value() >= 1 })
+	send("10.0.0.3", 40101)
+	waitFor(t, "backstop delivery", func() bool { return host2.Delivered() >= 1 })
+	if misses := sm.Reg.Counter("nmux.misses").Value(); misses < 1 {
+		t.Fatalf("nmux.misses = %d, want >= 1", misses)
+	}
+	if got := sm.Reg.Counter("smux.packets").Value(); got < 1 {
+		t.Fatalf("smux.packets = %d after a miss, want >= 1", got)
+	}
+}
+
+// TestNodeNMuxRestartHeals restarts the NIC-fronted smux node: anti-entropy
+// must reprogram both the SMux and the NIC match table.
+func TestNodeNMuxRestartHeals(t *testing.T) {
+	spec := testClusterSpec(t)
+	spec.Nodes[1].NMuxTable = 128
+	spec.VIPs[0].Nic = true
+
+	ctl, err := StartNode(spec, "ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	sm, err := StartNode(spec, "smux-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := StartNode(spec, "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	waitFor(t, "nic table programmed", func() bool {
+		return sm.Reg.Gauge("nmux.tables.used_max").Value() >= 2
+	})
+	sm.Close()
+
+	sm2, err := StartNode(spec, "smux-1") // same ports, blank tables
+	if err != nil {
+		t.Fatalf("restart smux: %v", err)
+	}
+	defer sm2.Close()
+	waitFor(t, "nic table reprogrammed after restart", func() bool {
+		return sm2.Reg.Gauge("nmux.tables.used_max").Value() >= 2
+	})
+
+	syn := packet.BuildTCP(packet.FiveTuple{
+		Src: packet.MustParseAddr("30.0.0.9"), Dst: packet.MustParseAddr("10.0.0.1"),
+		SrcPort: 40102, DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.TCPSyn, nil)
+	client, err := net.Dial("udp", spec.Nodes[1].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write(AppendFrame(nil, syn)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery through restarted nic tier", func() bool { return host.Delivered() >= 1 })
+	if hits := sm2.Reg.Counter("nmux.hits").Value(); hits < 1 {
+		t.Fatalf("nmux.hits = %d after restart, want >= 1", hits)
+	}
+}
+
+func TestSpecValidateNMux(t *testing.T) {
+	s := ClusterSpec{
+		Nodes: []NodeSpec{
+			{Name: "ctl", Role: RoleController, Control: "127.0.0.1:7000"},
+			{Name: "smux-1", Role: RoleSMux, Self: "20.0.0.1", Data: "127.0.0.1:7001", Control: "127.0.0.1:7002", NMuxTable: 1024},
+		},
+		VIPs: []VIPSpec{{Addr: "10.0.0.1", Nic: true, Backends: []BackendSpec{{Addr: "100.0.0.1"}}}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid nmux spec rejected: %v", err)
+	}
+	s.Nodes[1].NMuxTable = -1
+	if s.Validate() == nil {
+		t.Error("negative nmux_table accepted")
+	}
+	s.Nodes[1].NMuxTable = 1024
+	s.Nodes[1].Role = RoleHostAgent
+	s.Nodes[1].Self = "100.0.0.1"
+	if s.Validate() == nil {
+		t.Error("nmux_table on a non-smux role accepted")
+	}
+}

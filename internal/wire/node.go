@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
+	"duet/internal/nmux"
 	"duet/internal/obs"
 	"duet/internal/packet"
 	"duet/internal/service"
@@ -43,6 +45,7 @@ type Node struct {
 
 	// role state (exactly one group is populated)
 	smux  *smux.Mux
+	nmux  *nmux.Mux // NIC table fronting the smux, nil unless NMuxTable > 0
 	agent *hostagent.Agent
 	swMu  sync.Mutex // switchagent.Agent is single-writer by design
 	sw    *switchagent.Agent
@@ -209,10 +212,36 @@ func (n *Node) startSMux() error {
 		capacity.Set(int64(n.smux.CapacityPPS()))
 		conns.Set(int64(n.smux.Connections()))
 	})
+	if n.Me.NMuxTable > 0 {
+		n.nmux = nmux.New(nmux.Config{SelfAddr: self, TableSize: n.Me.NMuxTable})
+		n.nmux.SetTelemetry(n.Reg, n.Rec, uint32(self))
+		// The same gauge names core.Collect publishes, so the occupancy
+		// watchdog in DefaultRules works unchanged on wire nodes.
+		nmUsed := n.Reg.Gauge("nmux.tables.used_max")
+		nmCap := n.Reg.Gauge("nmux.tables.cap")
+		nmFlows := n.Reg.Gauge("nmux.flows_total")
+		n.Obs.AddCollector(func() {
+			st := n.nmux.Stats()
+			nmUsed.Set(int64(st.Used))
+			nmCap.Set(int64(st.Cap))
+			nmFlows.Set(int64(st.Flows))
+		})
+	}
 	if err := n.listenData(); err != nil {
 		return err
 	}
 	n.dp.Serve(func(payload, scratch []byte) []byte {
+		if n.nmux != nil {
+			res, err := n.nmux.Process(payload, scratch[:0])
+			if err == nil {
+				n.forward(res.Encap, res.Packet)
+				return res.Packet
+			}
+			if !errors.Is(err, nmux.ErrNotOurVIP) {
+				return scratch // the NIC table counted the drop
+			}
+			// Table miss: fall through to the SMux backstop.
+		}
 		res, err := n.smux.Process(payload, scratch[:0])
 		if err != nil {
 			return scratch // the mux counted the drop
@@ -251,7 +280,34 @@ func (n *Node) smuxControl(env *Envelope) error {
 		}
 		err = n.smux.RemoveVIP(addr)
 		n.vips.Set(int64(n.smux.NumVIPs()))
+		if err == nil && n.nmux != nil && n.nmux.HasVIP(addr) {
+			err = n.nmux.RemoveVIP(addr) // a VIP leaving the node leaves both tables
+		}
 		return err
+	case MsgNMuxAdd:
+		if n.nmux == nil {
+			return fmt.Errorf("smux: node has no NIC table (nmux_table not set)")
+		}
+		v, err := vipFromMsg(env.VIP)
+		if err != nil {
+			return err
+		}
+		if n.nmux.HasVIP(v.Addr) {
+			return n.nmux.UpdateVIP(v) // idempotent re-push from anti-entropy
+		}
+		return n.nmux.AddVIP(v)
+	case MsgNMuxRemove:
+		if n.nmux == nil {
+			return nil // nothing to withdraw; success for idempotent retries
+		}
+		addr, err := packet.ParseAddr(env.Addr)
+		if err != nil {
+			return err
+		}
+		if err := n.nmux.RemoveVIP(addr); err != nil && !errors.Is(err, nmux.ErrVIPNotFound) {
+			return err
+		}
+		return nil
 	}
 	return fmt.Errorf("smux: unsupported control message %s", env.Type)
 }
@@ -609,11 +665,20 @@ func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) er
 	if err != nil {
 		return err
 	}
-	for _, v := range vips {
+	for vi, v := range vips {
 		var env *Envelope
 		switch peer.Role {
 		case RoleSMux:
 			env = &Envelope{Type: MsgAddVIP, VIP: msgFromVIP(v)}
+			// NIC-flagged VIPs are additionally programmed into the peer's
+			// match table (the SMux copy above stays as the miss backstop).
+			// ServiceVIPs preserves spec order, so vi indexes the flag.
+			if n.Spec.VIPs[vi].Nic && peer.NMuxTable > 0 {
+				if err := client.CallRetry(env, bo, n.stop); err != nil {
+					return err
+				}
+				env = &Envelope{Type: MsgNMuxAdd, VIP: msgFromVIP(v)}
+			}
 		case RoleSwitch:
 			env = &Envelope{Type: MsgProgramOp, Program: &ProgramMsg{Kind: "add-vip", VIP: msgFromVIP(v)}}
 		case RoleHostAgent:

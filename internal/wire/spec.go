@@ -32,6 +32,10 @@ type NodeSpec struct {
 	Control string `json:"control,omitempty"`
 	// HTTP is the observability endpoint (host:port) serving the obs plane.
 	HTTP string `json:"http,omitempty"`
+	// NMuxTable, on an smux node, fronts the software mux with a NIC match
+	// table of this capacity (wildcard + flow entries). Zero leaves the NIC
+	// tier off; only smux nodes may set it.
+	NMuxTable int `json:"nmux_table,omitempty"`
 }
 
 // SelfAddr parses the node's dataplane identity.
@@ -55,6 +59,10 @@ type BackendSpec struct {
 type VIPSpec struct {
 	Addr     string        `json:"addr"`
 	Backends []BackendSpec `json:"backends"`
+	// Nic marks the VIP for the NIC match-table tier: the controller also
+	// programs it into every smux node with nmux_table > 0. The SMux copy
+	// stays (it is the miss backstop).
+	Nic bool `json:"nic,omitempty"`
 }
 
 // ClusterSpec is the static JSON description of a multi-process duetd
@@ -123,6 +131,12 @@ func (s *ClusterSpec) Validate() error {
 			selfs[n.Self] = n.Name
 		default:
 			return fmt.Errorf("wire: node %s has unknown role %q", n.Name, n.Role)
+		}
+		if n.NMuxTable < 0 {
+			return fmt.Errorf("wire: node %s has negative nmux_table", n.Name)
+		}
+		if n.NMuxTable > 0 && n.Role != RoleSMux {
+			return fmt.Errorf("wire: node %s (%s) sets nmux_table; only smux nodes host a NIC table", n.Name, n.Role)
 		}
 	}
 	for _, v := range s.VIPs {
