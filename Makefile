@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux
+.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
 
 check: fmt vet build race allocs
 
@@ -31,7 +31,7 @@ race:
 # testing.AllocsPerRun; the benchmark reports the same numbers with
 # -benchmem for inspection.
 allocs:
-	$(GO) test -run 'ZeroAlloc' ./internal/telemetry ./internal/hmux ./internal/smux ./internal/nmux ./internal/hostagent ./internal/obs
+	$(GO) test -run 'ZeroAlloc' ./internal/telemetry ./internal/hmux ./internal/smux ./internal/nmux ./internal/steer ./internal/hostagent ./internal/obs
 	$(GO) test -run XXX -bench BenchmarkTelemetryHotPath -benchtime 100x -benchmem ./internal/telemetry
 
 # Dataplane throughput reference (compare against the seed baseline before
@@ -75,3 +75,17 @@ bench-nmux:
 
 benchgate-nmux:
 	$(GO) test -run XXX -bench BenchmarkDeliverParallelNMux -benchtime 2s . | $(GO) run ./cmd/benchgate -baseline BENCH_nmux.json
+
+# The shared steer lookup layer under the race detector: the steer package
+# itself, the SMux modes (stateful/stateless/hybrid overlay), and the
+# churn-flood scenarios that bump table epochs while packets are in flight.
+steer-race:
+	$(GO) test -race ./internal/steer ./internal/smux ./internal/nmux ./internal/core ./internal/testbed
+
+# Per-mode deliver cost under continuous DIP churn (baseline recorded in
+# BENCH_steer.json; stateless and hybrid should be no slower than stateful).
+bench-steer:
+	$(GO) test -run XXX -bench BenchmarkSteerChurn -benchmem .
+
+benchgate-steer:
+	$(GO) test -run XXX -bench BenchmarkSteerChurn -benchtime 2s . | $(GO) run ./cmd/benchgate -baseline BENCH_steer.json

@@ -33,6 +33,7 @@ import (
 	"duet/internal/provision"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/steer"
 	"duet/internal/telemetry"
 	"duet/internal/testbed"
 	"duet/internal/topology"
@@ -561,6 +562,55 @@ func BenchmarkDeliverParallelNMux(b *testing.B) {
 	reg, _ := f.Cluster.Telemetry()
 	if reg.Counter("core.deliver.tier.nmux").Value() == 0 {
 		b.Fatal("NMux tier served no packets — benchmark is not exercising the NIC path")
+	}
+}
+
+// BenchmarkSteerChurn measures the per-packet cost of each steer mode under
+// continuous DIP churn: every iteration flips one backend of an SMux-served
+// VIP (remove on even iterations, restore on odd — two steer epochs per
+// pair) and then floods 8192 packets through core.DeliverBatch. All VIPs
+// stay on the software tier so every packet exercises the mode's resolution
+// path: conn-table pinning (mode=0), pure table lookup (mode=1), or lookup
+// plus overlay consultation during the drain window (mode=2). Compare
+// against the recorded baseline in BENCH_steer.json.
+func BenchmarkSteerChurn(b *testing.B) {
+	for _, mode := range steer.Modes() {
+		b.Run(fmt.Sprintf("mode=%d", int(mode)), func(b *testing.B) {
+			f, err := testbed.NewFlood(testbed.FloodConfig{
+				NumVIPs:      16,
+				HMuxFraction: -1, // everything on the SMux tier
+				SMuxMode:     mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			churnVIP := f.VIPs[0]
+			cfg, ok := f.Cluster.VIP(churnVIP)
+			if !ok {
+				b.Fatal("churn VIP not configured")
+			}
+			full := append([]service.Backend(nil), cfg.Backends...)
+			victim := full[0].Addr
+			pkts := f.Packets(8192)
+			f.Run(pkts, 1) // warm connection tables and route caches
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, sm := range f.Cluster.SMuxes {
+					if i%2 == 0 {
+						mustB(b, sm.RemoveBackend(churnVIP, victim))
+					} else {
+						mustB(b, sm.UpdateVIP(&service.VIP{Addr: churnVIP, Backends: full}))
+					}
+				}
+				st := f.Run(pkts, 4)
+				if st.Failed != 0 {
+					b.Fatalf("%d deliveries failed", st.Failed)
+				}
+			}
+			perPkt := b.Elapsed().Seconds() / float64(b.N*len(pkts))
+			b.ReportMetric(perPkt*1e9, "ns/pkt")
+			b.ReportMetric(1/perPkt/1e6, "Mpps")
+		})
 	}
 }
 

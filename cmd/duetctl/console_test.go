@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"duet"
+)
+
+func newTestConsole(t *testing.T) (*console, *bytes.Buffer) {
+	t.Helper()
+	cluster, err := duet.NewCluster(duet.ClusterConfig{
+		Topology: duet.TopologyConfig{
+			Containers:       2,
+			ToRsPerContainer: 4,
+			AggsPerContainer: 2,
+			Cores:            4,
+			ServersPerToR:    10,
+		},
+		NumSMuxes:     3,
+		Aggregate:     duet.MustParsePrefix("10.0.0.0/8"),
+		NMuxTableSize: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	return &console{cluster: cluster, out: bufio.NewWriter(&buf)}, &buf
+}
+
+func TestConsoleModeCommands(t *testing.T) {
+	c, buf := newTestConsole(t)
+
+	c.exec("vip add 10.0.0.1 100.0.0.1 100.0.0.2 100.0.0.3")
+	c.exec("mode 10.0.0.1 hybrid")
+	if out := buf.String(); !strings.Contains(out, "10.0.0.1 now hybrid") {
+		t.Fatalf("mode output missing confirmation:\n%s", out)
+	}
+
+	buf.Reset()
+	c.exec("modes")
+	out := buf.String()
+	for _, want := range []string{"10.0.0.1", "hybrid", "epoch", "overlay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("modes output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	c.exec("mode 10.0.0.1 sticky")
+	if out := buf.String(); !strings.Contains(out, "error") {
+		t.Fatalf("bad mode name should report an error:\n%s", out)
+	}
+	buf.Reset()
+	c.exec("mode 10.9.9.9 stateless")
+	if out := buf.String(); !strings.Contains(out, "error") {
+		t.Fatalf("unknown VIP should report an error:\n%s", out)
+	}
+
+	// top renders the per-mode delivery counters and per-SMux steer state.
+	buf.Reset()
+	c.exec("probe 10.0.0.1 64")
+	buf.Reset()
+	c.exec("top 0")
+	out = buf.String()
+	for _, want := range []string{"-- steer --", "hybrid", "smux-0 epoch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -19,6 +19,8 @@
 //	dip add <vip> <dip>              add a DIP (bounces the VIP via SMux)
 //	dip rm <vip> <dip>               remove a DIP (resilient, in place)
 //	fail <switch> | recover <switch> kill / restore a switch
+//	mode <vip> <stateful|stateless|hybrid>  set a VIP's consistency mode
+//	modes                            per-VIP mode, steer epoch, overlay size
 //	probe <vip> [n]                  send n flows, show the DIP split
 //	tables <switch>                  switch table occupancy
 //	switches                         list switches
@@ -137,6 +139,10 @@ func (c *console) exec(line string) (quit bool) {
 		c.failRecover(args, true)
 	case "recover":
 		c.failRecover(args, false)
+	case "mode":
+		c.mode(args)
+	case "modes":
+		c.modes()
 	case "probe":
 		c.probe(args)
 	case "tables":
@@ -161,6 +167,7 @@ func (c *console) help() {
   assign <vip> <switch|nic>      withdraw <vip>
   dip add <vip> <dip>            dip rm <vip> <dip>
   fail <switch>                  recover <switch>
+  mode <vip> <stateful|stateless|hybrid>   modes
   probe <vip> [flows]            tables <switch|nic>
   switches                       top [events|url]
   serve [addr]                   demo
@@ -354,6 +361,56 @@ func (c *console) failRecover(args []string, fail bool) {
 	}
 }
 
+// mode sets one VIP's steering mode on every SMux.
+func (c *console) mode(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(c.out, "mode <vip> <stateful|stateless|hybrid>")
+		return
+	}
+	vip, ok := c.parseAddr(args[0])
+	if !ok {
+		return
+	}
+	m, err := duet.ParseSteerMode(args[1])
+	if err != nil {
+		fmt.Fprintln(c.out, "error:", err)
+		return
+	}
+	if err := c.cluster.SetVIPMode(vip, m); err != nil {
+		fmt.Fprintln(c.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(c.out, "VIP %s now %s (takes effect on the next packet of every flow)\n", vip, m)
+}
+
+// modes prints every VIP's steering mode plus the shared steer-table state
+// each SMux carries: generation epoch, pinned connections, and the hybrid
+// overlay's occupancy against its bound.
+func (c *console) modes() {
+	vips := c.cluster.VIPs()
+	sort.Slice(vips, func(i, j int) bool { return vips[i] < vips[j] })
+	if len(vips) == 0 {
+		fmt.Fprintln(c.out, "no VIPs configured")
+		return
+	}
+	for _, vip := range vips {
+		m, ok := c.cluster.VIPMode(vip)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(c.out, "  %-15s %s\n", vip, m)
+	}
+	for i, sm := range c.cluster.SMuxes {
+		st := sm.ConnStats()
+		drain := ""
+		if sm.Steer().DrainActive() {
+			drain = "  [epoch drain open]"
+		}
+		fmt.Fprintf(c.out, "  smux-%d: epoch %d  conns %d (%d KB)  overlay %d/%d%s\n",
+			i, sm.Epoch(), st.Entries, st.Bytes/1024, st.Overlay, st.OverlayCap, drain)
+	}
+}
+
 func (c *console) probe(args []string) {
 	if len(args) < 1 {
 		fmt.Fprintln(c.out, "probe <vip> [flows]")
@@ -467,6 +524,16 @@ func (c *console) top(args []string) {
 		fmt.Fprintf(c.out, "  nmux-%d occupancy %d/%d (%.0f%%)  flows %d\n",
 			i, st.Used, st.Cap, 100*float64(st.Used)/float64(st.Cap), st.Flows)
 	}
+	fmt.Fprintln(c.out, "-- steer --")
+	for _, md := range duet.SteerModes() {
+		fmt.Fprintf(c.out, "  %-9s %d delivered\n", md,
+			reg.Counter("core.deliver.mode."+md.String()).Value())
+	}
+	for i, sm := range c.cluster.SMuxes {
+		st := sm.ConnStats()
+		fmt.Fprintf(c.out, "  smux-%d epoch %d  conns %d  overlay %d/%d\n",
+			i, sm.Epoch(), st.Entries, st.Overlay, st.OverlayCap)
+	}
 	fmt.Fprintln(c.out, "-- metrics --")
 	if err := reg.WriteText(c.out); err != nil {
 		fmt.Fprintln(c.out, "error:", err)
@@ -525,6 +592,8 @@ func (c *console) switches() {
 func (c *console) demo() {
 	script := []string{
 		"vip add 10.0.0.1 100.0.0.1 100.0.0.2 100.0.0.3",
+		"mode 10.0.0.1 hybrid",
+		"modes",
 		"probe 10.0.0.1 600",
 		"assign 10.0.0.1 agg-0-0",
 		"tables agg-0-0",

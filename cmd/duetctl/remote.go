@@ -76,11 +76,19 @@ func watchOnce(url string, seenAlerts *int) error {
 	if capacity := value("nmux.tables.cap"); capacity > 0 {
 		occ = fmt.Sprintf("  nic-occ %3.0f%%", 100*value("nmux.tables.used_max")/capacity)
 	}
-	fmt.Printf("[t=%8.1f] %-8s  deliver %8.0f pps (err %6.0f/s)  nmux %8.0f pps  smux %8.0f pps  conns %6.0f  epoch %4.0f%s\n",
+	overlay := ""
+	if capacity := value("smux.overlay_cap"); capacity > 0 {
+		overlay = fmt.Sprintf("  overlay %4.0f/%.0f", value("smux.overlay_total"), capacity)
+		if value("steer.drains_active") > 0 {
+			overlay += " [drain]"
+		}
+	}
+	fmt.Printf("[t=%8.1f] %-8s  deliver %8.0f pps (err %6.0f/s)  nmux %8.0f pps  smux %8.0f pps  conns %6.0f  epoch %4.0f  steer %3.0f%s%s\n",
 		dump.Now, state,
 		rate("core.deliver.packets"), rate("core.deliver.errors"),
 		rate("core.deliver.tier.nmux"), rate("smux.packets"),
-		value("smux.conns_total"), value("core.epoch"), occ)
+		value("smux.conns_total"), value("core.epoch"),
+		value("steer.epoch_max"), occ, overlay)
 
 	var alerts []obs.Alert
 	if err := fetchJSON(url+"/alerts", &alerts); err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"duet"
 	"duet/internal/obs"
 	"duet/internal/testbed"
 )
@@ -20,14 +21,24 @@ func runServe(args []string) {
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	interval := fs.Duration("interval", time.Second, "scrape interval")
 	pps := fs.Int("traffic", 2000, "background traffic rate (packets/sec, 0 to disable)")
+	modeFlag := fs.String("mode", "hybrid", "steering mode for SMux-served VIPs (stateful|stateless|hybrid)")
 	fs.Parse(args)
 
+	mode, err := duet.ParseSteerMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	// Half the VIPs on HMuxes, a quarter on the NIC match tables, the rest
-	// on the SMux backstop — all three tiers show up in the exposition.
+	// on the SMux backstop — all three tiers show up in the exposition. The
+	// SMux-served VIPs default to hybrid so the overlay/steer gauges carry
+	// live values in watch.
 	f, err := testbed.NewFlood(testbed.FloodConfig{
 		HMuxFraction:  0.5,
 		NMuxTableSize: 2048,
 		NMuxFraction:  0.25,
+		SMuxMode:      mode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -46,8 +57,8 @@ func runServe(args []string) {
 		go backgroundTraffic(f, *pps)
 	}
 
-	fmt.Printf("duetctl serve: %d VIPs, scraping every %v, traffic %d pps\n",
-		len(f.VIPs), *interval, *pps)
+	fmt.Printf("duetctl serve: %d VIPs (smux tier %s), scraping every %v, traffic %d pps\n",
+		len(f.VIPs), mode, *interval, *pps)
 	printEndpoints(os.Stdout, *addr)
 	srv := obs.NewServer(p)
 	if err := srv.ListenAndServe(*addr); err != nil {

@@ -6,6 +6,7 @@ import (
 	"duet/internal/core"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 	"duet/internal/topology"
 	"duet/internal/workload"
 )
@@ -48,7 +49,29 @@ type (
 	Workload = workload.Workload
 	// WorkloadConfig parameterizes trace generation.
 	WorkloadConfig = workload.Config
+
+	// SteerMode selects how the SMux keeps a VIP's connections consistent
+	// across backend changes (see internal/steer).
+	SteerMode = steer.Mode
 )
+
+// Per-VIP steering modes.
+const (
+	// ModeStateful pins every connection in the SMux connection table.
+	ModeStateful = steer.ModeStateful
+	// ModeStateless resolves every packet through the shared lookup table.
+	ModeStateless = steer.ModeStateless
+	// ModeHybrid is stateless plus a bounded overlay pinning only the
+	// connections whose DIP would change across a table epoch.
+	ModeHybrid = steer.ModeHybrid
+)
+
+// ParseSteerMode parses a mode name ("stateful", "stateless", "hybrid";
+// empty means stateful).
+func ParseSteerMode(s string) (SteerMode, error) { return steer.ParseMode(s) }
+
+// SteerModes lists every steering mode.
+func SteerModes() []SteerMode { return steer.Modes() }
 
 // MustParseAddr parses a dotted-quad IPv4 address, panicking on error.
 func MustParseAddr(s string) Addr { return packet.MustParseAddr(s) }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"duet/internal/netsim"
+	"duet/internal/steer"
 	"duet/internal/topology"
 	"duet/internal/workload"
 )
@@ -111,6 +112,19 @@ type Options struct {
 	// watchdog. Default 0.9.
 	NMuxHeadroom float64
 
+	// HybridRatePPS marks VIPs at or above this epoch rate for the hybrid
+	// consistency mode on the SMux tier (see internal/steer): hot VIPs are
+	// the ones whose per-connection tables dominate mux memory, and hybrid
+	// caps that state at the bounded overlay while still riding out
+	// backend churn. 0 disables the policy — every VIP stays stateful.
+	HybridRatePPS float64
+
+	// PreferStateless upgrades the HybridRatePPS policy to pure stateless
+	// resolution (no overlay at all). Connections on such VIPs may break
+	// when a backend set changes mid-drain; appropriate for short-flow or
+	// connectionless (UDP) services.
+	PreferStateless bool
+
 	// Priority optionally orders VIPs by class before traffic volume (§9:
 	// "other orderings are possible, e.g. consider VIPs with latency
 	// sensitive traffic first"). Indexed by VIP; higher classes are placed
@@ -158,6 +172,11 @@ type Assignment struct {
 	// switch in SwitchOf; TierNMux and TierSMux entries are Unassigned
 	// there.
 	TierOf []Tier
+
+	// ModeOf maps VIP index → SMux-tier consistency mode, per the
+	// HybridRatePPS policy. The mode matters whenever the SMux serves the
+	// VIP — as its home tier or as the migration stepping stone.
+	ModeOf []steer.Mode
 
 	// Loads are the directed-link loads of HMux-assigned VIP traffic.
 	Loads netsim.Loads
@@ -532,10 +551,22 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 	res := &Assignment{
 		SwitchOf: make([]int32, len(work.VIPs)),
 		TierOf:   make([]Tier, len(work.VIPs)), // zero value = TierSMux
+		ModeOf:   make([]steer.Mode, len(work.VIPs)),
 		MemUsed:  a.memUsed,
 	}
 	for i := range res.SwitchOf {
 		res.SwitchOf[i] = Unassigned
+	}
+	if opts.HybridRatePPS > 0 {
+		churnMode := steer.ModeHybrid
+		if opts.PreferStateless {
+			churnMode = steer.ModeStateless
+		}
+		for i := range work.VIPs {
+			if work.Rates[epoch][i] >= opts.HybridRatePPS {
+				res.ModeOf[i] = churnMode
+			}
+		}
 	}
 	// The NIC tier absorbs VIPs the switch tier rejects — including after
 	// the §4.1 termination, which only stops *switch* placement.

@@ -2,9 +2,11 @@ package assign
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"duet/internal/netsim"
+	"duet/internal/steer"
 	"duet/internal/topology"
 	"duet/internal/workload"
 )
@@ -439,6 +441,62 @@ func TestBestFitStrategy(t *testing.T) {
 	for s, used := range b.MemUsed {
 		if used > bo.MemCapacity {
 			t.Fatalf("switch %d memory %d", s, used)
+		}
+	}
+}
+
+func TestModePolicy(t *testing.T) {
+	net, w := smallWorld(t, 200, 4e11, 7)
+	opts := DefaultOptions()
+
+	// Disabled: everything stateful.
+	asg, err := Compute(net, w, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg.ModeOf) != len(w.VIPs) {
+		t.Fatalf("ModeOf covers %d VIPs, want %d", len(asg.ModeOf), len(w.VIPs))
+	}
+	for vi, m := range asg.ModeOf {
+		if m != steer.ModeStateful {
+			t.Fatalf("VIP %d: mode %s with policy disabled", vi, m)
+		}
+	}
+
+	// Threshold at the median rate: hot VIPs go hybrid, cold stay stateful.
+	rates := append([]float64(nil), w.Rates[0]...)
+	sort.Float64s(rates)
+	opts.HybridRatePPS = rates[len(rates)/2]
+	asg, err = Compute(net, w, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := 0
+	for vi, m := range asg.ModeOf {
+		want := steer.ModeStateful
+		if w.Rates[0][vi] >= opts.HybridRatePPS {
+			want = steer.ModeHybrid
+		}
+		if m != want {
+			t.Fatalf("VIP %d (rate %.0f): mode %s, want %s", vi, w.Rates[0][vi], m, want)
+		}
+		if m == steer.ModeHybrid {
+			hybrid++
+		}
+	}
+	if hybrid == 0 || hybrid == len(w.VIPs) {
+		t.Fatalf("degenerate policy split: %d/%d hybrid", hybrid, len(w.VIPs))
+	}
+
+	// PreferStateless swaps the churn mode.
+	opts.PreferStateless = true
+	asg, err = Compute(net, w, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi, m := range asg.ModeOf {
+		if w.Rates[0][vi] >= opts.HybridRatePPS && m != steer.ModeStateless {
+			t.Fatalf("VIP %d: mode %s, want stateless", vi, m)
 		}
 	}
 }

@@ -42,6 +42,7 @@ type ctlTelemetry struct {
 	dipAdds, dipRemoves   telemetry.CounterShard
 	healthRemovals        telemetry.CounterShard
 	switchFailuresHandled telemetry.CounterShard
+	modeChanges           telemetry.CounterShard
 	rec                   *telemetry.Recorder
 	clock                 func() float64
 }
@@ -58,6 +59,7 @@ func (ct *Controller) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recor
 		dipRemoves:            reg.Counter("controller.dip_removes").Shard(),
 		healthRemovals:        reg.Counter("controller.health_removals").Shard(),
 		switchFailuresHandled: reg.Counter("controller.switch_failures_handled").Shard(),
+		modeChanges:           reg.Counter("controller.mode_changes").Shard(),
 		rec:                   rec,
 		clock:                 now,
 	}
@@ -128,6 +130,9 @@ type EpochReport struct {
 	Moved        int
 	ShuffledRate float64
 	MRU          float64
+	// ModeChanges counts VIPs whose SMux consistency mode flipped this
+	// epoch under the Options.HybridRatePPS policy.
+	ModeChanges int
 }
 
 // RunEpoch runs one monitoring→engine→updater cycle for trace epoch e:
@@ -220,6 +225,22 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 		}
 		// Migration step 2: the VIP's new home is announced/programmed.
 		ct.record(telemetry.KindMigrationStep, uint32(epoch), uint32(m.addr), uint32(m.to), 2)
+	}
+	// Apply the engine's consistency-mode decisions to the SMux tier. Mode
+	// flips never move a flow's DIP (the lookup tables are untouched), so
+	// this needs no stepping stone and can run after the migrations.
+	for i := range w.VIPs {
+		addr := w.VIPs[i].Addr
+		want := next.ModeOf[i]
+		cur, ok := ct.Cluster.VIPMode(addr)
+		if !ok || cur == want {
+			continue
+		}
+		if err := ct.Cluster.SetVIPMode(addr, want); err != nil {
+			return rep, fmt.Errorf("controller: set mode of %s: %w", addr, err)
+		}
+		rep.ModeChanges++
+		ct.tel.modeChanges.Inc()
 	}
 	ct.prev = next
 	ct.tel.epochs.Inc()

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"sort"
 	"testing"
 
 	"duet/internal/assign"
@@ -8,6 +9,7 @@ import (
 	"duet/internal/healthd"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 	"duet/internal/topology"
 	"duet/internal/workload"
 )
@@ -395,5 +397,40 @@ func TestHealthProberDefaultProbeUsesAgents(t *testing.T) {
 	p.Tick(1)
 	if len(ct.BenchedDIPs()) != 1 {
 		t.Fatalf("agent-driven probe did not bench: %v", ct.BenchedDIPs())
+	}
+}
+
+func TestRunEpochAppliesModes(t *testing.T) {
+	c, w, ct := world(t, 40, 5e10, 9)
+	rates := append([]float64(nil), w.Rates[0]...)
+	sort.Float64s(rates)
+	ct.Opts.HybridRatePPS = rates[len(rates)/2]
+	rep, err := ct.RunEpoch(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModeChanges == 0 {
+		t.Fatal("no mode changes applied despite median threshold")
+	}
+	for i := range w.VIPs {
+		want := steer.ModeStateful
+		if w.Rates[0][i] >= ct.Opts.HybridRatePPS {
+			want = steer.ModeHybrid
+		}
+		got, ok := c.VIPMode(w.VIPs[i].Addr)
+		if !ok {
+			t.Fatalf("VIP %s: no mode on the SMux fleet", w.VIPs[i].Addr)
+		}
+		if got != want {
+			t.Fatalf("VIP %s: mode %s, want %s", w.VIPs[i].Addr, got, want)
+		}
+	}
+	// Re-running the same epoch is idempotent: no further flips.
+	rep, err = ct.RunEpoch(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModeChanges != 0 {
+		t.Fatalf("second run flipped %d modes, want 0", rep.ModeChanges)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/steer"
 	"duet/internal/telemetry"
 	"duet/internal/topology"
 )
@@ -79,6 +80,10 @@ type Config struct {
 	// NIC gets an nmux.Mux of this many entries, consulted before the SMux
 	// on the delivery path. 0 disables the tier (no NMuxes are created).
 	NMuxTableSize int
+	// SMuxMode is the default per-connection consistency mode for VIPs
+	// added to the SMux fleet (zero value: steer.ModeStateful, the
+	// classic conn-table path). Per-VIP overrides go through SetVIPMode.
+	SMuxMode steer.Mode
 }
 
 // DefaultConfig returns a cluster matching the scaled-down default fabric
@@ -168,6 +173,11 @@ type deliverTelemetry struct {
 	// packet once each when the NIC tier declines it.
 	tierHMux, tierNMux, tierSMux telemetry.CounterShard
 	tierNMuxMiss                 telemetry.CounterShard
+
+	// Per-consistency-mode attribution on the SMux tier: which steering
+	// mode (stateful/stateless/hybrid) served the packet, so operators can
+	// see mode rollouts take traffic. Indexed by steer.Mode.
+	mode [3]telemetry.CounterShard
 }
 
 // hopSampleMask times 1 in 16 packets. Reading the clock twice per hop costs
@@ -189,6 +199,13 @@ type collectGauges struct {
 	nmuxUsed, nmuxCap     *telemetry.Gauge
 	nmuxFlows             *telemetry.Gauge
 	epoch                 *telemetry.Gauge
+
+	// Per-flow state occupancy (satellite of the consistency-mode work:
+	// conn-table growth used to be invisible until OOM) and steer-table
+	// drain visibility.
+	connShardMax, connBytes *telemetry.Gauge
+	overlay, overlayCap     *telemetry.Gauge
+	steerEpoch, steerDrains *telemetry.Gauge
 }
 
 // hopBuckets spans the in-process hop latencies (hundreds of ns) up through
@@ -244,6 +261,9 @@ func New(cfg Config) (*Cluster, error) {
 		tierSMux:     c.reg.Counter("core.deliver.tier.smux").Shard(),
 		tierNMuxMiss: c.reg.Counter("core.deliver.tier.nmux_miss").Shard(),
 	}
+	for _, md := range steer.Modes() {
+		c.dtel.mode[md] = c.reg.Counter("core.deliver.mode." + md.String()).Shard()
+	}
 	c.ctel = collectGauges{
 		hostUsed:     c.reg.Gauge("hmux.tables.host_used_max"),
 		hostCap:      c.reg.Gauge("hmux.tables.host_cap"),
@@ -257,6 +277,12 @@ func New(cfg Config) (*Cluster, error) {
 		nmuxCap:      c.reg.Gauge("nmux.tables.cap"),
 		nmuxFlows:    c.reg.Gauge("nmux.flows_total"),
 		epoch:        c.reg.Gauge("core.epoch"),
+		connShardMax: c.reg.Gauge("smux.conn.shard_max"),
+		connBytes:    c.reg.Gauge("smux.conn.bytes"),
+		overlay:      c.reg.Gauge("smux.overlay_total"),
+		overlayCap:   c.reg.Gauge("smux.overlay_cap"),
+		steerEpoch:   c.reg.Gauge("steer.epoch_max"),
+		steerDrains:  c.reg.Gauge("steer.drains_active"),
 	}
 	c.tableCfg = cfg.HMuxTables
 	for s := range c.HMuxes {
@@ -272,6 +298,7 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.SMuxCapacityPPS > 0 {
 			scfg.CapacityPPS = cfg.SMuxCapacityPPS
 		}
+		scfg.DefaultMode = cfg.SMuxMode
 		sm := smux.New(scfg)
 		sm.SetTelemetry(c.reg, c.rec, uint32(smuxNodeBase)+uint32(i))
 		c.SMuxes = append(c.SMuxes, sm)
@@ -279,9 +306,14 @@ func New(cfg Config) (*Cluster, error) {
 		c.Routes.Announce(cfg.Aggregate, smuxNodeBase+bgp.NodeID(i), 0)
 		if cfg.NMuxTableSize > 0 {
 			// The NIC mux shares the SMux server's address so both tiers
-			// emit identical outer sources (and thus identical encap bytes
-			// for a given flow).
-			nm := nmux.New(nmux.Config{SelfAddr: scfg.SelfAddr, TableSize: cfg.NMuxTableSize})
+			// emit identical outer sources — and the SMux's steer table, so
+			// both resolve a flow to the same DIP (identical encap bytes
+			// whichever tier serves it).
+			nm := nmux.New(nmux.Config{
+				SelfAddr:  scfg.SelfAddr,
+				TableSize: cfg.NMuxTableSize,
+				Steer:     sm.Steer(),
+			})
 			nm.SetTelemetry(c.reg, c.rec, nmuxNodeBase+uint32(i))
 			c.NMuxes = append(c.NMuxes, nm)
 		}
@@ -627,6 +659,36 @@ func (c *Cluster) ReprogramNMux(v *service.VIP) error {
 	return nil
 }
 
+// SetVIPMode switches a VIP's per-connection consistency mode on the whole
+// SMux fleet (stateful conn table, stateless steer lookup, or hybrid with a
+// bounded overlay — see internal/steer). The change bumps every steer-table
+// epoch without opening a drain window: the lookup tables are unchanged, so
+// no flow's DIP moves.
+func (c *Cluster) SetVIPMode(addr packet.Addr, mode steer.Mode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.vips[addr]; !ok {
+		return ErrVIPUnknown
+	}
+	for _, sm := range c.SMuxes {
+		if err := sm.SetVIPMode(addr, mode); err != nil {
+			return err
+		}
+	}
+	c.tick()
+	c.publishLocked()
+	return nil
+}
+
+// VIPMode returns a VIP's consistency mode on the SMux fleet.
+func (c *Cluster) VIPMode(addr packet.Addr) (steer.Mode, bool) {
+	snap := c.snap.Load()
+	if len(snap.smuxes) == 0 {
+		return 0, false
+	}
+	return snap.smuxes[0].ModeOf(addr)
+}
+
 // FailSwitch kills a switch: dataplane stops and all its routes are
 // withdrawn (the cluster facade converges instantly; timed convergence is
 // the testbed's domain).
@@ -854,6 +916,7 @@ func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) 
 		return nil, Hop{}, err
 	}
 	c.dtel.tierSMux.Inc()
+	c.dtel.mode[res.Mode].Inc()
 	return res.Packet, Hop{Kind: "smux", Node: sm.Self().String()}, nil
 }
 
@@ -879,10 +942,27 @@ func (c *Cluster) Collect() {
 		tunC = max(tunC, st.TunnelCap)
 	}
 	var capPPS float64
-	conns := 0
+	var conns, shardMax, overlay, overlayCap int
+	var connBytes int64
+	var steerEpoch uint64
+	drains := 0
 	for _, sm := range snap.smuxes {
 		capPPS += sm.CapacityPPS()
-		conns += sm.Connections()
+		// Collect doubles as the fleet's maintenance tick: idle-eviction and
+		// overlay sweeps run here, on the scrape cadence, so no separate
+		// timer goroutine is needed per mux.
+		sm.Tick()
+		st := sm.ConnStats()
+		conns += st.Entries
+		shardMax = max(shardMax, st.ShardMax)
+		connBytes += st.Bytes
+		overlay += st.Overlay
+		overlayCap += st.OverlayCap
+		tbl := sm.Steer()
+		steerEpoch = max(steerEpoch, tbl.Epoch())
+		if tbl.DrainActive() {
+			drains++
+		}
 	}
 	var nmUsed, nmCap, nmFlows int
 	for _, nm := range snap.nmuxes {
@@ -903,6 +983,12 @@ func (c *Cluster) Collect() {
 	c.ctel.nmuxCap.Set(int64(nmCap))
 	c.ctel.nmuxFlows.Set(int64(nmFlows))
 	c.ctel.epoch.Set(int64(snap.epoch))
+	c.ctel.connShardMax.Set(int64(shardMax))
+	c.ctel.connBytes.Set(connBytes)
+	c.ctel.overlay.Set(int64(overlay))
+	c.ctel.overlayCap.Set(int64(overlayCap))
+	c.ctel.steerEpoch.Set(int64(steerEpoch))
+	c.ctel.steerDrains.Set(int64(drains))
 }
 
 // BatchResult pairs one packet's delivery with its error.

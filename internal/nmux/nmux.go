@@ -18,18 +18,21 @@
 // out, but arbitrary eviction would un-pin live connections, so the model
 // declines the insert instead and counts it).
 //
-// A packet whose destination VIP has no wildcard entry is a MISS
-// (ErrNotOurVIP): the caller falls through to the SMux tier. Because an NMux
-// is paired with the SMux on the same server and shares its self address and
-// ECMP hash, the encapsulated output for a given flow is byte-identical
-// whichever tier serves it — which is what makes the fall-through (and table
-// reprogramming under live traffic) invisible to backends.
+// Wildcard resolution goes through the shared steer table
+// (internal/steer): when paired with an SMux on the same host, both tiers
+// read the SAME steer.Table instance (the SMux owns mutation), so the
+// encapsulated output for a given flow is byte-identical whichever tier
+// serves it — which is what makes the fall-through (and table reprogramming
+// under live traffic) invisible to backends. A standalone NMux owns a
+// private table.
 //
-// Concurrency: identical to internal/smux — the VIP table is an immutable
-// generation behind an atomic pointer (writers rebuild copy-on-write under a
-// mutex); the flow table is sharded by flow hash with per-shard locks; the
-// shared table budget is a pair of atomics so the hot path never takes the
-// writer lock.
+// A packet whose destination VIP has no wildcard entry is a MISS
+// (ErrNotOurVIP): the caller falls through to the SMux tier.
+//
+// Concurrency: the programmed-VIP set is an immutable generation behind an
+// atomic pointer (writers rebuild copy-on-write under a mutex); the flow
+// table is sharded by flow hash with per-shard locks; the shared table
+// budget is a pair of atomics so the hot path never takes the writer lock.
 package nmux
 
 import (
@@ -40,6 +43,7 @@ import (
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 	"duet/internal/telemetry"
 )
 
@@ -73,19 +77,24 @@ type Config struct {
 	// TableSize bounds the match table (wildcard + flow entries combined);
 	// 0 means DefaultTableSize.
 	TableSize int
+
+	// Steer, when non-nil, is the paired SMux's lookup table: this NMux
+	// resolves through it and never mutates it (the SMux backstop carries
+	// every NIC-programmed VIP, so the SMux's writes keep it fresh). Nil
+	// creates a private table the NMux maintains itself.
+	Steer *steer.Table
 }
 
-type entry struct {
-	group    *ecmp.Group
-	encaps   []packet.Addr
+// vipInfo is the per-VIP programming bookkeeping (resolution state lives in
+// the steer table).
+type vipInfo struct {
 	backends []service.Backend
-	ports    map[uint16]*entry
 }
 
 // vipTable is one immutable generation of the programmed wildcard entries.
 type vipTable struct {
 	epoch uint64
-	vips  map[packet.Addr]*entry
+	vips  map[packet.Addr]*vipInfo
 }
 
 // flowShard is one lock-striped slice of the exact-match flow region.
@@ -99,6 +108,9 @@ type flowShard struct {
 // callers; programming serializes on an internal writer lock.
 type Mux struct {
 	cfg Config
+
+	steer    *steer.Table
+	ownSteer bool // standalone: this mux maintains the table itself
 
 	tab atomic.Pointer[vipTable]
 	mu  sync.Mutex // serializes writers
@@ -182,11 +194,16 @@ func New(cfg Config) *Mux {
 		cfg.TableSize = DefaultTableSize
 	}
 	m := &Mux{cfg: cfg, vipCost: make(map[packet.Addr]int)}
+	m.steer = cfg.Steer
+	if m.steer == nil {
+		m.steer = steer.NewTable(steer.Config{})
+		m.ownSteer = true
+	}
 	for i := range m.shards {
 		m.shards[i].flows = make(map[packet.FiveTuple]packet.Addr)
 	}
 	m.flowBudget.Store(int64(cfg.TableSize))
-	m.tab.Store(&vipTable{vips: make(map[packet.Addr]*entry)})
+	m.tab.Store(&vipTable{vips: make(map[packet.Addr]*vipInfo)})
 	return m
 }
 
@@ -195,6 +212,9 @@ func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
 
 // TableSize returns the configured match-table capacity.
 func (m *Mux) TableSize() int { return m.cfg.TableSize }
+
+// Steer returns the lookup table this mux resolves through.
+func (m *Mux) Steer() *steer.Table { return m.steer }
 
 // Epoch returns the wildcard-table generation, bumped on every mutation.
 func (m *Mux) Epoch() uint64 { return m.tab.Load().epoch }
@@ -253,51 +273,27 @@ func (m *Mux) Stats() Stats {
 }
 
 // shardFor returns the flow shard for a flow hash (top bits, independent of
-// the group slot index derived from the low bits of the same hash).
+// the slot index derived from the low bits of the same hash).
 func (m *Mux) shardFor(h uint64) *flowShard {
 	return &m.shards[(h>>48)&(flowShards-1)]
 }
 
 // publish installs a new wildcard-table generation and republishes the flow
 // budget. Must hold m.mu.
-func (m *Mux) publish(vips map[packet.Addr]*entry) {
+func (m *Mux) publish(vips map[packet.Addr]*vipInfo) {
 	cur := m.tab.Load()
 	m.tab.Store(&vipTable{epoch: cur.epoch + 1, vips: vips})
 	m.flowBudget.Store(int64(m.cfg.TableSize - m.wildcardUsed))
 }
 
 // cloneVIPs copies the current wildcard map for mutation. Must hold m.mu.
-func (m *Mux) cloneVIPs() map[packet.Addr]*entry {
+func (m *Mux) cloneVIPs() map[packet.Addr]*vipInfo {
 	cur := m.tab.Load().vips
-	cp := make(map[packet.Addr]*entry, len(cur)+1)
+	cp := make(map[packet.Addr]*vipInfo, len(cur)+1)
 	for k, v := range cur {
 		cp[k] = v
 	}
 	return cp
-}
-
-func buildEntry(backends []service.Backend) *entry {
-	e := &entry{
-		group:    ecmp.NewGroup(),
-		encaps:   make([]packet.Addr, len(backends)),
-		backends: append([]service.Backend(nil), backends...),
-	}
-	for i, b := range backends {
-		e.encaps[i] = b.Addr
-		e.group.AddWeighted(uint32(i), b.Weight)
-	}
-	return e
-}
-
-func buildVIPEntry(v *service.VIP) *entry {
-	e := buildEntry(v.Backends)
-	if len(v.Ports) > 0 {
-		e.ports = make(map[uint16]*entry, len(v.Ports))
-		for _, pr := range v.Ports {
-			e.ports[pr.Port] = buildEntry(pr.Backends)
-		}
-	}
-	return e
 }
 
 // AddVIP programs a VIP's wildcard entries. Unlike the SMux the table is
@@ -315,8 +311,13 @@ func (m *Mux) AddVIP(v *service.VIP) error {
 	if m.wildcardUsed+cost > m.cfg.TableSize {
 		return ErrTableFull
 	}
+	if m.ownSteer {
+		if err := m.steer.Set(v); err != nil {
+			return err
+		}
+	}
 	vips := m.cloneVIPs()
-	vips[v.Addr] = buildVIPEntry(v)
+	vips[v.Addr] = &vipInfo{backends: append([]service.Backend(nil), v.Backends...)}
 	m.wildcardUsed += cost
 	m.vipCost[v.Addr] = cost
 	m.publish(vips)
@@ -339,8 +340,13 @@ func (m *Mux) UpdateVIP(v *service.VIP) error {
 	if m.wildcardUsed-m.vipCost[v.Addr]+cost > m.cfg.TableSize {
 		return ErrTableFull
 	}
+	if m.ownSteer {
+		if err := m.steer.Set(v); err != nil {
+			return err
+		}
+	}
 	vips := m.cloneVIPs()
-	vips[v.Addr] = buildVIPEntry(v)
+	vips[v.Addr] = &vipInfo{backends: append([]service.Backend(nil), v.Backends...)}
 	m.wildcardUsed += cost - m.vipCost[v.Addr]
 	m.vipCost[v.Addr] = cost
 	m.publish(vips)
@@ -348,12 +354,18 @@ func (m *Mux) UpdateVIP(v *service.VIP) error {
 }
 
 // RemoveVIP deprograms a VIP, releases its wildcard entries and drops its
-// pinned flows.
+// pinned flows. The steer entry stays when the table is shared — the SMux
+// backstop still serves the VIP.
 func (m *Mux) RemoveVIP(addr packet.Addr) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.tab.Load().vips[addr]; !ok {
 		return ErrVIPNotFound
+	}
+	if m.ownSteer {
+		if err := m.steer.RemoveVIP(addr); err != nil && err != steer.ErrVIPNotFound {
+			return err
+		}
 	}
 	vips := m.cloneVIPs()
 	delete(vips, addr)
@@ -370,23 +382,20 @@ func (m *Mux) RemoveVIP(addr packet.Addr) error {
 func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e, ok := m.tab.Load().vips[vip]
+	info, ok := m.tab.Load().vips[vip]
 	if !ok {
 		return ErrVIPNotFound
 	}
-	for i, b := range e.backends {
+	for i, b := range info.backends {
 		if b.Addr != dip {
 			continue
 		}
-		cp := &entry{
-			group:    e.group.Clone(),
-			encaps:   append([]packet.Addr(nil), e.encaps...),
-			backends: append([]service.Backend(nil), e.backends...),
-			ports:    e.ports,
+		if m.ownSteer {
+			if err := m.steer.RemoveBackend(vip, dip); err != nil {
+				return err
+			}
 		}
-		if err := cp.group.Remove(uint32(i)); err != nil {
-			return err
-		}
+		cp := &vipInfo{backends: append([]service.Backend(nil), info.backends...)}
 		cp.backends[i] = service.Backend{}
 		vips := m.cloneVIPs()
 		vips[vip] = cp
@@ -431,18 +440,24 @@ type Result struct {
 
 // Process load-balances one packet through the NIC table: decode, match the
 // wildcard region (miss → ErrNotOurVIP, fall through to the SMux), pick the
-// DIP (exact-match flow entry first, then the shared hash, pinning the flow
-// if the table has room), encapsulate. The output is appended to out. Safe
-// for concurrent callers; the hot path allocates nothing (flow-map growth
-// aside) and never takes the writer lock.
+// DIP (exact-match flow entry first, then the shared steer table, pinning
+// the flow if the table has room), encapsulate. The output is appended to
+// out. Safe for concurrent callers; the hot path allocates nothing
+// (flow-map growth aside) and never takes the writer lock.
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.tel.packets.Inc()
 	var ip packet.IPv4 // stack scratch; Process must stay concurrency-safe
 	if err := ip.DecodeFromBytes(data); err != nil {
 		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
-	e, ok := m.tab.Load().vips[ip.Dst]
+	if _, ok := m.tab.Load().vips[ip.Dst]; !ok {
+		m.tel.misses.Inc()
+		return Result{}, ErrNotOurVIP
+	}
+	e, ok := m.steer.View().Find(ip.Dst)
 	if !ok {
+		// Programmed here but absent from the shared table (the backstop
+		// SMux has not learned the VIP yet): fall through rather than drop.
 		m.tel.misses.Inc()
 		return Result{}, ErrNotOurVIP
 	}
@@ -455,16 +470,10 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	if sampled {
 		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
 	}
-	sel := e
-	if e.ports != nil {
-		if pe, ok := e.ports[tuple.DstPort]; ok {
-			sel = pe
-		}
-	}
 
 	// One hash per packet, shared between the flow shard (top bits) and the
-	// ECMP slot pick (low bits) — the same hash the HMux and SMux compute,
-	// which is what keeps tier fall-through consistent for a given flow.
+	// slot pick (low bits) — the same hash the HMux and SMux compute, which
+	// is what keeps tier fall-through consistent for a given flow.
 	h := ecmp.Hash(tuple)
 	s := m.shardFor(h)
 	var dip packet.Addr
@@ -474,12 +483,11 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 		dip, pinned = d, true
 		s.mu.Unlock()
 	} else {
-		member, err := sel.group.Select(h)
+		dip, err = e.DIP(tuple, h)
 		if err != nil {
 			s.mu.Unlock()
 			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
 		}
-		dip = sel.encaps[member]
 		// Reserve an exact-match entry if the shared budget has room; when
 		// the table is full the flow is served stateless instead (no
 		// eviction — evicting would un-pin a live connection).
@@ -519,15 +527,12 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 // Lookup returns the DIP Process would pick for a tuple without mutating
 // flow state.
 func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
-	e, ok := m.tab.Load().vips[tuple.Dst]
-	if !ok {
+	if _, ok := m.tab.Load().vips[tuple.Dst]; !ok {
 		return 0, ErrNotOurVIP
 	}
-	sel := e
-	if e.ports != nil {
-		if pe, ok := e.ports[tuple.DstPort]; ok {
-			sel = pe
-		}
+	e, ok := m.steer.View().Find(tuple.Dst)
+	if !ok {
+		return 0, ErrNotOurVIP
 	}
 	h := ecmp.Hash(tuple)
 	s := m.shardFor(h)
@@ -537,9 +542,5 @@ func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
 	if ok {
 		return d, nil
 	}
-	member, err := sel.group.Select(h)
-	if err != nil {
-		return 0, err
-	}
-	return sel.encaps[member], nil
+	return e.DIP(tuple, h)
 }

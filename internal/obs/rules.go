@@ -259,6 +259,16 @@ type SLOConfig struct {
 	// routes). Sustained wire drops mean a peer is down, misconfigured, or
 	// being flooded with garbage — all conditions an operator must see.
 	WireDropsPerSec float64
+	// OverlayFrac is the tolerated fraction of the hybrid overlay in use.
+	// The overlay is the bounded exception table pinning connections that
+	// straddle a steer-table epoch; near-full means churn is outrunning the
+	// budget and new straddling flows are being served unpinned.
+	OverlayFrac float64
+	// EpochDrainScrapes bounds how many consecutive scrapes a steer drain
+	// window may stay open. A drain that never closes means old-epoch
+	// connections are not finishing (or the sweep is broken) and hybrid
+	// overlay memory cannot be reclaimed.
+	EpochDrainScrapes int
 }
 
 // DefaultSLO returns the paper-grounded thresholds.
@@ -270,6 +280,8 @@ func DefaultSLO() SLOConfig {
 		OccupancyFrac:       0.9,
 		BacklogMaxMS:        1000,
 		WireDropsPerSec:     50,
+		OverlayFrac:         0.9,
+		EpochDrainScrapes:   30,
 	}
 }
 
@@ -356,6 +368,29 @@ func DefaultRules(cfg SLOConfig) []Rule {
 			DenSrc:    Value,
 			Op:        Above,
 			Threshold: cfg.OccupancyFrac,
+		},
+		{
+			// The cap gauge is 0 when no VIP runs in hybrid mode, which skips
+			// the rule (Ratio with a zero denominator never evaluates).
+			Name:      "smux-overlay-occupancy",
+			Desc:      "hybrid overlay occupancy vs its bounded budget; near-full means epoch churn outruns pinning",
+			Num:       "smux.overlay_total",
+			NumSrc:    Value,
+			Combine:   Ratio,
+			Den:       "smux.overlay_cap",
+			DenSrc:    Value,
+			Op:        Above,
+			Threshold: cfg.OverlayFrac,
+		},
+		{
+			Name:      "steer-epoch-drain",
+			Desc:      "steer drain window open for too many consecutive scrapes; old-epoch connections not draining",
+			Num:       "steer.drains_active",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: 0,
+			For:       cfg.EpochDrainScrapes,
 		},
 		{
 			Name:      "switch-programming-backlog",

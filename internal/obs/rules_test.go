@@ -150,6 +150,88 @@ func TestRuleDiffCombinator(t *testing.T) {
 	}
 }
 
+// TestOverlayOccupancyRule exercises the hybrid-overlay watchdog: silent
+// while no VIP runs hybrid (cap gauge 0 → ratio skipped), firing when the
+// bounded overlay nears its budget, resolving once the drain sweep empties
+// it.
+func TestOverlayOccupancyRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	total := reg.Gauge("smux.overlay_total")
+	cap := reg.Gauge("smux.overlay_cap")
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	p.AddRules(DefaultRules(DefaultSLO())...)
+
+	total.Set(100) // cap still 0: no hybrid VIPs, rule must skip
+	p.Tick()
+	clk.advance(1)
+	if !p.Healthy() {
+		t.Fatal("overlay rule fired with a zero capacity gauge")
+	}
+
+	cap.Set(1024)
+	total.Set(1000) // 97.6% of budget
+	p.Tick()
+	clk.advance(1)
+	if p.Healthy() {
+		t.Fatal("near-full overlay must fire")
+	}
+	alerts := p.Alerts()
+	if len(alerts) != 1 || alerts[0].Rule != "smux-overlay-occupancy" {
+		t.Fatalf("alerts = %+v, want smux-overlay-occupancy firing", alerts)
+	}
+
+	total.Set(0) // sweep reclaimed the pins
+	p.Tick()
+	if !p.Healthy() {
+		t.Fatal("emptied overlay must resolve")
+	}
+}
+
+// TestEpochDrainRule exercises the stuck-drain watchdog: a steer drain
+// window open for EpochDrainScrapes consecutive scrapes fires; a window
+// that closes in time never does.
+func TestEpochDrainRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	drains := reg.Gauge("steer.drains_active")
+	clk := &fakeClock{}
+	p := clk.pipeline(reg, nil, 8)
+	slo := DefaultSLO()
+	slo.EpochDrainScrapes = 3 // tighten so the test stays fast
+	p.AddRules(DefaultRules(slo)...)
+
+	// A drain that closes after two scrapes: never fires.
+	drains.Set(1)
+	for i := 0; i < 2; i++ {
+		p.Tick()
+		clk.advance(1)
+	}
+	drains.Set(0)
+	p.Tick()
+	clk.advance(1)
+	if !p.Healthy() {
+		t.Fatal("short drain window fired the stuck-drain rule")
+	}
+
+	// A drain that never closes: fires on the third consecutive scrape.
+	drains.Set(1)
+	for i := 0; i < 3; i++ {
+		if !p.Healthy() {
+			t.Fatalf("fired after only %d scrapes, want 3", i)
+		}
+		p.Tick()
+		clk.advance(1)
+	}
+	if p.Healthy() {
+		t.Fatal("stuck drain window did not fire")
+	}
+	alerts := p.Alerts()
+	last := alerts[len(alerts)-1]
+	if last.Rule != "steer-epoch-drain" || !last.Firing {
+		t.Fatalf("alerts = %+v, want steer-epoch-drain firing", alerts)
+	}
+}
+
 // TestConvergenceBacklogRule exercises the default switch-programming
 // watchdog against a synthesized backlog gauge: it needs two consecutive
 // breaching scrapes (For=2), matching a backlog that persists rather than a

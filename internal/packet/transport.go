@@ -162,6 +162,17 @@ func fiveTupleFromIP(ip *IPv4) (FiveTuple, error) {
 	return t, nil
 }
 
+// TCPFlags returns the TCP flags byte of a decoded IPv4 packet's transport
+// payload, or ok=false when the packet is not TCP (or is too short to carry
+// a flags byte). It reads one byte in place — no TCP header decode — so the
+// mux hot paths can classify SYN/FIN/RST without extra cost.
+func (h *IPv4) TCPFlags() (flags uint8, ok bool) {
+	if h.Protocol != ProtoTCP || len(h.payload) < 14 {
+		return 0, false
+	}
+	return h.payload[13] & 0x3f, true
+}
+
 // InnerFiveTuple extracts the 5-tuple of the packet encapsulated inside an
 // IP-in-IP packet. Host agents use it to pick the VM DIP in virtualized
 // clusters (paper §5.2, Figure 6).

@@ -4,28 +4,37 @@
 // prefixes), splits traffic with the same hash function as the HMuxes, and
 // encapsulates packets in software.
 //
-// Unlike the HMux, the SMux keeps per-connection state. That is what lets
-// Ananta add DIPs to a VIP without remapping existing connections — the
-// reason Duet bounces a VIP through the SMuxes during DIP addition
-// (paper §5.2).
+// 5-tuple→DIP resolution lives in the shared steer table
+// (internal/steer): an epoch-versioned consistent lookup table the paired
+// NIC mux reads too, so fall-through between tiers stays byte-identical.
+// On top of it the SMux offers three per-VIP consistency modes:
 //
-// Concurrency: the VIP table is immutable and published through an atomic
-// pointer with an epoch, exactly like the HMux tables — mutators rebuild
-// copy-on-write under a writer lock. The connection table is the one piece
-// of genuinely mutable dataplane state (a flow's first packet writes the
-// pinning every later packet reads), so it is sharded by flow hash with a
-// per-shard lock; concurrent Process calls on different flows touch
-// different shards and never serialize on a global lock.
+//   - stateful: every flow is pinned in the connection table on first
+//     packet (Ananta's behaviour — what lets DIP addition avoid remapping
+//     established connections, paper §5.2);
+//   - stateless: pure steer-table lookup, zero per-flow writes (Concury);
+//   - hybrid: steer-table lookup plus a bounded overlay that pins only the
+//     flows whose DIP would change across a table epoch, expiring once the
+//     old epoch drains ("LB Scalability: stateful vs stateless").
+//
+// Concurrency: the steer table is immutable generations behind an atomic
+// pointer. The connection table and hybrid overlay are the genuinely
+// mutable dataplane state, sharded by flow hash with per-shard locks;
+// concurrent Process calls on different flows touch different shards and
+// never serialize on a global lock.
 package smux
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 	"duet/internal/telemetry"
 )
 
@@ -37,6 +46,30 @@ const DefaultCapacityPPS = 300_000
 // selected by the top bits of the shared ECMP flow hash so shard choice is
 // uncorrelated with the low bits the 256-slot group tables consume.
 const connShards = 16
+
+// Defaults for the connection-lifetime knobs (clock seconds).
+const (
+	// DefaultConnIdle evicts a stateful entry this long after its last
+	// packet. Matches typical LB idle timeouts (minutes, not hours).
+	DefaultConnIdle = 300.0
+	// DefaultFinLinger keeps a FIN/RST-ed entry just long enough for the
+	// closing handshake's stragglers, then frees the slot — the fix for
+	// closed flows pinning table memory through long floods.
+	DefaultFinLinger = 15.0
+	// DefaultOverlayTTL expires an idle hybrid pin. Refreshed on traffic,
+	// so only flows that went quiet (or ended) age out.
+	DefaultOverlayTTL = 60.0
+	// DefaultMaxOverlay bounds the hybrid overlay; when full, straddling
+	// flows are served from the old generation unpinned (and counted).
+	DefaultMaxOverlay = 1 << 16
+)
+
+// Rough per-entry memory footprints for the occupancy gauges: map key +
+// value + amortized bucket overhead (+ FIFO order slot for conn entries).
+const (
+	connEntryBytes    = 112
+	overlayEntryBytes = 96
+)
 
 // Errors returned by the SMux.
 var (
@@ -62,9 +95,32 @@ type Config struct {
 	// slightly under MaxConnections when flows hash unevenly.
 	MaxConnections int
 
-	// DisableConnTracking turns off per-connection state entirely; every
-	// packet is mapped by hash alone. Used by ablation experiments.
+	// MaxOverlay bounds the hybrid overlay; 0 means DefaultMaxOverlay.
+	MaxOverlay int
+
+	// Steer, when non-nil, is the shared lookup table this SMux resolves
+	// and mutates — the same instance its paired NIC mux reads. Nil creates
+	// a private table.
+	Steer *steer.Table
+
+	// DefaultMode is the steering mode for VIPs added without one. Only
+	// consulted when Steer is nil (a shared table carries its own default).
+	DefaultMode steer.Mode
+
+	// DisableConnTracking forces stateless resolution for every packet
+	// regardless of per-VIP mode; no conn-table or overlay writes. Used by
+	// ablation experiments.
 	DisableConnTracking bool
+
+	// ConnIdleSec, FinLingerSec and OverlayTTLSec override the entry
+	// lifetime defaults above; 0 keeps the default.
+	ConnIdleSec   float64
+	FinLingerSec  float64
+	OverlayTTLSec float64
+
+	// Clock supplies the seconds timeline for idle eviction and epoch
+	// drains. Nil means a monotonic wall clock; tests inject virtual time.
+	Clock func() float64
 }
 
 // DefaultConfig returns a production-like SMux configuration.
@@ -72,38 +128,53 @@ func DefaultConfig(self packet.Addr) Config {
 	return Config{SelfAddr: self, CapacityPPS: DefaultCapacityPPS}
 }
 
-type entry struct {
-	group    *ecmp.Group
-	encaps   []packet.Addr
-	backends []service.Backend
-	ports    map[uint16]*entry
-}
-
-// vipTable is one immutable generation of the SMux's VIP mapping.
-type vipTable struct {
-	epoch uint64
-	vips  map[packet.Addr]*entry
+// connEntry is one pinned connection: the DIP plus its eviction deadline.
+type connEntry struct {
+	dip      packet.Addr
+	expireAt float64
 }
 
 // connShard is one lock-striped slice of the connection table. Flows map to
 // shards by hash, so one flow's packets always serialize on the same shard.
 type connShard struct {
 	mu    sync.Mutex
-	conns map[packet.FiveTuple]packet.Addr
+	conns map[packet.FiveTuple]connEntry
 	order []packet.FiveTuple // FIFO eviction order
 	_     [24]byte           // pad toward a cache line to curb false sharing
 }
 
+// overlayPin is one hybrid overlay entry: the DIP a straddling flow stays
+// pinned to, plus its idle deadline.
+type overlayPin struct {
+	dip      packet.Addr
+	expireAt float64
+}
+
+// overlayShard is one lock-striped slice of the hybrid overlay.
+type overlayShard struct {
+	mu   sync.Mutex
+	pins map[packet.FiveTuple]overlayPin
+	_    [24]byte
+}
+
 // Mux is one software mux. Process and Lookup are safe for concurrent
-// callers; VIP programming serializes on an internal writer lock.
+// callers; VIP programming serializes on the steer table's writer lock.
 type Mux struct {
 	cfg Config
 
-	tab atomic.Pointer[vipTable]
-	mu  sync.Mutex // serializes VIP-table writers
+	steer *steer.Table
 
-	shards      [connShards]connShard
-	perShardMax int
+	shards        [connShards]connShard
+	overlays      [connShards]overlayShard
+	perShardMax   int
+	perOverlayMax int
+
+	connIdle   float64
+	finLinger  float64
+	overlayTTL float64
+
+	clock   func() float64
+	nowBits atomic.Uint64 // coarse clock (float64 bits), refreshed by Tick
 
 	processed atomic.Uint64 // packets processed (for CPU accounting)
 
@@ -120,12 +191,17 @@ type muxTelemetry struct {
 	packets, encapped          telemetry.CounterShard
 	connHits, connMisses       telemetry.CounterShard
 	connInserts, connEvictions telemetry.CounterShard
+	connIdleEvictions          telemetry.CounterShard
+	overlayPins, overlayHits   telemetry.CounterShard
+	overlayRejected            telemetry.CounterShard
+	overlayExpired             telemetry.CounterShard
 	fastPathOffers             telemetry.CounterShard
 
 	dropMalformed, dropUnknownVIP telemetry.CounterShard
 	dropNoBackend, dropEncapError telemetry.CounterShard
 
 	connections *telemetry.Gauge
+	overlay     *telemetry.Gauge
 
 	rec  *telemetry.Recorder
 	node uint32
@@ -134,26 +210,32 @@ type muxTelemetry struct {
 // SetTelemetry attaches the mux to a metric registry and flight recorder.
 // node identifies this SMux in trace events. Counters are shared across the
 // fleet on the same registry; each mux claims its own shard. The
-// smux.connections gauge tracks only this mux's table (last writer wins when
-// several muxes share a registry name; fleet-wide occupancy comes from the
-// per-mux Connections accessor). Call during setup, not concurrently with
-// Process.
+// smux.connections and smux.overlay gauges track only this mux's tables
+// (last writer wins when several muxes share a registry name; fleet-wide
+// occupancy comes from the per-mux ConnStats accessor). Call during setup,
+// not concurrently with Process.
 func (m *Mux) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, node uint32) {
 	m.tel = muxTelemetry{
-		packets:        reg.Counter("smux.packets").Shard(),
-		encapped:       reg.Counter("smux.encapped").Shard(),
-		connHits:       reg.Counter("smux.conn.hits").Shard(),
-		connMisses:     reg.Counter("smux.conn.misses").Shard(),
-		connInserts:    reg.Counter("smux.conn.inserts").Shard(),
-		connEvictions:  reg.Counter("smux.conn.evictions").Shard(),
-		fastPathOffers: reg.Counter("smux.fastpath.offers").Shard(),
-		dropMalformed:  reg.Counter("smux.drops.malformed").Shard(),
-		dropUnknownVIP: reg.Counter("smux.drops.unknown_vip").Shard(),
-		dropNoBackend:  reg.Counter("smux.drops.no_backend").Shard(),
-		dropEncapError: reg.Counter("smux.drops.encap_error").Shard(),
-		connections:    reg.Gauge("smux.connections"),
-		rec:            rec,
-		node:           node,
+		packets:           reg.Counter("smux.packets").Shard(),
+		encapped:          reg.Counter("smux.encapped").Shard(),
+		connHits:          reg.Counter("smux.conn.hits").Shard(),
+		connMisses:        reg.Counter("smux.conn.misses").Shard(),
+		connInserts:       reg.Counter("smux.conn.inserts").Shard(),
+		connEvictions:     reg.Counter("smux.conn.evictions").Shard(),
+		connIdleEvictions: reg.Counter("smux.conn.idle_evictions").Shard(),
+		overlayPins:       reg.Counter("smux.overlay.pins").Shard(),
+		overlayHits:       reg.Counter("smux.overlay.hits").Shard(),
+		overlayRejected:   reg.Counter("smux.overlay.rejected_full").Shard(),
+		overlayExpired:    reg.Counter("smux.overlay.expired").Shard(),
+		fastPathOffers:    reg.Counter("smux.fastpath.offers").Shard(),
+		dropMalformed:     reg.Counter("smux.drops.malformed").Shard(),
+		dropUnknownVIP:    reg.Counter("smux.drops.unknown_vip").Shard(),
+		dropNoBackend:     reg.Counter("smux.drops.no_backend").Shard(),
+		dropEncapError:    reg.Counter("smux.drops.encap_error").Shard(),
+		connections:       reg.Gauge("smux.connections"),
+		overlay:           reg.Gauge("smux.overlay"),
+		rec:               rec,
+		node:              node,
 	}
 }
 
@@ -181,40 +263,57 @@ func New(cfg Config) *Mux {
 	if cfg.MaxConnections <= 0 {
 		cfg.MaxConnections = 1 << 20
 	}
+	if cfg.MaxOverlay <= 0 {
+		cfg.MaxOverlay = DefaultMaxOverlay
+	}
 	m := &Mux{cfg: cfg}
 	m.perShardMax = cfg.MaxConnections / connShards
 	if m.perShardMax < 1 {
 		m.perShardMax = 1
 	}
-	for i := range m.shards {
-		m.shards[i].conns = make(map[packet.FiveTuple]packet.Addr)
+	m.perOverlayMax = cfg.MaxOverlay / connShards
+	if m.perOverlayMax < 1 {
+		m.perOverlayMax = 1
 	}
-	m.tab.Store(&vipTable{vips: make(map[packet.Addr]*entry)})
+	m.connIdle = defaultIf(cfg.ConnIdleSec, DefaultConnIdle)
+	m.finLinger = defaultIf(cfg.FinLingerSec, DefaultFinLinger)
+	m.overlayTTL = defaultIf(cfg.OverlayTTLSec, DefaultOverlayTTL)
+	m.clock = cfg.Clock
+	if m.clock == nil {
+		start := time.Now()
+		m.clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	m.nowBits.Store(math.Float64bits(m.clock()))
+	m.steer = cfg.Steer
+	if m.steer == nil {
+		mode := cfg.DefaultMode
+		if cfg.DisableConnTracking {
+			mode = steer.ModeStateless
+		}
+		m.steer = steer.NewTable(steer.Config{DefaultMode: mode, Clock: m.clock})
+	}
+	for i := range m.shards {
+		m.shards[i].conns = make(map[packet.FiveTuple]connEntry)
+		m.overlays[i].pins = make(map[packet.FiveTuple]overlayPin)
+	}
 	return m
 }
 
-// shardFor returns the connection shard for a flow hash. The top bits are
-// used so shard selection stays independent of the group slot index (low
-// bits) derived from the same hash.
-func (m *Mux) shardFor(h uint64) *connShard {
-	return &m.shards[(h>>48)&(connShards-1)]
-}
-
-// publish installs a new VIP-table generation. Must hold m.mu.
-func (m *Mux) publish(vips map[packet.Addr]*entry) {
-	cur := m.tab.Load()
-	m.tab.Store(&vipTable{epoch: cur.epoch + 1, vips: vips})
-}
-
-// cloneVIPs copies the current VIP map for mutation. Must hold m.mu.
-func (m *Mux) cloneVIPs() map[packet.Addr]*entry {
-	cur := m.tab.Load().vips
-	cp := make(map[packet.Addr]*entry, len(cur)+1)
-	for k, v := range cur {
-		cp[k] = v
+func defaultIf(v, def float64) float64 {
+	if v <= 0 {
+		return def
 	}
-	return cp
+	return v
 }
+
+// shardFor returns the connection shard index for a flow hash. The top bits
+// are used so shard selection stays independent of the slot index (low bits)
+// derived from the same hash.
+func shardFor(h uint64) int { return int((h >> 48) & (connShards - 1)) }
+
+// coarseNow returns the clock reading as of the last Tick. The hot path
+// reads this instead of the clock itself — one atomic load per packet.
+func (m *Mux) coarseNow() float64 { return math.Float64frombits(m.nowBits.Load()) }
 
 // Self returns the mux's address.
 func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
@@ -225,8 +324,12 @@ func (m *Mux) CapacityPPS() float64 { return m.cfg.CapacityPPS }
 // Processed returns the number of packets processed since creation.
 func (m *Mux) Processed() uint64 { return m.processed.Load() }
 
-// Epoch returns the VIP-table generation, bumped on every mutation.
-func (m *Mux) Epoch() uint64 { return m.tab.Load().epoch }
+// Steer returns the lookup table this mux resolves through — the instance
+// to share with a paired NIC mux.
+func (m *Mux) Steer() *steer.Table { return m.steer }
+
+// Epoch returns the steer-table generation, bumped on every mutation.
+func (m *Mux) Epoch() uint64 { return m.steer.Epoch() }
 
 // Connections returns the current connection-table size across all shards.
 func (m *Mux) Connections() int {
@@ -240,79 +343,101 @@ func (m *Mux) Connections() int {
 	return total
 }
 
-func buildEntry(backends []service.Backend) *entry {
-	e := &entry{
-		group:    ecmp.NewGroup(),
-		encaps:   make([]packet.Addr, len(backends)),
-		backends: append([]service.Backend(nil), backends...),
+// OverlayEntries returns the current hybrid-overlay population.
+func (m *Mux) OverlayEntries() int {
+	total := 0
+	for i := range m.overlays {
+		s := &m.overlays[i]
+		s.mu.Lock()
+		total += len(s.pins)
+		s.mu.Unlock()
 	}
-	for i, b := range backends {
-		e.encaps[i] = b.Addr
-		e.group.AddWeighted(uint32(i), b.Weight)
-	}
-	return e
+	return total
 }
 
-func buildVIPEntry(v *service.VIP) *entry {
-	e := buildEntry(v.Backends)
-	if len(v.Ports) > 0 {
-		e.ports = make(map[uint16]*entry, len(v.Ports))
-		for _, pr := range v.Ports {
-			e.ports[pr.Port] = buildEntry(pr.Backends)
+// ConnStats is a point-in-time occupancy snapshot of the mux's per-flow
+// state, for the memory gauges (conn-table growth used to be invisible
+// until OOM).
+type ConnStats struct {
+	Entries    int   // pinned connections across all shards
+	ShardMax   int   // most-loaded shard's entry count
+	Bytes      int64 // rough memory estimate, conn table + overlay
+	Overlay    int   // hybrid overlay pins
+	OverlayCap int   // configured overlay bound
+}
+
+// ConnStats returns the current per-flow state occupancy.
+func (m *Mux) ConnStats() ConnStats {
+	st := ConnStats{OverlayCap: m.cfg.MaxOverlay}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		st.Entries += n
+		if n > st.ShardMax {
+			st.ShardMax = n
 		}
 	}
-	return e
+	st.Overlay = m.OverlayEntries()
+	st.Bytes = int64(st.Entries)*connEntryBytes + int64(st.Overlay)*overlayEntryBytes
+	return st
 }
 
-// AddVIP installs a VIP. Unlike the HMux there is no capacity limit: the
-// mapping lives in server memory (paper §2.1 "essentially an unlimited
-// number of VIPs and DIPs").
+// AddVIP installs a VIP with the table's default mode. Unlike the HMux
+// there is no capacity limit: the mapping lives in server memory (paper
+// §2.1 "essentially an unlimited number of VIPs and DIPs").
 func (m *Mux) AddVIP(v *service.VIP) error {
-	if err := v.Validate(); err != nil {
+	if err := m.steer.Add(v); err != nil {
+		if err == steer.ErrVIPExists {
+			return ErrVIPExists
+		}
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.tab.Load().vips[v.Addr]; ok {
-		return ErrVIPExists
-	}
-	vips := m.cloneVIPs()
-	vips[v.Addr] = buildVIPEntry(v)
-	m.publish(vips)
 	return nil
 }
 
-// UpdateVIP replaces a VIP's backend set. Existing connections keep flowing
-// to their pinned DIPs through the connection table, so DIP addition does
-// not remap them.
+// UpdateVIP replaces a VIP's backend set. Stateful and hybrid flows keep
+// flowing to their pinned DIPs, so DIP addition does not remap them.
 func (m *Mux) UpdateVIP(v *service.VIP) error {
-	if err := v.Validate(); err != nil {
+	if err := m.steer.Update(v); err != nil {
+		if err == steer.ErrVIPNotFound {
+			return ErrVIPNotFound
+		}
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.tab.Load().vips[v.Addr]; !ok {
-		return ErrVIPNotFound
-	}
-	vips := m.cloneVIPs()
-	vips[v.Addr] = buildVIPEntry(v)
-	m.publish(vips)
 	return nil
 }
 
-// RemoveVIP withdraws a VIP and drops its pinned connections.
+// RemoveVIP withdraws a VIP and drops its pinned connections and overlay
+// entries.
 func (m *Mux) RemoveVIP(addr packet.Addr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.tab.Load().vips[addr]; !ok {
-		return ErrVIPNotFound
+	if err := m.steer.RemoveVIP(addr); err != nil {
+		if err == steer.ErrVIPNotFound {
+			return ErrVIPNotFound
+		}
+		return err
 	}
-	vips := m.cloneVIPs()
-	delete(vips, addr)
-	m.publish(vips)
 	m.dropConns(func(t packet.FiveTuple, _ packet.Addr) bool { return t.Dst == addr })
+	m.dropOverlay(func(t packet.FiveTuple, _ packet.Addr) bool { return t.Dst == addr })
 	return nil
 }
+
+// SetVIPMode changes a VIP's steering mode. Mode changes take effect on the
+// next packet of every flow; pinned state from the previous mode stays
+// honored in stateful/hybrid and is simply ignored in stateless.
+func (m *Mux) SetVIPMode(addr packet.Addr, mode steer.Mode) error {
+	if err := m.steer.SetMode(addr, mode); err != nil {
+		if err == steer.ErrVIPNotFound {
+			return ErrVIPNotFound
+		}
+		return err
+	}
+	return nil
+}
+
+// ModeOf returns a VIP's steering mode.
+func (m *Mux) ModeOf(addr packet.Addr) (steer.Mode, bool) { return m.steer.ModeOf(addr) }
 
 // dropConns removes pinned connections matching the predicate from every
 // shard and keeps the occupancy gauge in sync.
@@ -321,8 +446,8 @@ func (m *Mux) dropConns(match func(packet.FiveTuple, packet.Addr) bool) {
 		s := &m.shards[i]
 		s.mu.Lock()
 		before := len(s.conns)
-		for t, d := range s.conns {
-			if match(t, d) {
+		for t, c := range s.conns {
+			if match(t, c.dip) {
 				delete(s.conns, t)
 			}
 		}
@@ -331,68 +456,65 @@ func (m *Mux) dropConns(match func(packet.FiveTuple, packet.Addr) bool) {
 	}
 }
 
-// HasVIP reports whether the VIP is configured.
-func (m *Mux) HasVIP(addr packet.Addr) bool {
-	_, ok := m.tab.Load().vips[addr]
-	return ok
+// dropOverlay removes overlay pins matching the predicate.
+func (m *Mux) dropOverlay(match func(packet.FiveTuple, packet.Addr) bool) {
+	for i := range m.overlays {
+		s := &m.overlays[i]
+		s.mu.Lock()
+		before := len(s.pins)
+		for t, p := range s.pins {
+			if match(t, p.dip) {
+				delete(s.pins, t)
+			}
+		}
+		m.tel.overlay.Add(int64(len(s.pins) - before))
+		s.mu.Unlock()
+	}
 }
 
+// HasVIP reports whether the VIP is configured.
+func (m *Mux) HasVIP(addr packet.Addr) bool { return m.steer.HasVIP(addr) }
+
 // NumVIPs returns the configured VIP count.
-func (m *Mux) NumVIPs() int { return len(m.tab.Load().vips) }
+func (m *Mux) NumVIPs() int { return m.steer.NumVIPs() }
 
 // RemoveBackend removes a DIP resiliently (same semantics as the HMux) and
 // terminates connections pinned to it (paper §5.1 "DIP failure": existing
-// connections to the failed DIP are necessarily terminated). The entry is
-// cloned and republished so in-flight Process calls see a complete group.
+// connections to the failed DIP are necessarily terminated).
 func (m *Mux) RemoveBackend(vip, dip packet.Addr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.tab.Load().vips[vip]
-	if !ok {
-		return ErrVIPNotFound
+	if err := m.steer.RemoveBackend(vip, dip); err != nil {
+		if err == steer.ErrVIPNotFound || err == steer.ErrBackendNotFound {
+			return ErrVIPNotFound
+		}
+		return err
 	}
-	for i, b := range e.backends {
-		if b.Addr != dip {
-			continue
-		}
-		cp := &entry{
-			group:    e.group.Clone(),
-			encaps:   append([]packet.Addr(nil), e.encaps...),
-			backends: append([]service.Backend(nil), e.backends...),
-			ports:    e.ports,
-		}
-		if err := cp.group.Remove(uint32(i)); err != nil {
-			return err
-		}
-		cp.backends[i] = service.Backend{}
-		vips := m.cloneVIPs()
-		vips[vip] = cp
-		m.publish(vips)
-		m.dropConns(func(t packet.FiveTuple, d packet.Addr) bool {
-			return t.Dst == vip && d == dip
-		})
-		return nil
-	}
-	return ErrVIPNotFound
+	m.dropConns(func(t packet.FiveTuple, d packet.Addr) bool {
+		return t.Dst == vip && d == dip
+	})
+	m.dropOverlay(func(t packet.FiveTuple, d packet.Addr) bool {
+		return t.Dst == vip && d == dip
+	})
+	return nil
 }
 
 // Result describes the outcome of Process.
 type Result struct {
 	Encap  packet.Addr
 	Packet []byte
-	// Pinned reports the DIP came from the connection table rather than a
-	// fresh hash.
+	// Mode is the steering mode that resolved this packet.
+	Mode steer.Mode
+	// Pinned reports the DIP came from per-flow state (connection table or
+	// hybrid overlay) rather than a fresh table lookup.
 	Pinned bool
 	// FastPath, when non-nil, is an offer for the source's host agent to
 	// bypass the mux for the rest of this flow (Ananta's fast path, §2.1).
 	FastPath *FastPathOffer
 }
 
-// Process load-balances one packet: decode, look up the VIP, select the DIP
-// (connection table first, then shared hash), encapsulate. The encapsulated
-// packet is appended to out. Safe for concurrent callers: the VIP table is
-// read from one atomic load, and connection pinning locks only the flow's
-// hash shard.
+// Process load-balances one packet: decode, look up the VIP in the steer
+// table, resolve the DIP per the VIP's mode, encapsulate. The encapsulated
+// packet is appended to out. Safe for concurrent callers: resolution is one
+// atomic table load, and per-flow pinning locks only the flow's hash shard.
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.processed.Add(1)
 	m.tel.packets.Inc()
@@ -404,7 +526,8 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	if err := ip.DecodeFromBytes(data); err != nil {
 		return Result{}, m.drop(telemetry.DropMalformed, 0, err)
 	}
-	e, ok := m.tab.Load().vips[ip.Dst]
+	view := m.steer.View()
+	e, ok := view.Find(ip.Dst)
 	if !ok {
 		return Result{}, m.drop(telemetry.DropUnknownVIP, ip.Dst, ErrVIPNotFound)
 	}
@@ -415,34 +538,49 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	if sampled {
 		m.tel.rec.Record(telemetry.KindVIPLookup, m.tel.node, uint32(tuple.Dst), 0, 0)
 	}
-	sel := e
-	if e.ports != nil {
-		if pe, ok := e.ports[tuple.DstPort]; ok {
-			sel = pe
-		}
-	}
+	flags, isTCP := ip.TCPFlags()
 
-	// One hash per packet, reused for the connection shard (top bits) and
-	// the ECMP slot pick (low bits) — the same sharing the HMux hardware
-	// pipeline gets from computing hash(5-tuple) once per stage.
+	// One hash per packet, reused for the state shard (top bits) and the
+	// slot pick (low bits) — the same sharing the HMux hardware pipeline
+	// gets from computing hash(5-tuple) once per stage.
 	h := ecmp.Hash(tuple)
+	mode := e.Mode()
+	if m.cfg.DisableConnTracking {
+		mode = steer.ModeStateless
+	}
+	now := m.coarseNow()
 	var dip packet.Addr
 	pinned := false
-	if !m.cfg.DisableConnTracking {
-		s := m.shardFor(h)
+	switch mode {
+	case steer.ModeStateful:
+		s := &m.shards[shardFor(h)]
 		s.mu.Lock()
-		if d, ok := s.conns[tuple]; ok {
-			dip, pinned = d, true
+		if c, ok := s.conns[tuple]; ok {
+			dip, pinned = c.dip, true
+			if isTCP && flags&(packet.TCPFin|packet.TCPRst) != 0 {
+				// Closing flow: shorten the deadline so the slot frees soon
+				// instead of holding table memory for the full idle window.
+				c.expireAt = now + m.finLinger
+				s.conns[tuple] = c
+			} else if c.expireAt < now+m.connIdle/2 {
+				// Refresh lazily (at most once per half idle window) to keep
+				// the hit path free of per-packet map writes.
+				c.expireAt = now + m.connIdle
+				s.conns[tuple] = c
+			}
 			s.mu.Unlock()
 		} else {
-			member, err := sel.group.Select(h)
+			dip, err = e.DIP(tuple, h)
 			if err != nil {
 				s.mu.Unlock()
 				return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
 			}
-			dip = sel.encaps[member]
 			if len(s.conns) < m.perShardMax {
-				s.conns[tuple] = dip
+				ttl := m.connIdle
+				if isTCP && flags&(packet.TCPFin|packet.TCPRst) != 0 {
+					ttl = m.finLinger
+				}
+				s.conns[tuple] = connEntry{dip: dip, expireAt: now + ttl}
 				s.order = append(s.order, tuple)
 				m.tel.connInserts.Inc()
 				m.evictShard(s)
@@ -450,12 +588,64 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 			}
 			s.mu.Unlock()
 		}
-	} else {
-		member, err := sel.group.Select(h)
+
+	case steer.ModeStateless:
+		dip, err = e.DIP(tuple, h)
 		if err != nil {
 			return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
 		}
-		dip = sel.encaps[member]
+
+	case steer.ModeHybrid:
+		os := &m.overlays[shardFor(h)]
+		os.mu.Lock()
+		if p, ok := os.pins[tuple]; ok {
+			dip, pinned = p.dip, true
+			if isTCP && flags&(packet.TCPFin|packet.TCPRst) != 0 {
+				p.expireAt = now + m.finLinger
+				os.pins[tuple] = p
+			} else if p.expireAt < now+m.overlayTTL/2 {
+				p.expireAt = now + m.overlayTTL
+				os.pins[tuple] = p
+			}
+			os.mu.Unlock()
+			m.tel.overlayHits.Inc()
+		} else {
+			os.mu.Unlock()
+			dip, err = e.DIP(tuple, h)
+			if err != nil {
+				return Result{}, m.drop(telemetry.DropNoBackend, tuple.Dst, err)
+			}
+			if view.DrainActive(now) {
+				// A flow straddles the epoch boundary when its DIP differs
+				// between generations. A fresh SYN belongs to the new
+				// generation; anything else predates it and must keep the
+				// old mapping — unless that DIP is gone from the current
+				// generation (DIP failure): those connections are
+				// necessarily terminated (§5.1) and rehash instead.
+				if prev, ok := view.PrevDIP(tuple, h); ok && prev != dip && e.HasLive(tuple, prev) {
+					pinDip := prev
+					if isTCP && flags&packet.TCPSyn != 0 && flags&packet.TCPAck == 0 {
+						pinDip = dip
+					}
+					os.mu.Lock()
+					if _, dup := os.pins[tuple]; !dup && len(os.pins) < m.perOverlayMax {
+						os.pins[tuple] = overlayPin{dip: pinDip, expireAt: now + m.overlayTTL}
+						os.mu.Unlock()
+						m.tel.overlayPins.Inc()
+						m.tel.overlay.Add(1)
+					} else {
+						os.mu.Unlock()
+						if !dup {
+							m.tel.overlayRejected.Inc()
+						}
+					}
+					// Served per the pin decision even when the overlay is
+					// full: the recompute is deterministic while the drain
+					// lasts, so the flow stays consistent until it expires.
+					dip = pinDip
+				}
+			}
+		}
 	}
 	if pinned {
 		m.tel.connHits.Inc()
@@ -483,7 +673,7 @@ func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 		m.tel.fastPathOffers.Inc()
 		m.tel.rec.Record(telemetry.KindFastPath, m.tel.node, uint32(tuple.Dst), uint32(dip), 0)
 	}
-	return Result{Encap: dip, Packet: pkt, Pinned: pinned, FastPath: offer}, nil
+	return Result{Encap: dip, Packet: pkt, Mode: mode, Pinned: pinned, FastPath: offer}, nil
 }
 
 // evictShard trims stale FIFO entries whose connections have already been
@@ -500,32 +690,97 @@ func (m *Mux) evictShard(s *connShard) {
 	}
 }
 
+// Tick advances the mux's coarse clock and sweeps expired per-flow state:
+// idle and FIN/RST-lingered connections, idle overlay pins, overlay pins
+// whose DIP converged back to the live table, and the steer table's drained
+// previous generation. Call it periodically (the scrape interval is the
+// natural cadence); tests drive it with an injected clock.
+func (m *Mux) Tick() {
+	now := m.clock()
+	m.nowBits.Store(math.Float64bits(now))
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		freed := 0
+		for t, c := range s.conns {
+			if c.expireAt <= now {
+				delete(s.conns, t)
+				freed++
+			}
+		}
+		s.mu.Unlock()
+		if freed > 0 {
+			m.tel.connIdleEvictions.Add(uint64(freed))
+			m.tel.connections.Add(int64(-freed))
+		}
+	}
+	view := m.steer.View()
+	drainActive := view.DrainActive(now)
+	for i := range m.overlays {
+		s := &m.overlays[i]
+		s.mu.Lock()
+		freed := 0
+		for t, p := range s.pins {
+			if p.expireAt <= now {
+				delete(s.pins, t)
+				freed++
+				continue
+			}
+			if drainActive {
+				continue
+			}
+			// The old epoch has drained; pins whose DIP matches the live
+			// table again (e.g. after remove + re-add convergence) are
+			// redundant and can free their slot.
+			if e, ok := view.Find(t.Dst); ok {
+				if d, err := e.DIP(t, ecmp.Hash(t)); err == nil && d == p.dip {
+					delete(s.pins, t)
+					freed++
+				}
+			}
+		}
+		s.mu.Unlock()
+		if freed > 0 {
+			m.tel.overlayExpired.Add(uint64(freed))
+			m.tel.overlay.Add(int64(-freed))
+		}
+	}
+	m.steer.ReleaseDrained()
+}
+
 // Lookup returns the DIP Process would pick for a tuple without mutating
-// connection state.
+// per-flow state. During an active epoch drain in hybrid mode it reports
+// the live table's pick (Process may still serve the old generation for
+// not-yet-pinned established flows — that decision needs the packet's TCP
+// flags, which a tuple does not carry).
 func (m *Mux) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
-	e, ok := m.tab.Load().vips[tuple.Dst]
+	view := m.steer.View()
+	e, ok := view.Find(tuple.Dst)
 	if !ok {
 		return 0, ErrVIPNotFound
 	}
-	sel := e
-	if e.ports != nil {
-		if pe, ok := e.ports[tuple.DstPort]; ok {
-			sel = pe
-		}
-	}
 	h := ecmp.Hash(tuple)
-	if !m.cfg.DisableConnTracking {
-		s := m.shardFor(h)
+	mode := e.Mode()
+	if m.cfg.DisableConnTracking {
+		mode = steer.ModeStateless
+	}
+	switch mode {
+	case steer.ModeStateful:
+		s := &m.shards[shardFor(h)]
 		s.mu.Lock()
-		d, ok := s.conns[tuple]
+		c, ok := s.conns[tuple]
 		s.mu.Unlock()
 		if ok {
-			return d, nil
+			return c.dip, nil
+		}
+	case steer.ModeHybrid:
+		s := &m.overlays[shardFor(h)]
+		s.mu.Lock()
+		p, ok := s.pins[tuple]
+		s.mu.Unlock()
+		if ok {
+			return p.dip, nil
 		}
 	}
-	member, err := sel.group.Select(h)
-	if err != nil {
-		return 0, err
-	}
-	return sel.encaps[member], nil
+	return e.DIP(tuple, h)
 }

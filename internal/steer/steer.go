@@ -1,0 +1,530 @@
+// Package steer is the shared stateless 5-tuple→DIP lookup layer extracted
+// from the per-tier muxes: an epoch-versioned, Maglev/Concury-style
+// consistent lookup table published behind an atomic pointer, keyed by the
+// same ECMP flow hash every tier computes (paper §3.3.1 — shared hashing is
+// what keeps tier fall-through invisible to connections).
+//
+// Each VIP's resolution is a flat slot array (hash % slots → DIP address)
+// materialized from the same resilient-hashing ecmp.Group the HMux programs,
+// so for a given VIP, backend list and mutation history, the steer table,
+// the SMux, the NMux and the HMux all pick the SAME DIP for the same
+// 5-tuple. Lookups are one atomic load, one map probe and one slice index —
+// zero allocations, no locks.
+//
+// Updates follow Concury's concise-structure discipline: a mutation rebuilds
+// only the touched VIP's entry copy-on-write and publishes a new generation
+// with a bumped epoch. Because ecmp.Group removal is resilient and its
+// rebuild is deterministic in the backend list, removing a DIP and later
+// re-adding it returns the slot array exactly to its original state — flows
+// that never hashed to the churned DIP never remap, which is what lets an
+// SMux serve them statelessly across epochs.
+//
+// The table also keeps the immediately previous generation alive for a
+// bounded drain window after each slot-changing mutation. A hybrid-mode SMux
+// compares the current and previous pick for a flow and pins only the flows
+// whose DIP would change across the epoch ("LB Scalability: stateful vs
+// stateless" — a small stateful overlay instead of per-flow state for
+// everything).
+package steer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+// Mode selects how an SMux resolves a VIP's flows against the steer table.
+// The zero value is ModeStateful, today's behaviour.
+type Mode uint8
+
+const (
+	// ModeStateful pins every flow in the SMux connection table on first
+	// packet (Ananta §2.1). Strongest consistency, one table entry per flow.
+	ModeStateful Mode = iota
+	// ModeStateless resolves every packet through the steer table alone:
+	// zero per-flow state. Consistent across epochs only as far as the
+	// resilient table is (flows hashing to a churned DIP's slots remap).
+	ModeStateless
+	// ModeHybrid resolves through the steer table but pins, in a bounded
+	// overlay, only the flows whose DIP would change across a table epoch;
+	// pins expire once the flow goes idle or the table converges back.
+	ModeHybrid
+
+	numModes
+)
+
+// String returns the spec/flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeStateful:
+		return "stateful"
+	case ModeStateless:
+		return "stateless"
+	case ModeHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode parses the spec/flag spelling of a mode. The empty string parses
+// to ModeStateful so specs that predate modes keep their behaviour.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "stateful":
+		return ModeStateful, nil
+	case "stateless":
+		return ModeStateless, nil
+	case "hybrid":
+		return ModeHybrid, nil
+	}
+	return ModeStateful, fmt.Errorf("steer: unknown mode %q (want stateful|stateless|hybrid)", s)
+}
+
+// Modes lists every mode, for tests and tooling that sweep all of them.
+func Modes() []Mode { return []Mode{ModeStateful, ModeStateless, ModeHybrid} }
+
+// DefaultDrainWindow is how long (in clock seconds) the previous generation
+// stays consultable after a slot-changing mutation. Long enough for every
+// in-flight flow to show a packet (and get pinned by a hybrid SMux), short
+// enough that back-to-back epochs don't chain generations.
+const DefaultDrainWindow = 30.0
+
+// Errors returned by table operations.
+var (
+	ErrVIPExists       = errors.New("steer: VIP already present")
+	ErrVIPNotFound     = errors.New("steer: VIP not present")
+	ErrBackendNotFound = errors.New("steer: backend not present")
+	ErrNoBackend       = errors.New("steer: VIP has no live backend")
+)
+
+// Config parameterizes a Table.
+type Config struct {
+	// Slots is the per-VIP slot-array size; 0 means ecmp.DefaultSlots. It
+	// must match the paired HMux's group size for cross-tier agreement.
+	Slots int
+	// DrainWindow is the previous-generation lifetime in clock seconds;
+	// 0 means DefaultDrainWindow, negative disables draining entirely.
+	DrainWindow float64
+	// Clock supplies the drain timestamps; nil means a zero clock (drains
+	// then never expire on their own — callers that care inject one).
+	Clock func() float64
+	// DefaultMode is the mode assigned to VIPs added without one. The zero
+	// value keeps today's behaviour (stateful).
+	DefaultMode Mode
+}
+
+// Entry is one VIP's immutable resolution state inside a generation: the
+// flattened slot array plus the group it was materialized from (kept only
+// for copy-on-write mutation; lookups never touch it).
+type Entry struct {
+	slots    []packet.Addr
+	group    *ecmp.Group
+	encaps   []packet.Addr
+	backends []service.Backend
+	live     map[packet.Addr]struct{} // current (non-removed) backend set
+	ports    map[uint16]*Entry
+	mode     Mode
+}
+
+// Mode returns the VIP's steering mode.
+func (e *Entry) Mode() Mode { return e.mode }
+
+// Backends returns the VIP's backend list (removed DIPs appear zeroed, same
+// as the mux bookkeeping this replaces). Callers must not mutate it.
+func (e *Entry) Backends() []service.Backend { return e.backends }
+
+// DIP resolves the tuple against the entry: port sub-entry first, then the
+// slot array at hash % slots. Zero allocations.
+func (e *Entry) DIP(tuple packet.FiveTuple, h uint64) (packet.Addr, error) {
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+	if len(sel.slots) == 0 {
+		return 0, ErrNoBackend
+	}
+	return sel.slots[h%uint64(len(sel.slots))], nil
+}
+
+// HasLive reports whether d is a live backend of the sub-entry serving
+// tuple. Hybrid muxes use it to refuse pinning a flow to a DIP the current
+// generation no longer serves (a failed DIP's connections are necessarily
+// terminated, paper §5.1). Zero allocations.
+func (e *Entry) HasLive(tuple packet.FiveTuple, d packet.Addr) bool {
+	sel := e
+	if e.ports != nil {
+		if pe, ok := e.ports[tuple.DstPort]; ok {
+			sel = pe
+		}
+	}
+	_, ok := sel.live[d]
+	return ok
+}
+
+// generation is one immutable table snapshot.
+type generation struct {
+	epoch uint64
+	vips  map[packet.Addr]*Entry
+	// prev is the immediately preceding generation (its own prev stripped,
+	// so the chain never exceeds one), kept alive until drainUntil so hybrid
+	// muxes can compare picks across the epoch.
+	prev       *generation
+	drainUntil float64
+}
+
+// Table is the shared lookup table. One instance serves a paired SMux+NMux
+// on the same host; the SMux owns mutation, both tiers read.
+type Table struct {
+	mu  sync.Mutex // serializes writers
+	gen atomic.Pointer[generation]
+
+	slots       int
+	drain       float64
+	clock       func() float64
+	defaultMode Mode
+}
+
+// NewTable creates an empty table.
+func NewTable(cfg Config) *Table {
+	if cfg.Slots <= 0 {
+		cfg.Slots = ecmp.DefaultSlots
+	}
+	if cfg.DrainWindow == 0 {
+		cfg.DrainWindow = DefaultDrainWindow
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() float64 { return 0 }
+	}
+	t := &Table{
+		slots:       cfg.Slots,
+		drain:       cfg.DrainWindow,
+		clock:       cfg.Clock,
+		defaultMode: cfg.DefaultMode,
+	}
+	t.gen.Store(&generation{vips: make(map[packet.Addr]*Entry)})
+	return t
+}
+
+// SetClock replaces the drain clock. Call during setup, not concurrently
+// with mutation.
+func (t *Table) SetClock(clock func() float64) {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// DefaultMode returns the mode assigned to VIPs added without one.
+func (t *Table) DefaultMode() Mode { return t.defaultMode }
+
+// Epoch returns the table generation, bumped on every mutation.
+func (t *Table) Epoch() uint64 { return t.gen.Load().epoch }
+
+// NumVIPs returns the number of VIPs in the table.
+func (t *Table) NumVIPs() int { return len(t.gen.Load().vips) }
+
+// HasVIP reports whether the VIP is present.
+func (t *Table) HasVIP(addr packet.Addr) bool {
+	_, ok := t.gen.Load().vips[addr]
+	return ok
+}
+
+// VIPs returns the table's VIP addresses in sorted order.
+func (t *Table) VIPs() []packet.Addr {
+	g := t.gen.Load()
+	out := make([]packet.Addr, 0, len(g.vips))
+	for a := range g.vips {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ModeOf returns the VIP's mode.
+func (t *Table) ModeOf(addr packet.Addr) (Mode, bool) {
+	e, ok := t.gen.Load().vips[addr]
+	if !ok {
+		return ModeStateful, false
+	}
+	return e.mode, true
+}
+
+// View is a consistent read handle on one generation. Obtain once per packet
+// so the current/previous comparison is against a single snapshot.
+type View struct{ g *generation }
+
+// View returns the current generation.
+func (t *Table) View() View { return View{g: t.gen.Load()} }
+
+// Epoch returns the viewed generation's epoch.
+func (v View) Epoch() uint64 { return v.g.epoch }
+
+// Find returns the VIP's entry in the viewed generation.
+func (v View) Find(addr packet.Addr) (*Entry, bool) {
+	e, ok := v.g.vips[addr]
+	return e, ok
+}
+
+// DrainActive reports whether the previous generation is still consultable
+// at the given clock reading.
+func (v View) DrainActive(now float64) bool {
+	return v.g.prev != nil && now < v.g.drainUntil
+}
+
+// PrevDIP resolves the tuple against the previous generation, if one is
+// still attached. Zero allocations.
+func (v View) PrevDIP(tuple packet.FiveTuple, h uint64) (packet.Addr, bool) {
+	p := v.g.prev
+	if p == nil {
+		return 0, false
+	}
+	e, ok := p.vips[tuple.Dst]
+	if !ok {
+		return 0, false
+	}
+	d, err := e.DIP(tuple, h)
+	if err != nil {
+		return 0, false
+	}
+	return d, true
+}
+
+// Lookup resolves a tuple against the current generation: the stateless
+// fast path. Zero allocations.
+func (t *Table) Lookup(tuple packet.FiveTuple) (packet.Addr, error) {
+	e, ok := t.gen.Load().vips[tuple.Dst]
+	if !ok {
+		return 0, ErrVIPNotFound
+	}
+	return e.DIP(tuple, ecmp.Hash(tuple))
+}
+
+// buildEntry materializes one backend set: the same ecmp.Group construction
+// the muxes used inline, flattened into a slot array for lookup.
+func buildEntry(backends []service.Backend, slots int, mode Mode) *Entry {
+	e := &Entry{
+		group:    ecmp.NewGroupSlots(slots),
+		encaps:   make([]packet.Addr, len(backends)),
+		backends: append([]service.Backend(nil), backends...),
+		live:     make(map[packet.Addr]struct{}, len(backends)),
+		mode:     mode,
+	}
+	for i, b := range backends {
+		e.encaps[i] = b.Addr
+		e.group.AddWeighted(uint32(i), b.Weight)
+		e.live[b.Addr] = struct{}{}
+	}
+	e.slots = flatten(e.group, e.encaps, slots)
+	return e
+}
+
+// flatten materializes group selection into a slot→DIP array. An empty
+// group flattens to nil (ErrNoBackend on lookup).
+func flatten(g *ecmp.Group, encaps []packet.Addr, slots int) []packet.Addr {
+	if g.Size() == 0 {
+		return nil
+	}
+	out := make([]packet.Addr, slots)
+	for s := 0; s < slots; s++ {
+		member, err := g.Select(uint64(s))
+		if err != nil {
+			return nil
+		}
+		out[s] = encaps[member]
+	}
+	return out
+}
+
+func (t *Table) buildVIPEntry(v *service.VIP, mode Mode) *Entry {
+	e := buildEntry(v.Backends, t.slots, mode)
+	if len(v.Ports) > 0 {
+		e.ports = make(map[uint16]*Entry, len(v.Ports))
+		for _, pr := range v.Ports {
+			e.ports[pr.Port] = buildEntry(pr.Backends, t.slots, mode)
+		}
+	}
+	return e
+}
+
+// cloneVIPs copies the current VIP map for mutation. Must hold t.mu.
+func (t *Table) cloneVIPs() map[packet.Addr]*Entry {
+	cur := t.gen.Load().vips
+	cp := make(map[packet.Addr]*Entry, len(cur)+1)
+	for k, v := range cur {
+		cp[k] = v
+	}
+	return cp
+}
+
+// publish installs a new generation. withDrain attaches the outgoing
+// generation (prev chain capped at one) for the drain window; mutations that
+// cannot change any slot (mode flips) pass false and carry the existing
+// drain state forward instead. Must hold t.mu.
+func (t *Table) publish(vips map[packet.Addr]*Entry, withDrain bool) {
+	cur := t.gen.Load()
+	next := &generation{epoch: cur.epoch + 1, vips: vips}
+	if withDrain && t.drain > 0 {
+		next.prev = &generation{epoch: cur.epoch, vips: cur.vips}
+		next.drainUntil = t.clock() + t.drain
+	} else if !withDrain {
+		next.prev = cur.prev
+		next.drainUntil = cur.drainUntil
+	}
+	t.gen.Store(next)
+}
+
+// Add inserts a VIP with the table's default mode. ErrVIPExists if present.
+func (t *Table) Add(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.gen.Load().vips[v.Addr]; ok {
+		return ErrVIPExists
+	}
+	vips := t.cloneVIPs()
+	vips[v.Addr] = t.buildVIPEntry(v, t.defaultMode)
+	t.publish(vips, true)
+	return nil
+}
+
+// Update replaces a VIP's backend set (full deterministic rebuild, exactly
+// the semantics the muxes had), preserving its mode. ErrVIPNotFound if
+// absent.
+func (t *Table) Update(v *service.VIP) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.gen.Load().vips[v.Addr]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	vips := t.cloneVIPs()
+	vips[v.Addr] = t.buildVIPEntry(v, old.mode)
+	t.publish(vips, true)
+	return nil
+}
+
+// Set upserts a VIP, preserving its mode when it already exists.
+func (t *Table) Set(v *service.VIP) error {
+	if err := t.Update(v); err == ErrVIPNotFound {
+		return t.Add(v)
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// RemoveVIP deletes a VIP. ErrVIPNotFound if absent.
+func (t *Table) RemoveVIP(addr packet.Addr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.gen.Load().vips[addr]; !ok {
+		return ErrVIPNotFound
+	}
+	vips := t.cloneVIPs()
+	delete(vips, addr)
+	t.publish(vips, true)
+	return nil
+}
+
+// RemoveBackend removes a DIP resiliently: the group clone remaps only the
+// removed member's slots (ecmp round-robin, same as the HMux), so surviving
+// flows keep their mapping. ErrBackendNotFound if the DIP is not in the
+// VIP's default backend set.
+func (t *Table) RemoveBackend(vip, dip packet.Addr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.gen.Load().vips[vip]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	for i, b := range e.backends {
+		if b.Addr != dip {
+			continue
+		}
+		cp := &Entry{
+			group:    e.group.Clone(),
+			encaps:   append([]packet.Addr(nil), e.encaps...),
+			backends: append([]service.Backend(nil), e.backends...),
+			live:     make(map[packet.Addr]struct{}, len(e.live)),
+			ports:    e.ports,
+			mode:     e.mode,
+		}
+		for a := range e.live {
+			if a != dip {
+				cp.live[a] = struct{}{}
+			}
+		}
+		if err := cp.group.Remove(uint32(i)); err != nil {
+			return err
+		}
+		cp.backends[i] = service.Backend{}
+		cp.slots = flatten(cp.group, cp.encaps, t.slots)
+		vips := t.cloneVIPs()
+		vips[vip] = cp
+		t.publish(vips, true)
+		return nil
+	}
+	return ErrBackendNotFound
+}
+
+// SetMode changes a VIP's steering mode. The epoch bumps (mode is table
+// state the control plane pushes) but no slot changes, so no drain window
+// opens and any in-progress drain carries forward.
+func (t *Table) SetMode(addr packet.Addr, mode Mode) error {
+	if mode >= numModes {
+		return fmt.Errorf("steer: invalid mode %d", uint8(mode))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.gen.Load().vips[addr]
+	if !ok {
+		return ErrVIPNotFound
+	}
+	if e.mode == mode {
+		return nil
+	}
+	cp := *e
+	cp.mode = mode
+	vips := t.cloneVIPs()
+	vips[addr] = &cp
+	t.publish(vips, false)
+	return nil
+}
+
+// DrainActive reports whether a previous generation is currently
+// consultable.
+func (t *Table) DrainActive() bool {
+	t.mu.Lock()
+	clock := t.clock
+	t.mu.Unlock()
+	return t.View().DrainActive(clock())
+}
+
+// ReleaseDrained detaches the previous generation once its drain window has
+// passed, letting it be collected. Returns true if a generation was
+// released. Called periodically by the owning mux's sweep.
+func (t *Table) ReleaseDrained() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.gen.Load()
+	if cur.prev == nil || t.clock() < cur.drainUntil {
+		return false
+	}
+	t.gen.Store(&generation{epoch: cur.epoch, vips: cur.vips})
+	return true
+}

@@ -1,0 +1,327 @@
+package steer
+
+import (
+	"testing"
+
+	"duet/internal/ecmp"
+	"duet/internal/packet"
+	"duet/internal/service"
+)
+
+var vipAddr = packet.MustParseAddr("10.0.0.1")
+
+func backends(addrs ...string) []service.Backend {
+	out := make([]service.Backend, len(addrs))
+	for i, a := range addrs {
+		out[i] = service.Backend{Addr: packet.MustParseAddr(a), Weight: 1}
+	}
+	return out
+}
+
+func tupleN(i uint32) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.Addr(0x14000000 + i), Dst: vipAddr,
+		SrcPort: uint16(1024 + i%40000), DstPort: 80, Proto: packet.ProtoTCP,
+	}
+}
+
+func mustAdd(t *testing.T, tab *Table, v *service.VIP) {
+	t.Helper()
+	if err := tab.Add(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupMatchesECMPGroup: the flattened slot array must reproduce the
+// inline group.Select every mux used before the refactor — that identity is
+// what keeps cross-tier fall-through byte-identical.
+func TestLookupMatchesECMPGroup(t *testing.T) {
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4", "100.0.0.5")
+	tab := NewTable(Config{})
+	mustAdd(t, tab, &service.VIP{Addr: vipAddr, Backends: bs})
+
+	g := ecmp.NewGroup()
+	for i, b := range bs {
+		g.AddWeighted(uint32(i), b.Weight)
+	}
+	for i := uint32(0); i < 5000; i++ {
+		tu := tupleN(i)
+		got, err := tab.Lookup(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		member, err := g.SelectTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bs[member].Addr; got != want {
+			t.Fatalf("tuple %d: steer %s, group %s", i, got, want)
+		}
+	}
+}
+
+// TestRemoveBackendResilient: removing a DIP must remap only the flows that
+// hashed to it (paper §5.1, Broadcom resilient hashing).
+func TestRemoveBackendResilient(t *testing.T) {
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4")
+	tab := NewTable(Config{})
+	mustAdd(t, tab, &service.VIP{Addr: vipAddr, Backends: bs})
+	victim := bs[1].Addr
+
+	before := make(map[uint32]packet.Addr)
+	for i := uint32(0); i < 4000; i++ {
+		d, err := tab.Lookup(tupleN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = d
+	}
+	if err := tab.RemoveBackend(vipAddr, victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4000; i++ {
+		d, err := tab.Lookup(tupleN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before[i] == victim {
+			if d == victim {
+				t.Fatalf("flow %d still mapped to removed DIP", i)
+			}
+			continue
+		}
+		if d != before[i] {
+			t.Fatalf("flow %d remapped %s→%s though its DIP survived", i, before[i], d)
+		}
+	}
+}
+
+// TestRemoveReAddConverges: because the full rebuild is deterministic in the
+// backend list, remove + re-add returns the table to its exact original slot
+// assignment. Flows never mapped to the churned DIP never remap — the
+// property that makes stateless mode safe under resilient churn.
+func TestRemoveReAddConverges(t *testing.T) {
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3")
+	tab := NewTable(Config{})
+	mustAdd(t, tab, &service.VIP{Addr: vipAddr, Backends: bs})
+
+	orig := make(map[uint32]packet.Addr)
+	for i := uint32(0); i < 3000; i++ {
+		orig[i], _ = tab.Lookup(tupleN(i))
+	}
+	e0 := tab.Epoch()
+	if err := tab.RemoveBackend(vipAddr, bs[2].Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Update(&service.VIP{Addr: vipAddr, Backends: bs}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != e0+2 {
+		t.Fatalf("epoch = %d, want %d", tab.Epoch(), e0+2)
+	}
+	for i := uint32(0); i < 3000; i++ {
+		d, err := tab.Lookup(tupleN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != orig[i] {
+			t.Fatalf("flow %d did not converge: %s→%s", i, orig[i], d)
+		}
+	}
+}
+
+// TestDrainWindow: a slot-changing mutation keeps the previous generation
+// consultable until the injected clock passes the window; ReleaseDrained
+// then detaches it. Hybrid muxes use exactly this pair of lookups.
+func TestDrainWindow(t *testing.T) {
+	now := 100.0
+	tab := NewTable(Config{DrainWindow: 30, Clock: func() float64 { return now }})
+	bs := backends("100.0.0.1", "100.0.0.2", "100.0.0.3")
+	mustAdd(t, tab, &service.VIP{Addr: vipAddr, Backends: bs})
+	if err := tab.RemoveBackend(vipAddr, bs[0].Addr); err != nil {
+		t.Fatal(err)
+	}
+
+	v := tab.View()
+	if !v.DrainActive(now) {
+		t.Fatal("drain not active after mutation")
+	}
+	// Some flow must differ between generations (the victim's flows).
+	changed := false
+	for i := uint32(0); i < 2000 && !changed; i++ {
+		tu := tupleN(i)
+		h := ecmp.Hash(tu)
+		prev, ok := v.PrevDIP(tu, h)
+		if !ok {
+			t.Fatal("prev generation lookup failed")
+		}
+		e, _ := v.Find(vipAddr)
+		cur, err := e.DIP(tu, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed = prev != cur
+	}
+	if !changed {
+		t.Fatal("no flow changed DIP across the epoch")
+	}
+	if tab.ReleaseDrained() {
+		t.Fatal("drain released before the window passed")
+	}
+	now += 31
+	if v.DrainActive(now) {
+		t.Fatal("drain still active past the window")
+	}
+	if !tab.ReleaseDrained() {
+		t.Fatal("drain not released after the window")
+	}
+	if _, ok := tab.View().PrevDIP(tupleN(0), ecmp.Hash(tupleN(0))); ok {
+		t.Fatal("previous generation survived release")
+	}
+	if tab.ReleaseDrained() {
+		t.Fatal("second release reported work")
+	}
+}
+
+func TestModes(t *testing.T) {
+	tab := NewTable(Config{DefaultMode: ModeHybrid})
+	mustAdd(t, tab, &service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")})
+	if m, ok := tab.ModeOf(vipAddr); !ok || m != ModeHybrid {
+		t.Fatalf("default mode = %v, %v", m, ok)
+	}
+	e0 := tab.Epoch()
+	if err := tab.SetMode(vipAddr, ModeStateless); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := tab.ModeOf(vipAddr); m != ModeStateless {
+		t.Fatalf("mode = %v", m)
+	}
+	if tab.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", tab.Epoch(), e0+1)
+	}
+	if err := tab.SetMode(vipAddr, ModeStateless); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != e0+1 {
+		t.Fatal("no-op mode set bumped the epoch")
+	}
+	if err := tab.SetMode(packet.MustParseAddr("9.9.9.9"), ModeHybrid); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+
+	for _, m := range Modes() {
+		parsed, err := ParseMode(m.String())
+		if err != nil || parsed != m {
+			t.Fatalf("round trip %v: %v %v", m, parsed, err)
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != ModeStateful {
+		t.Fatalf("empty mode: %v %v", m, err)
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode parsed")
+	}
+}
+
+func TestPortRules(t *testing.T) {
+	tab := NewTable(Config{})
+	mustAdd(t, tab, &service.VIP{
+		Addr:     vipAddr,
+		Backends: backends("100.0.0.1"),
+		Ports:    []service.PortRule{{Port: 80, Backends: backends("100.0.1.1")}},
+	})
+	tu := tupleN(0)
+	if d, _ := tab.Lookup(tu); d != packet.MustParseAddr("100.0.1.1") {
+		t.Fatalf("port rule not applied: %s", d)
+	}
+	tu.DstPort = 22
+	if d, _ := tab.Lookup(tu); d != packet.MustParseAddr("100.0.0.1") {
+		t.Fatalf("default set not applied: %s", d)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tab := NewTable(Config{})
+	v := &service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1")}
+	if err := tab.Update(v); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+	if err := tab.RemoveVIP(vipAddr); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+	mustAdd(t, tab, v)
+	if err := tab.Add(v); err != ErrVIPExists {
+		t.Fatalf("got %v", err)
+	}
+	if err := tab.RemoveBackend(vipAddr, packet.MustParseAddr("6.6.6.6")); err != ErrBackendNotFound {
+		t.Fatalf("got %v", err)
+	}
+	if err := tab.RemoveBackend(packet.MustParseAddr("9.9.9.9"), 1); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+	if err := tab.RemoveBackend(vipAddr, packet.MustParseAddr("100.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Lookup(tupleN(0)); err != ErrNoBackend {
+		t.Fatalf("empty backend set: got %v", err)
+	}
+	if err := tab.Set(v); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := tab.Lookup(tupleN(0)); err != nil || d != packet.MustParseAddr("100.0.0.1") {
+		t.Fatalf("after Set: %s, %v", d, err)
+	}
+	if err := tab.RemoveVIP(vipAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Lookup(tupleN(0)); err != ErrVIPNotFound {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestLookupZeroAlloc is the acceptance gate: the stateless steer lookup
+// must not allocate.
+func TestLookupZeroAlloc(t *testing.T) {
+	tab := NewTable(Config{})
+	mustAdd(t, tab, &service.VIP{
+		Addr:     vipAddr,
+		Backends: backends("100.0.0.1", "100.0.0.2", "100.0.0.3"),
+		Ports:    []service.PortRule{{Port: 443, Backends: backends("100.0.1.1")}},
+	})
+	tu := tupleN(7)
+	h := ecmp.Hash(tu)
+	v := tab.View()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := tab.Lookup(tu); err != nil {
+			t.Fatal(err)
+		}
+		vw := tab.View()
+		e, ok := vw.Find(tu.Dst)
+		if !ok {
+			t.Fatal("vip missing")
+		}
+		if _, err := e.DIP(tu, h); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := v.PrevDIP(tu, h); ok {
+			_ = ok
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steer lookup: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab := NewTable(Config{})
+	if err := tab.Add(&service.VIP{Addr: vipAddr, Backends: backends("100.0.0.1", "100.0.0.2", "100.0.0.3", "100.0.0.4")}); err != nil {
+		b.Fatal(err)
+	}
+	tu := tupleN(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Lookup(tu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"duet/internal/obs"
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 	"duet/internal/topology"
 )
 
@@ -36,7 +37,8 @@ type FloodConfig struct {
 	// HMuxFraction of the VIPs (from the front of the list) is assigned to
 	// HMuxes round-robin across Agg and Core switches; the rest stay on the
 	// SMux backstop. Default 0.75 — Duet's steady state serves almost all
-	// traffic in hardware (§7.1).
+	// traffic in hardware (§7.1). Negative keeps every VIP on the SMux tier
+	// (steer-mode benches want all traffic through the software path).
 	HMuxFraction float64
 	// SMuxCapacityPPS overrides each SMux's capacity (zero = the §2.2
 	// production 300K pps). Watchdog tests shrink it so a modest flood
@@ -48,6 +50,10 @@ type FloodConfig struct {
 	// NMuxFraction of the VIPs (taken after the HMux slice) is assigned to
 	// the NIC tier. Only meaningful when NMuxTableSize > 0.
 	NMuxFraction float64
+	// SMuxMode is the consistency mode every VIP starts in (stateful /
+	// stateless / hybrid, see internal/steer). Zero value is stateful, the
+	// legacy behavior.
+	SMuxMode steer.Mode
 }
 
 // NewFlood builds a cluster on the Figure-10 testbed topology and populates
@@ -71,6 +77,7 @@ func NewFlood(cfg FloodConfig) (*Flood, error) {
 		Aggregate:       packet.MustParsePrefix("10.0.0.0/8"),
 		SMuxCapacityPPS: cfg.SMuxCapacityPPS,
 		NMuxTableSize:   cfg.NMuxTableSize,
+		SMuxMode:        cfg.SMuxMode,
 	})
 	if err != nil {
 		return nil, err

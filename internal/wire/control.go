@@ -93,6 +93,16 @@ type BackendMsg struct {
 type VIPMsg struct {
 	Addr     string       `json:"addr"`
 	Backends []BackendMsg `json:"backends"`
+	// Mode is the VIP's SMux consistency mode ("stateful", "stateless" or
+	// "hybrid"; empty means stateful — see internal/steer).
+	Mode string `json:"mode,omitempty"`
+	// Version fingerprints the configuration this message carries. A
+	// receiver that already applied this version treats the message as a
+	// no-op, so the anti-entropy re-push (every resync interval, forever)
+	// does not bump the mux's steer-table epoch — an epoch bump opens a
+	// hybrid drain window and must mean the config actually changed.
+	// 0 disables the gate (the message is always applied).
+	Version uint64 `json:"version,omitempty"`
 }
 
 // HealthMsg is one host agent's view of its local DIPs.

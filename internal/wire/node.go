@@ -15,6 +15,7 @@ import (
 	"duet/internal/packet"
 	"duet/internal/service"
 	"duet/internal/smux"
+	"duet/internal/steer"
 	"duet/internal/switchagent"
 	"duet/internal/telemetry"
 )
@@ -50,12 +51,18 @@ type Node struct {
 	swMu  sync.Mutex // switchagent.Agent is single-writer by design
 	sw    *switchagent.Agent
 
-	vips      *telemetry.Gauge
-	dips      *telemetry.Gauge
-	delivered telemetry.CounterShard
-	resyncs   telemetry.CounterShard
-	reports   telemetry.CounterShard
-	routes    *telemetry.Gauge
+	vips       *telemetry.Gauge
+	dips       *telemetry.Gauge
+	delivered  telemetry.CounterShard
+	resyncs    telemetry.CounterShard
+	reports    telemetry.CounterShard
+	suppressed telemetry.CounterShard
+	routes     *telemetry.Gauge
+
+	// versMu guards vipVers: VIP address → last applied VIPMsg.Version, the
+	// receiver side of the anti-entropy suppression gate.
+	versMu  sync.Mutex
+	vipVers map[packet.Addr]uint64
 
 	announceQ chan Envelope // switchagent → controller routing side effects
 
@@ -86,6 +93,7 @@ func StartNode(spec *ClusterSpec, name string) (*Node, error) {
 		stop:       make(chan struct{}),
 		routeSet:   make(map[string]bool),
 		lastHealth: make(map[string]*HealthMsg),
+		vipVers:    make(map[packet.Addr]uint64),
 	}
 	n.Obs = obs.New(obs.Config{
 		Registry: n.Reg,
@@ -206,14 +214,39 @@ func (n *Node) startSMux() error {
 	n.smux = smux.New(smux.DefaultConfig(self))
 	n.smux.SetTelemetry(n.Reg, n.Rec, uint32(self))
 	n.vips = n.Reg.Gauge("wire.vips")
+	n.suppressed = n.Reg.Counter("wire.vip.suppressed").Shard()
 	capacity := n.Reg.Gauge("smux.capacity_pps")
 	conns := n.Reg.Gauge("smux.conns_total")
+	// Same gauge names core.Collect publishes, so the overlay-occupancy and
+	// epoch-drain watchdogs work unchanged on wire nodes.
+	connShardMax := n.Reg.Gauge("smux.conn.shard_max")
+	connBytes := n.Reg.Gauge("smux.conn.bytes")
+	overlay := n.Reg.Gauge("smux.overlay_total")
+	overlayCap := n.Reg.Gauge("smux.overlay_cap")
+	steerEpoch := n.Reg.Gauge("steer.epoch_max")
+	steerDrains := n.Reg.Gauge("steer.drains_active")
 	n.Obs.AddCollector(func() {
 		capacity.Set(int64(n.smux.CapacityPPS()))
-		conns.Set(int64(n.smux.Connections()))
+		// The scrape doubles as the mux's maintenance tick (idle eviction,
+		// overlay sweep, drain release) — no separate timer goroutine.
+		n.smux.Tick()
+		st := n.smux.ConnStats()
+		conns.Set(int64(st.Entries))
+		connShardMax.Set(int64(st.ShardMax))
+		connBytes.Set(st.Bytes)
+		overlay.Set(int64(st.Overlay))
+		overlayCap.Set(int64(st.OverlayCap))
+		steerEpoch.Set(int64(n.smux.Steer().Epoch()))
+		if n.smux.Steer().DrainActive() {
+			steerDrains.Set(1)
+		} else {
+			steerDrains.Set(0)
+		}
 	})
 	if n.Me.NMuxTable > 0 {
-		n.nmux = nmux.New(nmux.Config{SelfAddr: self, TableSize: n.Me.NMuxTable})
+		// The NIC table reads the SMux's steer table (the SMux owns writes),
+		// so both tiers resolve a flow to identical encap bytes.
+		n.nmux = nmux.New(nmux.Config{SelfAddr: self, TableSize: n.Me.NMuxTable, Steer: n.smux.Steer()})
 		n.nmux.SetTelemetry(n.Reg, n.Rec, uint32(self))
 		// The same gauge names core.Collect publishes, so the occupancy
 		// watchdog in DefaultRules works unchanged on wire nodes.
@@ -266,10 +299,35 @@ func (n *Node) smuxControl(env *Envelope) error {
 		if err != nil {
 			return err
 		}
+		mode, err := steer.ParseMode(env.VIP.Mode)
+		if err != nil {
+			return err
+		}
+		// Anti-entropy suppression: a re-push whose fingerprint matches what
+		// we already applied is a no-op. Skipping it keeps the steer epoch
+		// stable (every applied update bumps the epoch, and in hybrid mode an
+		// epoch bump opens a drain window).
+		if env.VIP.Version != 0 && n.smux.HasVIP(v.Addr) {
+			n.versMu.Lock()
+			same := n.vipVers[v.Addr] == env.VIP.Version
+			n.versMu.Unlock()
+			if same {
+				n.suppressed.Inc()
+				return nil
+			}
+		}
 		if n.smux.HasVIP(v.Addr) {
-			err = n.smux.UpdateVIP(v) // idempotent re-push from anti-entropy
+			err = n.smux.UpdateVIP(v)
 		} else {
 			err = n.smux.AddVIP(v)
+		}
+		if err == nil {
+			err = n.smux.SetVIPMode(v.Addr, mode)
+		}
+		if err == nil {
+			n.versMu.Lock()
+			n.vipVers[v.Addr] = env.VIP.Version
+			n.versMu.Unlock()
 		}
 		n.vips.Set(int64(n.smux.NumVIPs()))
 		return err
@@ -280,6 +338,11 @@ func (n *Node) smuxControl(env *Envelope) error {
 		}
 		err = n.smux.RemoveVIP(addr)
 		n.vips.Set(int64(n.smux.NumVIPs()))
+		if err == nil {
+			n.versMu.Lock()
+			delete(n.vipVers, addr)
+			n.versMu.Unlock()
+		}
 		if err == nil && n.nmux != nil && n.nmux.HasVIP(addr) {
 			err = n.nmux.RemoveVIP(addr) // a VIP leaving the node leaves both tables
 		}
@@ -291,6 +354,15 @@ func (n *Node) smuxControl(env *Envelope) error {
 		v, err := vipFromMsg(env.VIP)
 		if err != nil {
 			return err
+		}
+		// The NIC table resolves DIPs through the SMux's steer table, and the
+		// SMux owns its writes — make sure the backstop is programmed first so
+		// the NIC tier never sees a steer miss for its own VIP.
+		if !n.smux.HasVIP(v.Addr) {
+			if err := n.smux.AddVIP(v); err != nil {
+				return err
+			}
+			n.vips.Set(int64(n.smux.NumVIPs()))
 		}
 		if n.nmux.HasVIP(v.Addr) {
 			return n.nmux.UpdateVIP(v) // idempotent re-push from anti-entropy
@@ -669,11 +741,15 @@ func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) er
 		var env *Envelope
 		switch peer.Role {
 		case RoleSMux:
+			// ServiceVIPs preserves spec order, so vi indexes the spec entry
+			// for the mode/version/nic fields.
+			spec := &n.Spec.VIPs[vi]
 			env = &Envelope{Type: MsgAddVIP, VIP: msgFromVIP(v)}
+			env.VIP.Mode = spec.Mode
+			env.VIP.Version = spec.Version()
 			// NIC-flagged VIPs are additionally programmed into the peer's
 			// match table (the SMux copy above stays as the miss backstop).
-			// ServiceVIPs preserves spec order, so vi indexes the flag.
-			if n.Spec.VIPs[vi].Nic && peer.NMuxTable > 0 {
+			if spec.Nic && peer.NMuxTable > 0 {
 				if err := client.CallRetry(env, bo, n.stop); err != nil {
 					return err
 				}

@@ -1,12 +1,15 @@
 package wire
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 
 	"duet/internal/packet"
 	"duet/internal/service"
+	"duet/internal/steer"
 )
 
 // Role names accepted in a cluster spec.
@@ -63,6 +66,30 @@ type VIPSpec struct {
 	// programs it into every smux node with nmux_table > 0. The SMux copy
 	// stays (it is the miss backstop).
 	Nic bool `json:"nic,omitempty"`
+	// Mode is the VIP's SMux consistency mode: "stateful" (default),
+	// "stateless", or "hybrid" (see internal/steer).
+	Mode string `json:"mode,omitempty"`
+}
+
+// Version fingerprints the VIP's full configuration (address, backends,
+// mode, NIC flag) for the control plane's anti-entropy suppression: equal
+// fingerprints mean an idempotent re-push the receiver may skip.
+func (v *VIPSpec) Version() uint64 {
+	h := fnv.New64a()
+	var num [4]byte
+	_, _ = h.Write([]byte(v.Addr))
+	_, _ = h.Write([]byte{0})
+	for _, b := range v.Backends {
+		_, _ = h.Write([]byte(b.Addr))
+		binary.BigEndian.PutUint32(num[:], b.Weight)
+		_, _ = h.Write(num[:])
+		_, _ = h.Write([]byte{0})
+	}
+	_, _ = h.Write([]byte(v.Mode))
+	if v.Nic {
+		_, _ = h.Write([]byte{1})
+	}
+	return h.Sum64()
 }
 
 // ClusterSpec is the static JSON description of a multi-process duetd
@@ -150,6 +177,9 @@ func (s *ClusterSpec) Validate() error {
 			if _, err := packet.ParseAddr(b.Addr); err != nil {
 				return err
 			}
+		}
+		if _, err := steer.ParseMode(v.Mode); err != nil {
+			return fmt.Errorf("wire: VIP %s: %w", v.Addr, err)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"duet/internal/packet"
+	"duet/internal/steer"
 	"duet/internal/telemetry"
 )
 
@@ -353,6 +354,32 @@ func TestSpecValidate(t *testing.T) {
 	if breakIt(func(s *ClusterSpec) { s.VIPs[0].Addr = "not-an-ip" }) == nil {
 		t.Error("unparseable VIP accepted")
 	}
+	if breakIt(func(s *ClusterSpec) { s.VIPs[0].Mode = "sticky" }) == nil {
+		t.Error("unknown steer mode accepted")
+	}
+}
+
+// TestVIPSpecVersion pins the fingerprint contract: equal configs hash
+// equal, and every field the receiver acts on perturbs the hash.
+func TestVIPSpecVersion(t *testing.T) {
+	base := VIPSpec{Addr: "10.0.0.1", Backends: []BackendSpec{{Addr: "100.0.0.1", Weight: 2}}}
+	same := VIPSpec{Addr: "10.0.0.1", Backends: []BackendSpec{{Addr: "100.0.0.1", Weight: 2}}}
+	if base.Version() != same.Version() {
+		t.Fatal("identical specs hash differently")
+	}
+	muts := map[string]func(*VIPSpec){
+		"mode":    func(v *VIPSpec) { v.Mode = "hybrid" },
+		"nic":     func(v *VIPSpec) { v.Nic = true },
+		"weight":  func(v *VIPSpec) { v.Backends[0].Weight = 3 },
+		"backend": func(v *VIPSpec) { v.Backends = append(v.Backends, BackendSpec{Addr: "100.0.0.2"}) },
+	}
+	for name, mut := range muts {
+		v := VIPSpec{Addr: base.Addr, Backends: append([]BackendSpec(nil), base.Backends...)}
+		mut(&v)
+		if v.Version() == base.Version() {
+			t.Errorf("%s change did not perturb the version", name)
+		}
+	}
 }
 
 // --- in-process cluster ------------------------------------------------
@@ -537,4 +564,69 @@ func TestNodeSMuxRestartHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "delivery through restarted smux", func() bool { return host.Delivered() >= 1 })
+}
+
+// TestNodeModePropagatesAndHeals checks the control plane carries per-VIP
+// steer modes: the spec's "hybrid" VIP arrives at the mux in hybrid mode,
+// and a restarted (blank) mux re-learns the mode from anti-entropy alone.
+func TestNodeModePropagatesAndHeals(t *testing.T) {
+	spec := testClusterSpec(t)
+	spec.VIPs[0].Mode = "hybrid"
+
+	ctl, err := StartNode(spec, "ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	sm, err := StartNode(spec, "smux-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vip := packet.MustParseAddr("10.0.0.1")
+	waitFor(t, "hybrid mode programmed", func() bool {
+		m, ok := sm.smux.ModeOf(vip)
+		return ok && m == steer.ModeHybrid
+	})
+
+	sm.Close()
+	sm2, err := StartNode(spec, "smux-1") // same ports, blank tables
+	if err != nil {
+		t.Fatalf("restart smux: %v", err)
+	}
+	defer sm2.Close()
+	waitFor(t, "hybrid mode re-healed after restart", func() bool {
+		m, ok := sm2.smux.ModeOf(vip)
+		return ok && m == steer.ModeHybrid
+	})
+}
+
+// TestNodeResyncSuppressionKeepsEpochStable is the receiver side of the
+// version gate: once programmed, anti-entropy re-pushes of an unchanged VIP
+// must be suppressed rather than applied, so the steer epoch stays put (an
+// applied update bumps the epoch, and in hybrid mode that opens a drain
+// window on every resync — a liveness bug for the overlay).
+func TestNodeResyncSuppressionKeepsEpochStable(t *testing.T) {
+	spec := testClusterSpec(t)
+	ctl, err := StartNode(spec, "ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	sm, err := StartNode(spec, "smux-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+
+	waitFor(t, "smux programmed", func() bool { return sm.Reg.Gauge("wire.vips").Value() >= 1 })
+	epoch := sm.smux.Steer().Epoch()
+
+	// Several resync intervals must pass as suppressed no-ops.
+	waitFor(t, "resync suppression", func() bool {
+		return sm.Reg.Counter("wire.vip.suppressed").Value() >= 3
+	})
+	if got := sm.smux.Steer().Epoch(); got != epoch {
+		t.Fatalf("steer epoch moved %d → %d under pure anti-entropy resync", epoch, got)
+	}
 }
