@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
+.PHONY: check fmt build test vet lint vuln fuzz-smoke race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
 
-check: fmt vet build race allocs
+check: fmt vet lint build race allocs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -18,6 +18,36 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# duetvet: the repo's own go/analysis suite (internal/analysis). Enforces
+# the dataplane invariants mechanically: no ambient clock reads (noclock),
+# zero-alloc/lock-free //duet:hotpath closures (hotpath), copy-on-write
+# discipline on atomic.Pointer views (snapshot), and constant-name
+# telemetry registration (metriclabel). See DESIGN.md "Enforced
+# invariants" for the rules and the //duet:allow escape hatch.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/duetvet ./...
+
+# Non-blocking in CI: scans for known-vulnerable dependency versions when
+# the govulncheck tool is available; skipped otherwise (offline builds).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# 30-second smoke of the packet-parsing fuzz targets: each corpus gets a
+# short randomized walk, enough to catch a fresh decoder regression
+# without turning CI into a fuzz farm. `go test -fuzz` takes one target
+# per invocation, so the targets run back to back.
+FUZZ_TARGETS = FuzzIPv4Decode FuzzEncapDecap FuzzDecapsulate FuzzExtractFiveTuple FuzzTransportDecode FuzzRewrite
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run XXX -fuzz "^$$t$$" -fuzztime 5s ./internal/packet || exit 1; \
+	done
 
 test:
 	$(GO) test ./...

@@ -34,7 +34,7 @@ func runWatch(args []string) {
 	seen := 0
 	for i := 0; *count == 0 || i < *count; i++ {
 		if i > 0 {
-			time.Sleep(*interval)
+			time.Sleep(*interval) //duet:allow noclock interactive CLI polling a live process
 		}
 		if err := watchOnce(url, &seen); err != nil {
 			fmt.Fprintln(os.Stderr, "poll failed:", err)
@@ -152,6 +152,7 @@ func fetch(url string) (int, string, error) {
 	var lastErr error
 	for attempt := 0; attempt < fetchAttempts; attempt++ {
 		if attempt > 0 {
+			//duet:allow noclock interactive CLI retry against a live process
 			time.Sleep(bo.Next()) // exponential + jitter: restarts aren't hammered
 		}
 		code, body, err := fetchOnce(&client, url)

@@ -89,7 +89,7 @@ func backgroundTraffic(f *testbed.Flood, pps int) {
 	}
 	rng := rand.New(rand.NewSource(1))
 	pkts := f.Packets(4096)
-	t := time.NewTicker(tick)
+	t := time.NewTicker(tick) //duet:allow noclock demo traffic generator paces real wall time
 	defer t.Stop()
 	i := 0
 	for range t.C {

@@ -1,0 +1,55 @@
+// Command duetvet runs the repo's custom vet suite (internal/analysis)
+// over the tree: the mechanical enforcement of the dataplane invariants
+// — injectable clocks (noclock), zero-alloc/lock-free hot paths
+// (hotpath), immutable epoch snapshots (snapshot), and constant-name
+// telemetry registration (metriclabel).
+//
+// Usage:
+//
+//	duetvet [-list] [packages]
+//
+// With no packages it checks ./... . Exit status is 1 when any finding
+// is reported, so `make lint` and CI fail on a new violation. Findings
+// are suppressed line by line with `//duet:allow <rule> <reason>`; see
+// DESIGN.md "Enforced invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"duet/internal/analysis"
+	"duet/internal/analysis/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: duetvet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := driver.Vet(".", driver.Patterns(flag.Args()), analysis.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "duetvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "duetvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

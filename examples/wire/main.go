@@ -102,7 +102,7 @@ func main() {
 		}
 
 		// DSR response arrives directly from the host agent's socket.
-		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		client.SetReadDeadline(time.Now().Add(2 * time.Second)) //duet:allow noclock example client; net deadlines need wall time
 		buf := make([]byte, 2048)
 		n, from, err := client.ReadFromUDP(buf)
 		if err != nil {

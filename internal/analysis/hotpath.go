@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the zero-alloc/lock-free dataplane discipline (PR
+// 1/2) on functions annotated //duet:hotpath and everything they
+// statically call. Inside the hot closure the analyzer flags:
+//
+//   - map allocation (make(map...) or a map composite literal) — per
+//     packet map churn is how the seed's conn table used to behave
+//     before sharding;
+//   - closures (func literals) — they escape and allocate;
+//   - any call into fmt — fmt formats through reflection and interface
+//     boxing;
+//   - taking an unsharded mutex: (*sync.Mutex).Lock, (*sync.RWMutex).
+//     Lock/RLock and the Try variants, unless the lock provably lives
+//     in an element of a shard array/slice (the conn-table pattern
+//     `s := &m.shards[i]; s.mu.Lock()`) or the receiver was obtained
+//     from a shard-handle call (`s := m.shardFor(h)` — any callee whose
+//     name contains "shard");
+//   - explicit conversions to interface types — boxing on the packet
+//     path;
+//   - static calls to functions in this module that are not themselves
+//     //duet:hotpath (cross-package callees prove it via exported
+//     facts) — the closure must stay closed.
+//
+// Dynamic calls (interface methods, stored func values like injected
+// clocks) cannot be resolved statically and are not followed; the
+// AllocsPerRun gates in the package tests remain the runtime backstop.
+//
+// A //duet:allow hotpath <reason> line in a function's doc comment
+// exempts the whole declaration: the function is excluded from the hot
+// closure (its body is not checked, and hot callers may call it without
+// a diagnostic). Use it for documented slow paths reachable from the
+// packet path — once-per-flow repair work, control-plane fallbacks.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "enforces the zero-alloc/lock-free discipline in //duet:hotpath " +
+		"functions and their static call closure",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	decls, hot := hotClosure(pass)
+	// Publish facts first so dependent packages (and same-run
+	// re-checks) see every hot function, annotated or reached.
+	for fn := range hot {
+		pass.ExportObjectFact(fn, "hotpath")
+	}
+	for fn := range hot {
+		checkHotFunc(pass, decls[fn])
+	}
+	return nil
+}
+
+// hotClosure computes the package's hot set: functions annotated
+// //duet:hotpath plus everything they transitively call within the
+// package. Returns the FuncDecl for every package function and the hot
+// membership set.
+func hotClosure(pass *Pass) (map[*types.Func]*ast.FuncDecl, map[*types.Func]bool) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if hasDirective(fd.Doc, "//duet:hotpath") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	hot := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if hot[fn] {
+			return
+		}
+		hot[fn] = true
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			callee = callee.Origin()
+			if cd, local := decls[callee]; local && !declExempt(cd) {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+	return decls, hot
+}
+
+// declExempt reports whether a function's doc comment carries a
+// //duet:allow hotpath line, opting the whole declaration out of the
+// hot closure (a documented slow path off the packet steady state).
+func declExempt(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//duet:allow hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one hot function's body for discipline violations.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	if fd == nil || fd.Body == nil || declExempt(fd) {
+		return
+	}
+	name := fd.Name.Name
+	shardVars := collectShardVars(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated in hot path %s", name)
+			return false // contents are off the static path anyway
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map allocated in hot path %s", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n, shardVars)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, where string, call *ast.CallExpr, shardVars map[types.Object]bool) {
+	// Explicit conversion to an interface type boxes its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+				if b, ok := at.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+					pass.Reportf(call.Pos(), "conversion to interface type %s in hot path %s",
+						tv.Type.String(), where)
+				}
+			}
+		}
+		return
+	}
+	// make(map[...]...) allocates.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(call.Pos(), "map allocated in hot path %s", where)
+				}
+			}
+		}
+		return
+	}
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return // dynamic call, builtin, or universe (error.Error)
+	}
+	fn = fn.Origin()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return // dynamic dispatch: not statically resolvable
+		}
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		pass.Reportf(call.Pos(), "fmt.%s call in hot path %s", fn.Name(), where)
+		return
+	case "sync":
+		if isLockName(fn.Name()) && isSyncLockType(fn) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				isShardedLock(pass, sel.X, shardVars) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"unsharded %s.%s in hot path %s (shard the lock or annotate //duet:allow hotpath <reason>)",
+				lockRecvName(fn), fn.Name(), where)
+		}
+		return
+	}
+	// Calls that stay inside the module must stay inside the hot
+	// closure: same-package callees were visited by hotClosure; other
+	// module packages prove it with an exported //duet:hotpath fact.
+	if fn.Pkg().Path() != pass.Pkg.Path() &&
+		pass.ModulePkgs != nil && pass.ModulePkgs(fn.Pkg().Path()) &&
+		!pass.HasObjectFact(fn, "hotpath") {
+		pass.Reportf(call.Pos(),
+			"hot path %s calls %s.%s which is not //duet:hotpath",
+			where, fn.Pkg().Name(), callName(fn))
+	}
+}
+
+func isLockName(name string) bool {
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// isSyncLockType reports whether fn is a method of sync.Mutex or
+// sync.RWMutex.
+func isSyncLockType(fn *types.Func) bool {
+	return lockRecvName(fn) == "Mutex" || lockRecvName(fn) == "RWMutex"
+}
+
+func lockRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func callName(fn *types.Func) string {
+	if recv := lockRecvName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// collectShardVars finds local variables bound to an element of an
+// array or slice (`s := &m.shards[i]` / `s := m.shards[i]`): locks
+// reached through them are per-shard by construction.
+func collectShardVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isIndexedElem(rhs) && !isShardCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					vars[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isShardCall reports whether expr calls a shard-handle accessor —
+// any function or method whose name contains "shard" (`m.shardFor(h)`,
+// `shardOf(key)`). Locks behind such handles are per-shard by the
+// naming convention this repo follows.
+func isShardCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var name string
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "shard")
+}
+
+// isIndexedElem reports whether expr is arr[i] or &arr[i].
+func isIndexedElem(expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	_, ok := e.(*ast.IndexExpr)
+	return ok
+}
+
+// isShardedLock reports whether the lock receiver expression is rooted
+// at a shard variable or itself contains an index step (m.shards[i].mu).
+func isShardedLock(pass *Pass, recv ast.Expr, shardVars map[types.Object]bool) bool {
+	e := ast.Unparen(recv)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			return true
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil && shardVars[obj] {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricLabel enforces the telemetry registration discipline (PR 1):
+// counters, gauges and histograms are registered once, by constant
+// name, at setup time — never resolved per packet. The registry lookup
+// walks a map under a lock; the hot path holds pre-resolved
+// CounterShard/Gauge handles instead (the SetTelemetry pattern).
+//
+// Flagged:
+//
+//   - Registry.Counter/Gauge/Histogram calls whose name argument is not
+//     a compile-time constant — dynamically composed names defeat
+//     grepability and hint at per-request lookups (a fixed set built in
+//     a setup loop carries //duet:allow metriclabel with the reason);
+//   - any Registry lookup inside a //duet:hotpath function or its
+//     static call closure.
+//
+// The Registry type is matched by name (type Registry in a package
+// named telemetry), so fixtures can stub it.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc: "telemetry instruments must be registered with constant names " +
+		"at init, never looked up per packet",
+	Run: runMetricLabel,
+}
+
+// registryLookupMethods are the name-resolving entry points on
+// telemetry.Registry.
+var registryLookupMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runMetricLabel(pass *Pass) error {
+	_, hot := hotClosure(pass)
+	hotDecl := func(fd *ast.FuncDecl) bool {
+		if fd == nil || fd.Name == nil {
+			return false
+		}
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		return ok && hot[fn]
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inHot := hotDecl(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.TypesInfo, call)
+				if fn == nil || !isRegistryLookup(fn) {
+					return true
+				}
+				if inHot {
+					pass.Reportf(call.Pos(),
+						"telemetry registry lookup %s(...) in hot path %s; pre-resolve the handle at setup (SetTelemetry pattern)",
+						fn.Name(), fd.Name.Name)
+				}
+				if len(call.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || tv.Value == nil {
+						pass.Reportf(call.Args[0].Pos(),
+							"telemetry %s registered with non-constant name in %s; use a constant (or //duet:allow metriclabel <reason> for a fixed set built in a loop)",
+							fn.Name(), fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isRegistryLookup reports whether fn is a lookup method on a type
+// named Registry in a package named telemetry.
+func isRegistryLookup(fn *types.Func) bool {
+	if !registryLookupMethods[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Name() != "telemetry" && !strings.HasSuffix(fn.Pkg().Path(), "/telemetry") {
+		return false
+	}
+	return lockRecvName(fn.Origin()) == "Registry"
+}

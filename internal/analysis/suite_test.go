@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"duet/internal/analysis"
+	"duet/internal/analysis/analysistest"
+)
+
+func TestNoClockAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.NoClock}, "noclock")
+}
+
+func TestHotPathAnalyzer(t *testing.T) {
+	// hotleaf first: facts flow dependency → dependent, same as the
+	// real driver's go list -deps ordering.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.HotPath}, "hotleaf", "hotpath")
+}
+
+func TestSnapshotAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Snapshot}, "snapshot")
+}
+
+func TestMetricLabelAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.MetricLabel}, "telemetry", "metriclabel")
+}
+
+func TestSuite(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) != 4 {
+		t.Fatalf("Suite() has %d analyzers, want 4", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely declared", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

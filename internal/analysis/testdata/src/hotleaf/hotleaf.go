@@ -1,0 +1,13 @@
+// Package hotleaf provides annotated and unannotated callees so the
+// hotpath fixture can exercise the cross-package fact check.
+package hotleaf
+
+// Fast is proven hot: calling it from another package's hot path is
+// fine because the fact below is exported to dependents.
+//
+//duet:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Slow carries no annotation; hot callers in other packages must be
+// flagged.
+func Slow(x int) int { return x * 2 }

@@ -1,0 +1,79 @@
+// Package hotpath exercises the hotpath analyzer: allocation, fmt,
+// locking and closure-membership rules inside //duet:hotpath roots and
+// everything they statically call.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+
+	"hotleaf"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	flows map[uint64]uint32
+}
+
+type mux struct {
+	mu     sync.Mutex
+	shards [16]shard
+}
+
+func (m *mux) shardFor(h uint64) *shard { return &m.shards[h%16] }
+
+//duet:hotpath
+func process(m *mux, h uint64) {
+	s := &m.shards[h%16]
+	s.mu.Lock() // indexed shard element: allowed
+	s.flows[h] = 1
+	s.mu.Unlock()
+	helper(m)
+	_ = hotleaf.Fast(1)
+	_ = hotleaf.Slow(1) // want `hot path process calls hotleaf\.Slow which is not //duet:hotpath`
+}
+
+//duet:hotpath
+func processViaHandle(m *mux, h uint64) {
+	s := m.shardFor(h)
+	s.mu.Lock() // shard-handle call: allowed
+	s.flows[h] = 2
+	s.mu.Unlock()
+}
+
+// helper is unannotated but reached from process, so it is checked as
+// part of the hot closure.
+func helper(m *mux) {
+	m.mu.Lock() // want `unsharded Mutex\.Lock in hot path helper`
+	defer m.mu.Unlock()
+	fmt.Println("per-packet logging") // want `fmt\.Println call in hot path helper`
+	scratch := make(map[int]int)      // want `map allocated in hot path helper`
+	scratch[1] = 1
+	f := func() {} // want `closure allocated in hot path helper`
+	f()
+	var x int
+	_ = any(x) // want `conversion to interface type any in hot path helper`
+}
+
+// coldRepair is reachable from a hot root but exempted wholesale: a
+// documented slow path.
+//
+//duet:allow hotpath fixture cold path is exempt by doc-comment allow
+func coldRepair(m *mux) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Println("rebuilding")
+}
+
+//duet:hotpath
+func entry(m *mux) {
+	coldRepair(m)
+	m.mu.Lock() //duet:allow hotpath fixture exercises the line escape hatch
+	m.mu.Unlock()
+}
+
+// unreached is outside every hot closure; nothing here is flagged.
+func unreached() {
+	fmt.Println("control plane")
+	_ = map[string]int{"a": 1}
+}

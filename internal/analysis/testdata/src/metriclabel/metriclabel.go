@@ -1,0 +1,40 @@
+// Package metriclabel exercises the metriclabel analyzer: instruments
+// are registered once with constant names, never resolved per packet.
+package metriclabel
+
+import "telemetry"
+
+const packetsIn = "packets.in"
+
+func setup(r *telemetry.Registry, suffix string) {
+	_ = r.Counter(packetsIn)
+	_ = r.Counter("drops.total")
+	_ = r.Counter("drops." + suffix) // want `telemetry Counter registered with non-constant name in setup`
+	_ = r.Gauge(gaugeName())         // want `telemetry Gauge registered with non-constant name in setup`
+}
+
+func setupLoop(r *telemetry.Registry) {
+	for _, mode := range []string{"stateful", "stateless", "hybrid"} {
+		//duet:allow metriclabel fixture builds a fixed set in a loop
+		_ = r.Counter("mode." + mode)
+	}
+}
+
+func gaugeName() string { return "g" }
+
+//duet:hotpath
+func process(r *telemetry.Registry) {
+	c := r.Counter(packetsIn) // want `telemetry registry lookup Counter\(\.\.\.\) in hot path process`
+	c.Inc()
+}
+
+// preResolved is the blessed pattern: the handle is resolved at setup
+// and the hot path only touches it.
+type pipeline struct{ packets *telemetry.Counter }
+
+func newPipeline(r *telemetry.Registry) *pipeline {
+	return &pipeline{packets: r.Counter(packetsIn)}
+}
+
+//duet:hotpath
+func (p *pipeline) run() { p.packets.Inc() }

@@ -1,0 +1,43 @@
+// Package noclock exercises the noclock analyzer: ambient clock reads
+// are flagged, timer-method calls and annotated escapes are not.
+package noclock
+
+import "time"
+
+func ambient() time.Time {
+	return time.Now() // want `direct time\.Now call`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep call`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `direct time\.Since call`
+}
+
+func ticking() {
+	t := time.NewTicker(time.Second) // want `direct time\.NewTicker call`
+	defer t.Stop()
+	t.Reset(2 * time.Second) // methods on timers are fine
+}
+
+func waiting() {
+	select {
+	case <-time.After(time.Second): // want `direct time\.After call`
+	default:
+	}
+}
+
+func arithmetic(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond // duration math never reads the clock
+}
+
+func escapeHatchTrailing() time.Time {
+	return time.Now() //duet:allow noclock fixture exercises the trailing escape hatch
+}
+
+func escapeHatchStandalone() {
+	//duet:allow noclock fixture exercises the standalone escape hatch
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,63 @@
+// Package snapshot exercises the snapshot analyzer: values loaded from
+// an atomic.Pointer are immutable published generations.
+package snapshot
+
+import "sync/atomic"
+
+type table struct {
+	m map[string]int
+	n int
+}
+
+type holder struct {
+	p atomic.Pointer[table]
+}
+
+func mutateView(h *holder) {
+	v := h.p.Load()
+	v.m["k"] = 1     // want `store through atomic\.Pointer\.Load\(\) view in mutateView`
+	v.n = 2          // want `store through atomic\.Pointer\.Load\(\) view in mutateView`
+	v.n++            // want `store through atomic\.Pointer\.Load\(\) view in mutateView`
+	delete(v.m, "k") // want `delete on a map reached through atomic\.Pointer\.Load\(\) view`
+}
+
+func mutateAlias(h *holder) {
+	v := h.p.Load()
+	w := v
+	w.n = 1 // want `store through atomic\.Pointer\.Load\(\) view in mutateAlias`
+}
+
+func republish(h *holder) {
+	v := h.p.Load()
+	h.p.Store(v)             // want `Store of the previously Loaded view in republish`
+	h.p.Swap(v)              // want `Store of the previously Loaded view in republish`
+	h.p.CompareAndSwap(v, v) // want `CompareAndSwap republishes the previously Loaded view in republish`
+}
+
+// copyOnWrite is the blessed pattern: fresh copy, mutate, publish.
+func copyOnWrite(h *holder) {
+	v := h.p.Load()
+	cp := &table{m: make(map[string]int, len(v.m)), n: v.n}
+	for k, val := range v.m {
+		cp.m[k] = val
+	}
+	cp.m["k"] = 1
+	cp.n++
+	h.p.CompareAndSwap(v, cp) // loaded view as the old value is fine
+	h.p.Store(cp)
+}
+
+// rebound shows taint clearing: after v is rebound to a fresh value,
+// stores through it are fine.
+func rebound(h *holder) {
+	v := h.p.Load()
+	v = &table{m: map[string]int{}}
+	v.n = 3
+	h.p.Store(v)
+}
+
+func lockGuarded(h *holder) {
+	v := h.p.Load()
+	//duet:allow snapshot fixture mirrors a lock-guarded mutable member
+	v.n = 9
+}

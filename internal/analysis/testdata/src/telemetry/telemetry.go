@@ -1,0 +1,32 @@
+// Package telemetry is a miniature stub of duet/internal/telemetry —
+// just the Registry lookup surface — so fixtures can exercise the
+// metriclabel analyzer (the real analyzer matches the type by name).
+package telemetry
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Gauge struct{ v int64 }
+
+type Histogram struct{ n uint64 }
+
+type Registry struct {
+	counters map[string]*Counter
+}
+
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }

@@ -129,6 +129,8 @@ type Snapshot struct {
 }
 
 // Snapshot captures the current routing view.
+//
+//duet:hotpath
 func (t *Table) Snapshot() Snapshot {
 	return Snapshot{root: t.root.Load(), epoch: t.epoch.Load()}
 }
@@ -244,6 +246,8 @@ func (s Snapshot) Lookup(addr packet.Addr, now float64) (nhs []NodeID, matched p
 // Pick resolves addr like Lookup but returns the (hash mod n)-th of the n
 // active next hops directly — the ECMP decision — without allocating. This is
 // the dataplane entry point.
+//
+//duet:hotpath
 func (s Snapshot) Pick(addr packet.Addr, now float64, hash uint64) (nh NodeID, matched packet.Prefix, ok bool) {
 	bestNode, bestBits := s.match(addr, now)
 	if bestNode == nil {

@@ -1,0 +1,22 @@
+// Package clock is the single place in the module allowed to read the
+// ambient wall clock. Everything else takes an injected `func() float64`
+// seconds source (virtual time in tests, one of these constructors in
+// production) — the invariant that keeps failover traces and churn
+// tests deterministic, mechanically enforced by the noclock analyzer
+// (cmd/duetvet).
+package clock
+
+import "time"
+
+// Wall returns a monotonic clock: seconds elapsed since the call that
+// created it. It is the production default for every Config.Clock /
+// Config.Now knob in the tree.
+//
+// The zero point is per-instance on purpose: dataplane timelines are
+// relative (idle TTLs, drain windows, scrape ticks), and a fresh origin
+// keeps the float64 seconds small enough that nanosecond-scale deltas
+// survive the mantissa for centuries of uptime.
+func Wall() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}

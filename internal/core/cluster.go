@@ -27,9 +27,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"duet/internal/bgp"
+	"duet/internal/clock"
 	"duet/internal/ecmp"
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
@@ -84,6 +84,12 @@ type Config struct {
 	// added to the SMux fleet (zero value: steer.ModeStateful, the
 	// classic conn-table path). Per-VIP overrides go through SetVIPMode.
 	SMuxMode steer.Mode
+	// HopClock is the seconds clock stamping the sampled per-hop latency
+	// histograms (nil: a monotonic wall clock). Distinct from the logical
+	// route clock (Now/AdvanceTime): hop attribution measures real
+	// processing time, but tests inject a virtual source so failover
+	// traces stay deterministic end to end.
+	HopClock func() float64
 }
 
 // DefaultConfig returns a cluster matching the scaled-down default fabric
@@ -153,9 +159,10 @@ type Cluster struct {
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
 
-	dtel    deliverTelemetry
-	ctel    collectGauges
-	hopTick atomic.Uint64 // rotates the per-hop timing sample gate
+	dtel     deliverTelemetry
+	ctel     collectGauges
+	hopTick  atomic.Uint64  // rotates the per-hop timing sample gate
+	hopClock func() float64 // seconds source for sampled hop histograms
 }
 
 // deliverTelemetry is Deliver's pre-resolved instrument block. The per-hop
@@ -243,6 +250,10 @@ func New(cfg Config) (*Cluster, error) {
 		reg:      telemetry.NewRegistry(),
 		rec:      telemetry.NewRecorder(telemetry.DefaultRecorderSize),
 	}
+	c.hopClock = cfg.HopClock
+	if c.hopClock == nil {
+		c.hopClock = clock.Wall()
+	}
 	// Trace events carry the cluster's logical route clock; callers running
 	// real time (or the testbed's virtual time) can re-clock via Telemetry().
 	c.rec.SetClock(c.Now)
@@ -262,6 +273,7 @@ func New(cfg Config) (*Cluster, error) {
 		tierNMuxMiss: c.reg.Counter("core.deliver.tier.nmux_miss").Shard(),
 	}
 	for _, md := range steer.Modes() {
+		//duet:allow metriclabel fixed three-mode set resolved once at construction
 		c.dtel.mode[md] = c.reg.Counter("core.deliver.mode." + md.String()).Shard()
 	}
 	c.ctel = collectGauges{
@@ -772,6 +784,8 @@ type Delivery struct {
 // connection tables) exactly as production traffic would. Safe for
 // concurrent callers, including concurrently with control-plane mutation:
 // the whole packet resolves against one atomically published snapshot.
+//
+//duet:hotpath
 func (c *Cluster) Deliver(data []byte) (Delivery, error) {
 	d, err := c.deliver(c.snap.Load(), data)
 	c.dtel.packets.Inc()
@@ -796,7 +810,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	var (
 		encapped []byte
 		hops     []Hop
-		t0       time.Time
+		t0       float64
 	)
 	timed := c.sampleHop()
 	if nh >= smuxNodeBase {
@@ -813,11 +827,11 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 		}
 		hm := snap.hmuxes[sw]
 		if timed {
-			t0 = time.Now()
+			t0 = c.hopClock()
 		}
 		res, err := hm.Process(data, nil)
 		if timed {
-			c.dtel.hopHMux.Observe(time.Since(t0).Seconds())
+			c.dtel.hopHMux.Observe(c.hopClock() - t0)
 		}
 		switch {
 		case errors.Is(err, hmux.ErrNotOurVIP):
@@ -841,11 +855,11 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 					return Delivery{}, ErrSwitchDown
 				}
 				if timed {
-					t0 = time.Now()
+					t0 = c.hopClock()
 				}
 				res2, err := snap.hmuxes[tipSwitch].Process(encapped, nil)
 				if timed {
-					c.dtel.hopTIP.Observe(time.Since(t0).Seconds())
+					c.dtel.hopTIP.Observe(c.hopClock() - t0)
 				}
 				if err != nil {
 					return Delivery{}, err
@@ -863,18 +877,20 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	}
 	agent, ok := snap.agents[outer.Dst]
 	if !ok {
+		//duet:allow hotpath error construction on the no-agent reject path only
 		return Delivery{}, fmt.Errorf("%w: %s", ErrNoHostAgent, outer.Dst)
 	}
 	if timed {
-		t0 = time.Now()
+		t0 = c.hopClock()
 	}
 	d, err := agent.Receive(encapped, nil)
 	if timed {
-		c.dtel.hopAgent.Observe(time.Since(t0).Seconds())
+		c.dtel.hopAgent.Observe(c.hopClock() - t0)
 	}
 	if err != nil {
 		return Delivery{}, err
 	}
+	//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 	hops = append(hops, Hop{Kind: "agent", Node: outer.Dst.String()})
 	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
 }
@@ -885,19 +901,20 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 // hash, the encap bytes are identical whichever tier serves the flow — the
 // fall-through is invisible to the backend.
 func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) ([]byte, Hop, error) {
-	var t0 time.Time
+	var t0 float64
 	if len(snap.nmuxes) > 0 {
 		nm := snap.nmuxes[idx]
 		if timed {
-			t0 = time.Now()
+			t0 = c.hopClock()
 		}
 		res, err := nm.Process(data, nil)
 		if timed {
-			c.dtel.hopNMux.Observe(time.Since(t0).Seconds())
+			c.dtel.hopNMux.Observe(c.hopClock() - t0)
 		}
 		switch {
 		case err == nil:
 			c.dtel.tierNMux.Inc()
+			//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 			return res.Packet, Hop{Kind: "nmux", Node: nm.Self().String()}, nil
 		case !errors.Is(err, nmux.ErrNotOurVIP):
 			return nil, Hop{}, err
@@ -906,17 +923,18 @@ func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) 
 	}
 	sm := snap.smuxes[idx]
 	if timed {
-		t0 = time.Now()
+		t0 = c.hopClock()
 	}
 	res, err := sm.Process(data, nil)
 	if timed {
-		c.dtel.hopSMux.Observe(time.Since(t0).Seconds())
+		c.dtel.hopSMux.Observe(c.hopClock() - t0)
 	}
 	if err != nil {
 		return nil, Hop{}, err
 	}
 	c.dtel.tierSMux.Inc()
 	c.dtel.mode[res.Mode].Inc()
+	//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 	return res.Packet, Hop{Kind: "smux", Node: sm.Self().String()}, nil
 }
 

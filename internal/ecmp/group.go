@@ -182,12 +182,15 @@ func (g *Group) Select(hash uint64) (uint32, error) {
 	}
 	s := g.slots[hash%uint64(len(g.slots))]
 	if s < 0 || int(s) >= len(g.members) {
+		//duet:allow hotpath error construction on the corrupt-table reject path only
 		return 0, fmt.Errorf("ecmp: corrupt slot table entry %d", s)
 	}
 	return g.members[s], nil
 }
 
 // SelectTuple returns the member for a 5-tuple using the shared Hash.
+//
+//duet:hotpath
 func (g *Group) SelectTuple(t packet.FiveTuple) (uint32, error) {
 	return g.Select(Hash(t))
 }

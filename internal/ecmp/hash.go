@@ -14,30 +14,38 @@ import "duet/internal/packet"
 // tuple fields, chosen because it is cheap, stateless and identical across
 // every component — the property Duet's connection-preserving migration
 // depends on, not the specific hash family.
+//
+//duet:hotpath
 func Hash(t packet.FiveTuple) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix32 := func(v uint32) {
-		mix(byte(v >> 24))
-		mix(byte(v >> 16))
-		mix(byte(v >> 8))
-		mix(byte(v))
-	}
-	mix32(uint32(t.Src))
-	mix32(uint32(t.Dst))
-	mix(byte(t.SrcPort >> 8))
-	mix(byte(t.SrcPort))
-	mix(byte(t.DstPort >> 8))
-	mix(byte(t.DstPort))
-	mix(t.Proto)
+	h := uint64(fnvOffset64)
+	h = fnvMix32(h, uint32(t.Src))
+	h = fnvMix32(h, uint32(t.Dst))
+	h = fnvMix(h, byte(t.SrcPort>>8))
+	h = fnvMix(h, byte(t.SrcPort))
+	h = fnvMix(h, byte(t.DstPort>>8))
+	h = fnvMix(h, byte(t.DstPort))
+	h = fnvMix(h, t.Proto)
 	return fmix64(h)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one byte into an FNV-1a state.
+func fnvMix(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+// fnvMix32 folds a big-endian uint32 into an FNV-1a state.
+func fnvMix32(h uint64, v uint32) uint64 {
+	h = fnvMix(h, byte(v>>24))
+	h = fnvMix(h, byte(v>>16))
+	h = fnvMix(h, byte(v>>8))
+	return fnvMix(h, byte(v))
 }
 
 // fmix64 is the murmur3 finalizer. FNV-1a alone leaves detectable structure

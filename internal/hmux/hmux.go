@@ -533,6 +533,8 @@ type Result struct {
 // This is the dataplane path: it performs no allocation beyond growing the
 // caller's buffer, and it is safe for any number of concurrent callers (each
 // call resolves against one atomically loaded table generation).
+//
+//duet:hotpath
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.tel.packets.Inc()
 	sampled := m.tel.rec.Sample()

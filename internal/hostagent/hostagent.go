@@ -217,6 +217,8 @@ type Delivery struct {
 // inner destination to the DIP, and meters the traffic.
 //
 // The rewritten packet is appended to out. Safe for concurrent callers.
+//
+//duet:hotpath
 func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 	inner, _, err := packet.Decapsulate(data)
 	if err != nil {
@@ -266,6 +268,8 @@ func (a *Agent) Receive(data, out []byte) (Delivery, error) {
 // the VIP was registered by an older agent generation without one). Slow
 // path; RegisterDIP pre-creates meters so steady-state Receive never lands
 // here.
+//
+//duet:allow hotpath once-per-VIP repair path; RegisterDIP pre-creates meters
 func (a *Agent) ensureMeter(vip packet.Addr) *meter {
 	a.mu.Lock()
 	defer a.mu.Unlock()

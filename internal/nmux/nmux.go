@@ -208,6 +208,8 @@ func New(cfg Config) *Mux {
 }
 
 // Self returns the mux's address.
+//
+//duet:hotpath
 func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
 
 // TableSize returns the configured match-table capacity.
@@ -444,6 +446,8 @@ type Result struct {
 // the flow if the table has room), encapsulate. The output is appended to
 // out. Safe for concurrent callers; the hot path allocates nothing
 // (flow-map growth aside) and never takes the writer lock.
+//
+//duet:hotpath
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.tel.packets.Inc()
 	var ip packet.IPv4 // stack scratch; Process must stay concurrency-safe

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"duet/internal/clock"
 	"duet/internal/telemetry"
 )
 
@@ -201,8 +202,7 @@ func New(cfg Config) *Pipeline {
 		cfg.AlertLog = 256
 	}
 	if cfg.Now == nil {
-		start := time.Now()
-		cfg.Now = func() float64 { return time.Since(start).Seconds() }
+		cfg.Now = clock.Wall()
 	}
 	p := &Pipeline{
 		cfg:    cfg,
@@ -271,7 +271,7 @@ func (p *Pipeline) Start(interval time.Duration) (stop func()) {
 	}
 	done := make(chan struct{})
 	var once sync.Once
-	t := time.NewTicker(interval)
+	t := time.NewTicker(interval) //duet:allow noclock real scrape cadence; virtual-time callers drive Tick directly
 	go func() {
 		defer t.Stop()
 		for {

@@ -75,6 +75,8 @@ type Prefix struct {
 
 // PrefixFrom returns the prefix of the given length containing addr,
 // with the host bits zeroed.
+//
+//duet:hotpath
 func PrefixFrom(addr Addr, bits int) Prefix {
 	if bits < 0 {
 		bits = 0

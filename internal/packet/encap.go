@@ -7,9 +7,12 @@ import "fmt"
 // performs in the switch dataplane and the SMux performs in software
 // (paper §3.1, Figure 2). The result is appended to dst and returned, so
 // callers can reuse a buffer across packets.
+//
+//duet:hotpath
 func Encapsulate(dst []byte, src, outerDst Addr, inner []byte, ttl uint8) ([]byte, error) {
 	total := HeaderLen + len(inner)
 	if total > 0xffff {
+		//duet:allow hotpath error construction on the oversize reject path only
 		return nil, fmt.Errorf("packet: encapsulated packet too large: %d", total)
 	}
 	outer := IPv4{
@@ -30,11 +33,14 @@ func Encapsulate(dst []byte, src, outerDst Addr, inner []byte, ttl uint8) ([]byt
 // Decapsulate strips the outer IP-in-IP header and returns the inner packet
 // bytes (aliasing data) together with the decoded outer header. This is the
 // host agent's receive-side operation (paper §2.1).
+//
+//duet:hotpath
 func Decapsulate(data []byte) (inner []byte, outer IPv4, err error) {
 	if err = outer.DecodeFromBytes(data); err != nil {
 		return nil, outer, err
 	}
 	if outer.Protocol != ProtoIPIP {
+		//duet:allow hotpath error construction on the not-encapsulated reject path only
 		return nil, outer, fmt.Errorf("packet: not IP-in-IP (proto %d)", outer.Protocol)
 	}
 	return outer.Payload(), outer, nil
@@ -96,6 +102,8 @@ var ErrHasOptions = fmt.Errorf("packet: cannot rewrite header with IP options")
 // RewriteDst rewrites the destination address of the outermost IPv4 header
 // in place and fixes the checksum. The host agent uses it when translating
 // a decapsulated VIP packet to the local DIP.
+//
+//duet:hotpath
 func RewriteDst(data []byte, dst Addr) error {
 	var ip IPv4
 	if err := ip.DecodeFromBytes(data); err != nil {
@@ -112,6 +120,8 @@ func RewriteDst(data []byte, dst Addr) error {
 // RewriteSrc rewrites the source address of the outermost IPv4 header in
 // place and fixes the checksum. The host agent uses it for direct server
 // return: responses leave the DIP carrying the VIP as their source.
+//
+//duet:hotpath
 func RewriteSrc(data []byte, src Addr) error {
 	var ip IPv4
 	if err := ip.DecodeFromBytes(data); err != nil {

@@ -47,10 +47,14 @@ type IPv4 struct {
 
 // Payload returns the bytes following the IPv4 header from the most recent
 // DecodeFromBytes call. The slice aliases the decode buffer.
+//
+//duet:hotpath
 func (h *IPv4) Payload() []byte { return h.payload }
 
 // DecodeFromBytes parses an IPv4 header from data. It validates the version,
 // IHL, total length and header checksum.
+//
+//duet:hotpath
 func (h *IPv4) DecodeFromBytes(data []byte) error {
 	if len(data) < HeaderLen {
 		return ErrTruncated
@@ -94,6 +98,7 @@ func (h *IPv4) DecodeFromBytes(data []byte) error {
 // 5. It returns the number of bytes written.
 func (h *IPv4) SerializeTo(buf []byte) (int, error) {
 	if len(buf) < HeaderLen {
+		//duet:allow hotpath error construction on the short-buffer reject path only
 		return 0, fmt.Errorf("packet: serialize buffer too short: %d < %d", len(buf), HeaderLen)
 	}
 	buf[0] = 4<<4 | 5

@@ -140,6 +140,8 @@ func (t *TCP) SerializeTo(buf []byte) (int, error) {
 // ExtractFiveTuple decodes the outermost IPv4 header in data plus its
 // transport ports (TCP/UDP). For other protocols ports are zero. It is the
 // hash input extraction step every mux performs.
+//
+//duet:hotpath
 func ExtractFiveTuple(data []byte) (FiveTuple, error) {
 	var ip IPv4
 	if err := ip.DecodeFromBytes(data); err != nil {
@@ -166,6 +168,8 @@ func fiveTupleFromIP(ip *IPv4) (FiveTuple, error) {
 // payload, or ok=false when the packet is not TCP (or is too short to carry
 // a flags byte). It reads one byte in place — no TCP header decode — so the
 // mux hot paths can classify SYN/FIN/RST without extra cost.
+//
+//duet:hotpath
 func (h *IPv4) TCPFlags() (flags uint8, ok bool) {
 	if h.Protocol != ProtoTCP || len(h.payload) < 14 {
 		return 0, false

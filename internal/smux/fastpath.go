@@ -61,11 +61,13 @@ func (m *Mux) fastPathOffer(tuple packet.FiveTuple, dip packet.Addr) *FastPathOf
 	if st.pred != nil && !st.pred(tuple.Src) {
 		return nil
 	}
+	//duet:allow hotpath offer-once dedup; an atomic gate keeps this off the Duet steady path
 	st.mu.Lock()
 	if st.offered[tuple] {
 		st.mu.Unlock()
 		return nil // offer once per flow
 	}
+	//duet:allow snapshot offered set is lock-guarded mutable state, not a COW snapshot
 	st.offered[tuple] = true
 	st.mu.Unlock()
 	return &FastPathOffer{Flow: tuple, DIP: dip}

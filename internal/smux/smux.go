@@ -29,8 +29,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"duet/internal/clock"
 	"duet/internal/ecmp"
 	"duet/internal/packet"
 	"duet/internal/service"
@@ -280,8 +280,7 @@ func New(cfg Config) *Mux {
 	m.overlayTTL = defaultIf(cfg.OverlayTTLSec, DefaultOverlayTTL)
 	m.clock = cfg.Clock
 	if m.clock == nil {
-		start := time.Now()
-		m.clock = func() float64 { return time.Since(start).Seconds() }
+		m.clock = clock.Wall()
 	}
 	m.nowBits.Store(math.Float64bits(m.clock()))
 	m.steer = cfg.Steer
@@ -316,6 +315,8 @@ func shardFor(h uint64) int { return int((h >> 48) & (connShards - 1)) }
 func (m *Mux) coarseNow() float64 { return math.Float64frombits(m.nowBits.Load()) }
 
 // Self returns the mux's address.
+//
+//duet:hotpath
 func (m *Mux) Self() packet.Addr { return m.cfg.SelfAddr }
 
 // CapacityPPS returns the configured CPU saturation point.
@@ -515,6 +516,8 @@ type Result struct {
 // table, resolve the DIP per the VIP's mode, encapsulate. The encapsulated
 // packet is appended to out. Safe for concurrent callers: resolution is one
 // atomic table load, and per-flow pinning locks only the flow's hash shard.
+//
+//duet:hotpath
 func (m *Mux) Process(data []byte, out []byte) (Result, error) {
 	m.processed.Add(1)
 	m.tel.packets.Inc()

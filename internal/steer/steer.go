@@ -133,6 +133,8 @@ type Entry struct {
 }
 
 // Mode returns the VIP's steering mode.
+//
+//duet:hotpath
 func (e *Entry) Mode() Mode { return e.mode }
 
 // Backends returns the VIP's backend list (removed DIPs appear zeroed, same
@@ -141,6 +143,8 @@ func (e *Entry) Backends() []service.Backend { return e.backends }
 
 // DIP resolves the tuple against the entry: port sub-entry first, then the
 // slot array at hash % slots. Zero allocations.
+//
+//duet:hotpath
 func (e *Entry) DIP(tuple packet.FiveTuple, h uint64) (packet.Addr, error) {
 	sel := e
 	if e.ports != nil {
@@ -158,6 +162,8 @@ func (e *Entry) DIP(tuple packet.FiveTuple, h uint64) (packet.Addr, error) {
 // tuple. Hybrid muxes use it to refuse pinning a flow to a DIP the current
 // generation no longer serves (a failed DIP's connections are necessarily
 // terminated, paper §5.1). Zero allocations.
+//
+//duet:hotpath
 func (e *Entry) HasLive(tuple packet.FiveTuple, d packet.Addr) bool {
 	sel := e
 	if e.ports != nil {
@@ -264,12 +270,16 @@ func (t *Table) ModeOf(addr packet.Addr) (Mode, bool) {
 type View struct{ g *generation }
 
 // View returns the current generation.
+//
+//duet:hotpath
 func (t *Table) View() View { return View{g: t.gen.Load()} }
 
 // Epoch returns the viewed generation's epoch.
 func (v View) Epoch() uint64 { return v.g.epoch }
 
 // Find returns the VIP's entry in the viewed generation.
+//
+//duet:hotpath
 func (v View) Find(addr packet.Addr) (*Entry, bool) {
 	e, ok := v.g.vips[addr]
 	return e, ok
@@ -277,12 +287,16 @@ func (v View) Find(addr packet.Addr) (*Entry, bool) {
 
 // DrainActive reports whether the previous generation is still consultable
 // at the given clock reading.
+//
+//duet:hotpath
 func (v View) DrainActive(now float64) bool {
 	return v.g.prev != nil && now < v.g.drainUntil
 }
 
 // PrevDIP resolves the tuple against the previous generation, if one is
 // still attached. Zero allocations.
+//
+//duet:hotpath
 func (v View) PrevDIP(tuple packet.FiveTuple, h uint64) (packet.Addr, bool) {
 	p := v.g.prev
 	if p == nil {

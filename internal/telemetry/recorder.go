@@ -3,7 +3,8 @@ package telemetry
 import (
 	"math"
 	"sync/atomic"
-	"time"
+
+	"duet/internal/clock"
 )
 
 // Kind classifies a flight-recorder event. Dataplane kinds trace one packet
@@ -143,8 +144,7 @@ func NewRecorder(size int) *Recorder {
 		slots: make([]atomic.Uint64, n*slotWords),
 		size:  n,
 	}
-	start := time.Now()
-	wall := func() float64 { return time.Since(start).Seconds() }
+	wall := clock.Wall()
 	r.clock.Store(&wall)
 	return r
 }
@@ -179,6 +179,8 @@ func (r *Recorder) SetSampleEvery(n int) {
 // Sample reports whether the current packet should be traced. Call it once
 // per packet at pipeline entry and reuse the answer for every stage, so a
 // sampled packet yields a complete pipeline trace.
+//
+//duet:hotpath
 func (r *Recorder) Sample() bool {
 	if r == nil {
 		return false
@@ -187,6 +189,8 @@ func (r *Recorder) Sample() bool {
 }
 
 // Record appends an event stamped with the recorder's clock.
+//
+//duet:hotpath
 func (r *Recorder) Record(kind Kind, node, a, b uint32, aux uint64) {
 	if r == nil {
 		return
@@ -197,6 +201,8 @@ func (r *Recorder) Record(kind Kind, node, a, b uint32, aux uint64) {
 // RecordAt appends an event with an explicit timestamp — the control-plane
 // path for components that already operate on virtual time (BGP convergence
 // times, switch-agent completion times).
+//
+//duet:hotpath
 func (r *Recorder) RecordAt(t float64, kind Kind, node, a, b uint32, aux uint64) {
 	if r == nil {
 		return

@@ -103,6 +103,8 @@ type CounterShard struct {
 }
 
 // Inc adds one to the shard.
+//
+//duet:hotpath
 func (s CounterShard) Inc() {
 	if s.v == nil {
 		return
@@ -111,6 +113,8 @@ func (s CounterShard) Inc() {
 }
 
 // Add adds n to the shard.
+//
+//duet:hotpath
 func (s CounterShard) Add(n uint64) {
 	if s.v == nil {
 		return
@@ -141,6 +145,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta (may be negative).
+//
+//duet:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -194,6 +200,8 @@ func (h *Histogram) Name() string {
 }
 
 // Observe records one sample.
+//
+//duet:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"duet/internal/bgp"
+	"duet/internal/clock"
 	"duet/internal/core"
 	"duet/internal/metrics"
 	"duet/internal/obs"
@@ -196,9 +197,9 @@ type FloodStats struct {
 // Run floods the cluster through core.DeliverBatch and reports aggregate
 // throughput.
 func (f *Flood) Run(pkts [][]byte, workers int) FloodStats {
-	start := time.Now()
+	wall := clock.Wall()
 	results := f.Cluster.DeliverBatch(pkts, workers)
-	elapsed := time.Since(start)
+	elapsed := time.Duration(wall() * float64(time.Second))
 	st := FloodStats{Elapsed: elapsed}
 	for _, r := range results {
 		if r.Err != nil {
@@ -230,7 +231,7 @@ func (f *Flood) RunTimed(pkts [][]byte, workers int) FloodStats {
 	}
 	outs := make([]workerOut, workers)
 	var wg sync.WaitGroup
-	start := time.Now()
+	wall := clock.Wall()
 	for w := 0; w < workers; w++ {
 		lo := w * len(pkts) / workers
 		hi := (w + 1) * len(pkts) / workers
@@ -239,9 +240,9 @@ func (f *Flood) RunTimed(pkts [][]byte, workers int) FloodStats {
 			defer wg.Done()
 			var lat metrics.CDF // goroutine-confined, per its contract
 			for _, p := range pkts[lo:hi] {
-				t0 := time.Now()
+				t0 := wall()
 				_, err := f.Cluster.Deliver(p)
-				lat.Add(time.Since(t0).Seconds())
+				lat.Add(wall() - t0)
 				if err != nil {
 					outs[w].failed++
 				} else {
@@ -252,7 +253,7 @@ func (f *Flood) RunTimed(pkts [][]byte, workers int) FloodStats {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Duration(wall() * float64(time.Second))
 	st := FloodStats{Elapsed: elapsed}
 	snaps := make([]metrics.CDFSnapshot, workers)
 	for w, o := range outs {

@@ -1,0 +1,11 @@
+package testbed
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+// TestMain enforces that flood workers and observability pipelines the
+// tests start are torn down — leaked goroutines fail the binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,103 @@
+// Package leakcheck fails a test binary whose tests leave goroutines
+// behind. Packages that spawn real daemons (internal/wire's socket
+// nodes, internal/testbed's flood workers) wire it into TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the tests pass, the checker polls the runtime's goroutine dump
+// until only known-benign goroutines remain; anything else — a node
+// loop still draining, an unstopped ticker, a worker blocked on a
+// channel nobody closes — is printed with its stack and fails the
+// binary. Shutdown paths thus stay load-bearing in every test run.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main runs the tests and then enforces the no-leak rule. It calls
+// os.Exit and therefore must be the last statement in TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if bad := settle(); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked after tests:\n\n%s\n",
+				len(bad), strings.Join(bad, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle gives graceful shutdowns a grace window: goroutines unwinding
+// from t.Cleanup or deferred Close calls need a few scheduler turns to
+// exit after the last test returns.
+func settle() []string {
+	const (
+		attempts = 50
+		pause    = 20 * time.Millisecond
+	)
+	var bad []string
+	for i := 0; i < attempts; i++ {
+		if bad = leaked(); len(bad) == 0 {
+			return nil
+		}
+		//duet:allow noclock test harness waits on the real scheduler to retire goroutines
+		time.Sleep(pause)
+	}
+	return bad
+}
+
+// leaked returns the stacks of all live goroutines that are neither
+// the test runner's own nor the runtime's.
+func leaked() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var bad []string
+	for _, s := range strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n") {
+		if !benign(s) {
+			bad = append(bad, s)
+		}
+	}
+	return bad
+}
+
+// benignMarkers identify goroutines owned by the runtime, the testing
+// framework, or this package.
+var benignMarkers = []string{
+	"testing.(*M).Run",
+	"testing.Main(",
+	"testing.runTests",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"runtime.goexit0",
+	"created by runtime",
+	"runtime.forcegchelper",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.gcBgMarkWorker",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"testutil/leakcheck",
+}
+
+func benign(stack string) bool {
+	if strings.HasPrefix(stack, "goroutine 1 ") {
+		return true // the test binary's main goroutine
+	}
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	return false
+}

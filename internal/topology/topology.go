@@ -285,6 +285,8 @@ func (t *Topology) ContainerSwitches(c int) []SwitchID {
 }
 
 // Switch returns the switch record for id.
+//
+//duet:hotpath
 func (t *Topology) Switch(id SwitchID) Switch { return t.Switches[id] }
 
 // Link returns the link record for id.

@@ -1,7 +1,10 @@
 package wire
 
 import (
+	"hash/fnv"
 	"math/rand"
+	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,11 +26,38 @@ type Backoff struct {
 	// Jitter is the uniform fractional spread applied to each delay
 	// (default 0.2: the returned delay is d * [1-0.2, 1+0.2]).
 	Jitter float64
-	// Rand supplies jitter randomness; nil uses the global source. Tests
-	// inject a seeded source for determinism.
+	// Rand supplies jitter randomness. Tests inject a seeded source for
+	// determinism; daemons seed one per node (see NodeSeed). When nil, a
+	// source unique to this Backoff is created on first use — never the
+	// process-global locked source, whose lock every retry loop in the
+	// process would otherwise contend on.
 	Rand *rand.Rand
 
 	attempt int
+}
+
+// jitterSeq decorrelates lazily created jitter sources across the
+// process without consulting the wall clock or the global source. The
+// increment is the 64-bit golden ratio, so consecutive seeds land far
+// apart.
+var jitterSeq atomic.Uint64
+
+func (b *Backoff) rng() *rand.Rand {
+	if b.Rand == nil {
+		seed := uint64(os.Getpid())<<32 ^ jitterSeq.Add(0x9e3779b97f4a7c15)
+		b.Rand = rand.New(rand.NewSource(int64(seed)))
+	}
+	return b.Rand
+}
+
+// NodeSeed derives a stable jitter source from a node identity (name,
+// or name plus peer). Each daemon loop seeding with its own identity
+// gets reconnect jitter that is decorrelated across the fleet yet
+// reproducible run to run — churn tests replay the same schedule.
+func NodeSeed(identity string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(identity))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 func (b *Backoff) defaults() (time.Duration, time.Duration, float64, float64) {
@@ -60,12 +90,7 @@ func (b *Backoff) Next() time.Duration {
 	}
 	b.attempt++
 	if jitter > 0 {
-		var u float64
-		if b.Rand != nil {
-			u = b.Rand.Float64()
-		} else {
-			u = rand.Float64()
-		}
+		u := b.rng().Float64()
 		d *= 1 - jitter + 2*jitter*u
 	}
 	if d < 0 {

@@ -350,7 +350,7 @@ func (c *ControlClient) Call(env *Envelope) error {
 	}
 	c.seq++
 	env.Seq = c.seq
-	deadline := time.Now().Add(c.timeout)
+	deadline := time.Now().Add(c.timeout) //duet:allow noclock net.Conn deadlines need absolute wall time
 	_ = c.conn.SetDeadline(deadline)
 	if err := writeMsg(c.conn, env); err != nil {
 		c.dropConnLocked()
@@ -416,7 +416,7 @@ func (c *ControlClient) CallRetry(env *Envelope, bo *Backoff, stop <-chan struct
 		select {
 		case <-stop:
 			return err
-		case <-time.After(bo.Next()):
+		case <-time.After(bo.Next()): //duet:allow noclock real reconnect backoff on the wire
 		}
 	}
 }

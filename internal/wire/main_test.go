@@ -1,0 +1,11 @@
+package wire
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+// TestMain enforces that every node, control client and push loop the
+// tests start is torn down — leaked daemon goroutines fail the binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"duet/internal/clock"
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
 	"duet/internal/nmux"
@@ -31,7 +32,7 @@ type Node struct {
 	Rec  *telemetry.Recorder
 	Obs  *obs.Pipeline
 
-	start time.Time
+	wall  func() float64         // monotonic seconds since StartNode (clock.Wall)
 	hosts map[packet.Addr]string // outer dst → UDP data endpoint
 
 	dp      *Dataplane
@@ -72,8 +73,9 @@ type Node struct {
 }
 
 // now is the node's monotonic clock in seconds, used for switch-agent
-// timing and as the obs scrape clock.
-func (n *Node) now() float64 { return time.Since(n.start).Seconds() }
+// timing and as the obs scrape clock. Set once at StartNode from
+// clock.Wall; tests reaching in via obs drive virtual time instead.
+func (n *Node) now() float64 { return n.wall() }
 
 // StartNode builds and starts the named node from the spec: it binds the
 // role's sockets, starts the obs scrape loop and HTTP exposition, and (for
@@ -88,7 +90,7 @@ func StartNode(spec *ClusterSpec, name string) (*Node, error) {
 		Me:         me,
 		Reg:        telemetry.NewRegistry(),
 		Rec:        telemetry.NewRecorder(telemetry.DefaultRecorderSize),
-		start:      time.Now(),
+		wall:       clock.Wall(),
 		hosts:      spec.HostMap(),
 		stop:       make(chan struct{}),
 		routeSet:   make(map[string]bool),
@@ -456,7 +458,7 @@ func (n *Node) startHealthLoop() {
 	go func() {
 		defer n.wg.Done()
 		defer client.Close()
-		t := time.NewTicker(interval)
+		t := time.NewTicker(interval) //duet:allow noclock real health-report cadence of the socket daemon
 		defer t.Stop()
 		for {
 			select {
@@ -539,7 +541,7 @@ func (n *Node) startAnnounceLoop() {
 	go func() {
 		defer n.wg.Done()
 		defer client.Close()
-		bo := &Backoff{}
+		bo := &Backoff{Rand: NodeSeed(n.Me.Name + " announce")}
 		for {
 			select {
 			case <-n.stop:
@@ -713,7 +715,7 @@ func (n *Node) pushLoop(peer *NodeSpec, resync time.Duration) {
 	defer n.wg.Done()
 	client := DialControl(peer.Control, n.Reg)
 	defer client.Close()
-	bo := &Backoff{Max: resync}
+	bo := &Backoff{Max: resync, Rand: NodeSeed(n.Me.Name + " push " + peer.Name)}
 	hello := &Envelope{Type: MsgHello, Role: RoleController, Name: n.Me.Name}
 	for {
 		ok := client.CallRetry(hello, bo, n.stop) == nil
@@ -725,7 +727,7 @@ func (n *Node) pushLoop(peer *NodeSpec, resync time.Duration) {
 		select {
 		case <-n.stop:
 			return
-		case <-time.After(resync):
+		case <-time.After(resync): //duet:allow noclock real anti-entropy cadence of the socket daemon
 		}
 	}
 }
