@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet lint vuln fuzz-smoke race allocs bench benchgate bench-wire benchgate-wire wire-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
+.PHONY: check fmt build test vet lint vuln fuzz-smoke race allocs bench benchgate benchgate-all bench-wire benchgate-wire wire-race obs-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
 
 check: fmt vet lint build race allocs
 
@@ -43,10 +43,15 @@ vuln:
 # without turning CI into a fuzz farm. `go test -fuzz` takes one target
 # per invocation, so the targets run back to back.
 FUZZ_TARGETS = FuzzIPv4Decode FuzzEncapDecap FuzzDecapsulate FuzzExtractFiveTuple FuzzTransportDecode FuzzRewrite
+WIRE_FUZZ_TARGETS = FuzzDecodeFrameTrace FuzzTracedFrameRoundTrip
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test -run XXX -fuzz "^$$t$$" -fuzztime 5s ./internal/packet || exit 1; \
+	done
+	@for t in $(WIRE_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run XXX -fuzz "^$$t$$" -fuzztime 5s ./internal/wire || exit 1; \
 	done
 
 test:
@@ -76,6 +81,16 @@ bench:
 benchgate:
 	$(GO) test -run XXX -bench BenchmarkDeliverParallel -benchtime 2s . | $(GO) run ./cmd/benchgate
 
+# Every recorded baseline through cmd/benchgate in one pass. Runs all four
+# gates even when an early one regresses, then fails if any did — this is
+# the one target CI's non-blocking bench step invokes.
+benchgate-all:
+	@fail=0; \
+	for t in benchgate benchgate-wire benchgate-nmux benchgate-steer; do \
+		$(MAKE) --no-print-directory $$t || fail=1; \
+	done; \
+	exit $$fail
+
 # Real-socket wire throughput: frames SYNs over loopback UDP into a
 # dataplane socket and measures delivered packets per second end to end
 # (baseline recorded in BENCH_wire.json; acceptance floor 100k pkts/s).
@@ -90,6 +105,14 @@ benchgate-wire:
 # UDP traffic, kills and restarts the SMux, and drives a wire-drops alert.
 wire-race:
 	$(GO) test -race -v -run TestWireClusterEndToEnd ./cmd/duetd
+
+# The cluster-observability plane under the race detector: the obs package
+# (scrape pipeline, rules engine, journey stitcher, fleet aggregator with
+# its pollers) plus the multi-process integration test that stitches
+# cross-process journeys and drives a fleet alert.
+obs-race:
+	$(GO) test -race ./internal/obs ./internal/telemetry
+	$(GO) test -race -v -run TestClusterObservability ./cmd/duetd
 
 # The NIC match-table tier under the race detector: the nmux package itself,
 # the three-tier core/controller/placement paths, and the testbed churn

@@ -1,18 +1,20 @@
 // Command benchgate compares a `go test -bench` run against a recorded
 // baseline JSON and exits non-zero when any sub-benchmark regresses beyond
-// the tolerance. CI runs it as a non-blocking step; it is deliberately loud
-// on failure so regressions are visible in the log even though they do not
-// fail the build.
+// the tolerance. CI runs `make benchgate-all` (every recorded baseline in
+// one pass) as a non-blocking step; it is deliberately loud on failure so
+// regressions are visible in the log even though they do not fail the build.
 //
 // The baseline names the benchmark it gates; the gate matches any
 // `Benchmark<name>/<param>=<N>` sub-benchmark line carrying the custom
-// ns/pkt metric, so the same binary gates BENCH_deliver.json
-// (BenchmarkDeliverParallel/workers=N) and BENCH_wire.json
-// (BenchmarkWireDeliver/senders=N).
+// ns/pkt metric, so the same binary gates all four recorded baselines:
+// BENCH_deliver.json (BenchmarkDeliverParallel/workers=N), BENCH_wire.json
+// (BenchmarkWireDeliver/senders=N), BENCH_nmux.json and BENCH_steer.json.
 //
 // Usage:
 //
-//	go test -run XXX -bench BenchmarkDeliverParallel . | go run ./cmd/benchgate
+//	make benchgate-all                 # every baseline, the CI entry point
+//	make benchgate-wire                # one baseline
+//	go test -run '^$' -bench BenchmarkDeliverParallel . | go run ./cmd/benchgate
 //	go run ./cmd/benchgate -baseline BENCH_wire.json -tolerance 0.15 < bench.out
 package main
 

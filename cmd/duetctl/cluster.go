@@ -1,0 +1,143 @@
+package main
+
+// The fleet views: non-interactive subcommands against a duetd obs node's
+// /cluster/* endpoints — stitched packet journeys, the merged cluster
+// counters, and the cluster-scope watchdog log.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"duet/internal/obs"
+)
+
+// clusterURL normalizes the obs-node base URL argument shared by the fleet
+// subcommands.
+func clusterURL(fs *flag.FlagSet, usage string) string {
+	url := strings.TrimSuffix(fs.Arg(0), "/")
+	if url == "" {
+		fmt.Fprintln(os.Stderr, "usage: duetctl "+usage+" http://obs-host:port")
+		os.Exit(2)
+	}
+	if !strings.HasPrefix(url, "http") {
+		url = "http://" + url
+	}
+	return url
+}
+
+// runJourneys renders the obs node's stitched cross-process packet journeys:
+// one line per journey (trace ID, tier path, end-to-end time), then the
+// per-hop timeline of the slowest journey shown.
+func runJourneys(out io.Writer, args []string) {
+	fs := flag.NewFlagSet("journeys", flag.ExitOnError)
+	count := fs.Int("n", 10, "journeys to show (newest)")
+	fs.Parse(args)
+	url := clusterURL(fs, "journeys [-n 10]")
+
+	var js []obs.Journey
+	if err := fetchJSON(url+"/cluster/journeys", &js); err != nil {
+		fmt.Fprintln(os.Stderr, "journeys:", err)
+		os.Exit(1)
+	}
+	if len(js) == 0 {
+		fmt.Fprintln(out, "no journeys stitched yet (is trace sampling enabled and traffic flowing?)")
+		return
+	}
+	if len(js) > *count {
+		js = js[len(js)-*count:]
+	}
+	slowest := 0
+	for i, j := range js {
+		fmt.Fprintf(out, "  %s  %-22s %2d hops  %8.3f ms\n", j.TraceID, j.Tiers(), len(j.Hops), j.Total*1e3)
+		if j.Total > js[slowest].Total {
+			slowest = i
+		}
+	}
+	j := js[slowest]
+	fmt.Fprintf(out, "slowest journey %s (%.3f ms):\n", j.TraceID, j.Total*1e3)
+	for _, h := range j.Hops {
+		fmt.Fprintf(out, "  %-5s on %-15s dst %-15s +%8.3f ms\n", h.Tier, h.Node, h.Dst, h.Gap*1e3)
+	}
+}
+
+// runClusterTop renders the fleet in one screen: per-node poll status, the
+// merged cluster counters, and the fleet-wide latency summaries.
+func runClusterTop(out io.Writer, args []string) {
+	fs := flag.NewFlagSet("cluster-top", flag.ExitOnError)
+	fs.Parse(args)
+	url := clusterURL(fs, "cluster-top")
+
+	var nodes []obs.NodeStatus
+	if err := fetchJSON(url+"/cluster/nodes", &nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-top:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out, "-- nodes --")
+	for _, n := range nodes {
+		state := "up"
+		if !n.Up {
+			state = "DOWN " + n.Err
+		}
+		fmt.Fprintf(out, "  %-12s %-12s %-28s %s\n", n.Name, n.Role, n.URL, state)
+	}
+
+	_, metrics, err := fetch(url + "/cluster/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-top:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out, "-- cluster series --")
+	var lines []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "duet_cluster_") {
+			lines = append(lines, line)
+		}
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+
+	var cdfs []obs.CDFSummary
+	if err := fetchJSON(url+"/cluster/cdf", &cdfs); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-top:", err)
+		os.Exit(1)
+	}
+	if len(cdfs) > 0 {
+		fmt.Fprintln(out, "-- fleet latency (merged, last poll) --")
+		for _, c := range cdfs {
+			fmt.Fprintf(out, "  %-32s n=%-7d mean %8.3f ms  p50 %8.3f ms  p99 %8.3f ms\n",
+				c.Name, c.N, c.Mean*1e3, c.P50*1e3, c.P99*1e3)
+		}
+	}
+}
+
+// runClusterAlerts renders the obs node's watchdog transition log — the
+// cluster-scope rules fire here and nowhere else.
+func runClusterAlerts(out io.Writer, args []string) {
+	fs := flag.NewFlagSet("cluster-alerts", flag.ExitOnError)
+	fs.Parse(args)
+	url := clusterURL(fs, "cluster-alerts")
+
+	var alerts []obs.Alert
+	if err := fetchJSON(url+"/cluster/alerts", &alerts); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-alerts:", err)
+		os.Exit(1)
+	}
+	if len(alerts) == 0 {
+		fmt.Fprintln(out, "no watchdog transitions recorded")
+		return
+	}
+	for _, a := range alerts {
+		verb := "RESOLVED"
+		if a.Firing {
+			verb = "FIRING"
+		}
+		fmt.Fprintf(out, "  [t=%10.1f] %-8s %-28s value=%.4g threshold=%.4g (%s)\n",
+			a.Time, verb, a.Rule, a.Value, a.Threshold, a.Desc)
+	}
+}

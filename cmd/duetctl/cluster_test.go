@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"duet/internal/obs"
+)
+
+// fakeObsNode serves canned /cluster/* payloads the way a duetd obs node
+// would, so the fleet views can be exercised without spawning processes.
+func fakeObsNode(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	serve := func(path string, v any) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(v)
+		})
+	}
+	serve("/cluster/journeys", []obs.Journey{
+		{TraceID: "0000000100000007", Start: 1.0, Total: 0.0003, Hops: []obs.JourneyHop{
+			{Time: 1.0, Node: "1.0.0.1", Tier: "hmux", Dst: "10.0.0.1"},
+			{Time: 1.0002, Node: "20.0.0.1", Tier: "smux", Dst: "10.0.0.1", Gap: 0.0002},
+			{Time: 1.0003, Node: "100.0.0.1", Tier: "host", Dst: "100.0.0.1", Gap: 0.0001},
+		}},
+		{TraceID: "0000000100000008", Start: 2.0, Total: 0.0001, Hops: []obs.JourneyHop{
+			{Time: 2.0, Node: "1.0.0.1", Tier: "hmux", Dst: "10.0.0.1"},
+			{Time: 2.0001, Node: "100.0.0.1", Tier: "host", Dst: "100.0.0.1", Gap: 0.0001},
+		}},
+	})
+	serve("/cluster/nodes", []obs.NodeStatus{
+		{Target: obs.Target{Name: "smux-1", Role: "smux", URL: "http://a"}, Up: true},
+		{Target: obs.Target{Name: "host-1", Role: "hostagent", URL: "http://b"}, Up: false, Err: "connection refused"},
+	})
+	serve("/cluster/cdf", []obs.CDFSummary{
+		{Name: "wire.rtt", N: 12, Mean: 0.004, P50: 0.003, P99: 0.009},
+	})
+	serve("/cluster/alerts", []obs.Alert{
+		{Time: 30, Rule: "fleet-vip-availability", Firing: true, Value: 0.5, Threshold: 0.01, Desc: "fleet drop fraction"},
+		{Time: 45, Rule: "fleet-vip-availability", Firing: false, Value: 0.002, Threshold: 0.01},
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("duet_cluster_nodes_up 1\nduet_cluster_nodes_total 2\nduet_wire_rx_frames 9\n"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunJourneys(t *testing.T) {
+	srv := fakeObsNode(t)
+	var buf bytes.Buffer
+	runJourneys(&buf, []string{"-n", "5", srv.URL})
+	out := buf.String()
+	for _, want := range []string{
+		"0000000100000007", "hmux>smux>host", "3 hops",
+		"hmux>host", "slowest journey 0000000100000007",
+		"smux  on 20.0.0.1", "dst 10.0.0.1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journeys output missing %q:\n%s", want, out)
+		}
+	}
+	// -n 1 keeps only the newest journey.
+	buf.Reset()
+	runJourneys(&buf, []string{"-n", "1", srv.URL})
+	if out := buf.String(); strings.Contains(out, "hmux>smux>host") || !strings.Contains(out, "hmux>host") {
+		t.Fatalf("-n 1 should keep only the newest journey:\n%s", out)
+	}
+}
+
+func TestRunClusterTop(t *testing.T) {
+	srv := fakeObsNode(t)
+	var buf bytes.Buffer
+	runClusterTop(&buf, []string{srv.URL})
+	out := buf.String()
+	for _, want := range []string{
+		"-- nodes --", "smux-1", "up", "host-1", "DOWN connection refused",
+		"-- cluster series --", "duet_cluster_nodes_up 1",
+		"-- fleet latency", "wire.rtt", "n=12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cluster-top output missing %q:\n%s", want, out)
+		}
+	}
+	// Only cluster-prefixed series make the cut; raw node counters don't.
+	if strings.Contains(out, "duet_wire_rx_frames") {
+		t.Fatalf("cluster-top should filter non-cluster series:\n%s", out)
+	}
+}
+
+func TestRunClusterAlerts(t *testing.T) {
+	srv := fakeObsNode(t)
+	var buf bytes.Buffer
+	runClusterAlerts(&buf, []string{srv.URL})
+	out := buf.String()
+	for _, want := range []string{"FIRING", "RESOLVED", "fleet-vip-availability", "fleet drop fraction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cluster-alerts output missing %q:\n%s", want, out)
+		}
+	}
+}

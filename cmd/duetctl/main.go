@@ -35,6 +35,12 @@
 //	    demo cluster + background traffic + observability HTTP server
 //	duetctl watch [-interval 2s] [-n polls] http://host:port
 //	    poll a serve endpoint: health, key rates, alert transitions
+//	duetctl journeys [-n 10] http://obs-host:port
+//	    stitched cross-process packet journeys from a duetd obs node
+//	duetctl cluster-top http://obs-host:port
+//	    fleet in one screen: node health, merged counters, latency CDFs
+//	duetctl cluster-alerts http://obs-host:port
+//	    cluster-scope watchdog transition log
 package main
 
 import (
@@ -65,6 +71,15 @@ func main() {
 			return
 		case "watch":
 			runWatch(os.Args[2:])
+			return
+		case "journeys":
+			runJourneys(os.Stdout, os.Args[2:])
+			return
+		case "cluster-top":
+			runClusterTop(os.Stdout, os.Args[2:])
+			return
+		case "cluster-alerts":
+			runClusterAlerts(os.Stdout, os.Args[2:])
 			return
 		}
 	}

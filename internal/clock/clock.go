@@ -20,3 +20,17 @@ func Wall() func() float64 {
 	start := time.Now()
 	return func() float64 { return time.Since(start).Seconds() }
 }
+
+// Unix returns an absolute clock: seconds since the Unix epoch. Wall's
+// per-instance zero is useless across process boundaries, so the wire
+// transport stamps cross-process trace hops with this clock instead —
+// every duetd on a machine (or an NTP-disciplined fleet) shares the
+// timebase, which is what makes inter-hop wire latency computable when
+// one packet's journey is stitched from several processes' recorders.
+//
+// Epoch seconds carry ~2^31 in the integer part, leaving roughly
+// microsecond resolution in a float64 mantissa — coarse for in-process
+// hop timing (use Wall), fine for the wire hops it exists to order.
+func Unix() func() float64 {
+	return func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+}

@@ -162,6 +162,7 @@ type Cluster struct {
 	dtel     deliverTelemetry
 	ctel     collectGauges
 	hopTick  atomic.Uint64  // rotates the per-hop timing sample gate
+	traceSeq atomic.Uint64  // numbers sampled in-process packet journeys
 	hopClock func() float64 // seconds source for sampled hop histograms
 }
 
@@ -195,6 +196,26 @@ const hopSampleMask = 15
 
 // sampleHop decides whether this packet's hops are timed.
 func (c *Cluster) sampleHop() bool { return c.hopTick.Add(1)&hopSampleMask == 0 }
+
+// newTrace mints a trace ID for a sampled in-process journey. IDs are
+// always odd, so they can never collide with the wire transport's
+// node<<32|seq scheme (whose low bit cycles) when events from simulated and
+// socket clusters land in one obs.StitchJourneys call.
+//
+//duet:hotpath
+func (c *Cluster) newTrace() uint64 { return c.traceSeq.Add(1)<<1 | 1 }
+
+// traceHop records one tier's handling of a sampled packet, keyed by the
+// journey's trace ID — the same KindTraceHop events the wire nodes emit, so
+// obs.StitchJourneys reconstructs in-process journeys identically.
+//
+//duet:hotpath
+func (c *Cluster) traceHop(tier telemetry.TraceTier, node uint32, dst packet.Addr, trace uint64) {
+	if trace == 0 {
+		return
+	}
+	c.rec.Record(telemetry.KindTraceHop, node, uint32(tier), uint32(dst), trace)
+}
 
 // collectGauges is the point-in-time state Collect republishes every scrape.
 type collectGauges struct {
@@ -813,9 +834,16 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 		t0       float64
 	)
 	timed := c.sampleHop()
+	// Timed packets double as traced packets: the same sample gate that
+	// prices the per-hop histograms prices the journey events, and the hop
+	// timeline is most useful with latency attribution alongside it.
+	var trace uint64
+	if timed {
+		trace = c.newTrace()
+	}
 	if nh >= smuxNodeBase {
 		var hop Hop
-		encapped, hop, err = c.hostTier(snap, int(nh-smuxNodeBase), data, timed)
+		encapped, hop, err = c.hostTier(snap, int(nh-smuxNodeBase), data, timed, tuple.Dst, trace)
 		if err != nil {
 			return Delivery{}, err
 		}
@@ -837,7 +865,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 		case errors.Is(err, hmux.ErrNotOurVIP):
 			// FIB miss during migration: fall through to the host tiers.
 			var hop Hop
-			encapped, hop, err = c.hostTier(snap, int(hash%uint64(len(snap.smuxes))), data, timed)
+			encapped, hop, err = c.hostTier(snap, int(hash%uint64(len(snap.smuxes))), data, timed, tuple.Dst, trace)
 			if err != nil {
 				return Delivery{}, err
 			}
@@ -847,6 +875,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 		default:
 			encapped = res.Packet
 			c.dtel.tierHMux.Inc()
+			c.traceHop(telemetry.TraceTierHMux, uint32(sw), tuple.Dst, trace)
 			hops = append(hops, Hop{Kind: "hmux", Node: snap.topo.Switch(sw).Name})
 			// TIP indirection: the outer destination may be a TIP hosted on
 			// another switch (§5.2, Figure 7).
@@ -865,6 +894,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 					return Delivery{}, err
 				}
 				encapped = res2.Packet
+				c.traceHop(telemetry.TraceTierTIP, uint32(tipSwitch), tuple.Dst, trace)
 				hops = append(hops, Hop{Kind: "tip", Node: snap.topo.Switch(tipSwitch).Name})
 			}
 		}
@@ -890,6 +920,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 	if err != nil {
 		return Delivery{}, err
 	}
+	c.traceHop(telemetry.TraceTierHost, uint32(outer.Dst), outer.Dst, trace)
 	//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 	hops = append(hops, Hop{Kind: "agent", Node: outer.Dst.String()})
 	return Delivery{VIP: d.VIP, DIP: d.DIP, Host: outer.Dst, Packet: d.Packet, Hops: hops}, nil
@@ -900,7 +931,7 @@ func (c *Cluster) deliver(snap *clusterSnap, data []byte) (Delivery, error) {
 // on a table miss. Because the pair shares one self address and the ECMP
 // hash, the encap bytes are identical whichever tier serves the flow — the
 // fall-through is invisible to the backend.
-func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) ([]byte, Hop, error) {
+func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool, dst packet.Addr, trace uint64) ([]byte, Hop, error) {
 	var t0 float64
 	if len(snap.nmuxes) > 0 {
 		nm := snap.nmuxes[idx]
@@ -914,6 +945,7 @@ func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) 
 		switch {
 		case err == nil:
 			c.dtel.tierNMux.Inc()
+			c.traceHop(telemetry.TraceTierNMux, uint32(nm.Self()), dst, trace)
 			//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 			return res.Packet, Hop{Kind: "nmux", Node: nm.Self().String()}, nil
 		case !errors.Is(err, nmux.ErrNotOurVIP):
@@ -934,6 +966,7 @@ func (c *Cluster) hostTier(snap *clusterSnap, idx int, data []byte, timed bool) 
 	}
 	c.dtel.tierSMux.Inc()
 	c.dtel.mode[res.Mode].Inc()
+	c.traceHop(telemetry.TraceTierSMux, uint32(sm.Self()), dst, trace)
 	//duet:allow hotpath hop labels are part of the simulated Delivery result, not the wire path
 	return res.Packet, Hop{Kind: "smux", Node: sm.Self().String()}, nil
 }

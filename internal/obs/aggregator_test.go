@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"duet/internal/telemetry"
+)
+
+// fakeNode is one polled duetd stand-in: a real registry + recorder behind
+// the real exposition handler, so the aggregator exercises the actual
+// /metrics text and /trace.json feed it will see in production.
+type fakeNode struct {
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	srv *httptest.Server
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{reg: telemetry.NewRegistry(), rec: telemetry.NewRecorder(256)}
+	clk := &fakeClock{}
+	p := New(Config{Registry: n.reg, Recorder: n.rec, Windows: 4, Now: clk.now})
+	n.srv = httptest.NewServer(NewServer(p).Handler())
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeNode) target(name, role string) Target {
+	return Target{Name: name, Role: role, URL: n.srv.URL}
+}
+
+// newObsNode builds the aggregator's own pipeline (the obs-role node).
+func newObsNode(t *testing.T, targets ...Target) (*Aggregator, *Pipeline, *telemetry.Registry, *fakeClock) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	clk := &fakeClock{}
+	p := New(Config{Registry: reg, Recorder: telemetry.NewRecorder(256), Windows: 8, Now: clk.now})
+	a := NewAggregator(AggregatorConfig{Targets: targets, Pipeline: p})
+	t.Cleanup(a.client.CloseIdleConnections)
+	return a, p, reg, clk
+}
+
+// TestAggregatorPollOnceMergesFleet checks the merged cluster gauges, the
+// skew computation, and a journey stitched from two processes' recorders.
+func TestAggregatorPollOnceMergesFleet(t *testing.T) {
+	a1, a2 := newFakeNode(t), newFakeNode(t)
+
+	a1.reg.Counter("wire.rx.frames").Add(100)
+	a1.reg.Counter("wire.delivered").Add(90)
+	a1.reg.Counter("wire.drops.bad_frame").Add(4)
+	a1.reg.Counter("wire.drops.total").Add(4) // rollup: must not double count
+	a1.reg.Counter("hmux.encapped").Add(60)
+	a1.reg.Counter("smux.encapped").Add(30)
+	a1.reg.Gauge("nmux.tables.used_max").Set(10)
+	a1.reg.Gauge("nmux.tables.cap").Set(100)
+
+	a2.reg.Counter("wire.rx.frames").Add(50)
+	a2.reg.Counter("wire.delivered").Add(45)
+	a2.reg.Counter("wire.drops.short_read").Add(6)
+	a2.reg.Counter("wire.drops.total").Add(6)
+	a2.reg.Counter("nmux.encapped").Add(10)
+	a2.reg.Counter("smux.encapped").Add(20)
+	a2.reg.Gauge("nmux.tables.used_max").Set(50)
+	a2.reg.Gauge("nmux.tables.cap").Set(100)
+	a2.reg.Gauge("steer.drains_active").Set(2)
+
+	// One sampled packet: HMux hop on node 1, delivery hop on node 2.
+	a1.rec.RecordAt(10.0, telemetry.KindTraceHop, 0x01000001, uint32(telemetry.TraceTierHMux), 0x0a000001, 5)
+	a2.rec.RecordAt(10.2, telemetry.KindTraceHop, 0x64000001, uint32(telemetry.TraceTierHost), 0x64000001, 5)
+
+	agg, _, reg, _ := newObsNode(t, a1.target("a1", "switchagent"), a2.target("a2", "smux"))
+	agg.PollOnce()
+
+	gauge := func(name string) int64 { return reg.Gauge(name).Value() }
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"cluster.nodes.total", 2},
+		{"cluster.nodes.up", 2},
+		{"cluster.fleet.rx_frames", 150},
+		{"cluster.fleet.delivered", 135},
+		{"cluster.fleet.drops", 10},
+		{"cluster.tier.hmux", 60},
+		{"cluster.tier.nmux", 10},
+		{"cluster.tier.smux", 50},
+		{"cluster.tier.total", 120},
+		{"cluster.nmux.skew_pm", 400}, // |0.5 - 0.1| in per-mille
+		{"cluster.overlay.skew_pm", 0},
+		{"cluster.steer.drains_max", 2},
+		{"cluster.journeys", 1},
+	}
+	for _, c := range checks {
+		if got := gauge(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	js := agg.Journeys()
+	if len(js) != 1 {
+		t.Fatalf("journeys = %+v, want 1 stitched across processes", js)
+	}
+	if js[0].Tiers() != "hmux>host" || js[0].Hops[0].Node == js[0].Hops[1].Node {
+		t.Fatalf("journey = tiers %q nodes %s>%s", js[0].Tiers(), js[0].Hops[0].Node, js[0].Hops[1].Node)
+	}
+	if g := js[0].Hops[1].Gap; g < 0.19 || g > 0.21 {
+		t.Fatalf("inter-hop gap = %g, want ~0.2", g)
+	}
+}
+
+// TestAggregatorDownTarget checks poll liveness accounting: a dead target is
+// reported down, its histogram state is forgotten (a restart resets
+// counters), and the cluster-node-down watchdog walks inert→firing.
+func TestAggregatorDownTarget(t *testing.T) {
+	up := newFakeNode(t)
+	dead := httptest.NewServer(nil)
+	deadTarget := Target{Name: "dead", Role: "smux", URL: dead.URL}
+	dead.Close()
+
+	agg, p, reg, clk := newObsNode(t, up.target("up", "smux"), deadTarget)
+	p.AddRules(ClusterRules(DefaultSLO())...)
+	agg.prevBuckets["dead"] = map[string][]float64{"duet_x": {1}}
+
+	agg.PollOnce()
+	if got := reg.Gauge("cluster.nodes.up").Value(); got != 1 {
+		t.Fatalf("cluster.nodes.up = %d, want 1", got)
+	}
+	if reg.Counter("cluster.poll.errors").Value() == 0 {
+		t.Fatal("poll errors not counted for the dead target")
+	}
+	if agg.prevBuckets["dead"] != nil {
+		t.Fatal("down target's histogram state not discarded")
+	}
+	var down NodeStatus
+	for _, st := range agg.Nodes() {
+		if st.Name == "dead" {
+			down = st
+		}
+	}
+	if down.Name == "" || down.Up || down.Err == "" {
+		t.Fatalf("dead node status = %+v", down)
+	}
+
+	// Three consecutive breaching scrapes flip cluster-node-down to firing.
+	for i := 0; i < 3; i++ {
+		p.Tick()
+		clk.advance(1)
+	}
+	var firing bool
+	for _, rs := range p.Status() {
+		if rs.Name == "cluster-node-down" && rs.Firing {
+			firing = true
+		}
+	}
+	if !firing {
+		t.Fatalf("cluster-node-down not firing; status = %+v", p.Status())
+	}
+	alerts := p.Alerts()
+	if len(alerts) != 1 || alerts[0].Rule != "cluster-node-down" || !alerts[0].Firing {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+// TestAggregatorFleetAvailabilityRule drives the fleet-wide drop-fraction
+// watchdog: sustained drops across polls must fire fleet-vip-availability
+// even though each individual counter lives on a different node.
+func TestAggregatorFleetAvailabilityRule(t *testing.T) {
+	n := newFakeNode(t)
+	rx := n.reg.Counter("wire.rx.frames")
+	drops := n.reg.Counter("wire.drops.bad_frame")
+
+	agg, p, _, clk := newObsNode(t, n.target("n1", "smux"))
+	p.AddRules(ClusterRules(DefaultSLO())...)
+
+	for i := 0; i < 4; i++ {
+		rx.Add(1000)
+		drops.Add(500) // 50% of ingress dropped — far over the 1% SLO
+		agg.PollOnce()
+		p.Tick()
+		clk.advance(1)
+	}
+	var firing bool
+	for _, rs := range p.Status() {
+		if rs.Name == "fleet-vip-availability" && rs.Firing {
+			firing = true
+		}
+	}
+	if !firing {
+		t.Fatalf("fleet-vip-availability not firing; status = %+v", p.Status())
+	}
+}
+
+// TestAggregatorCDFMerge checks the histogram merge: per-poll bucket deltas
+// become midpoint samples, a quiet poll yields no samples, and the per-poll
+// sample budget caps reconstruction without corrupting the delta state.
+func TestAggregatorCDFMerge(t *testing.T) {
+	n := newFakeNode(t)
+	h := n.reg.Histogram("wire.rtt", []float64{0.001, 0.01})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.0005)
+	}
+
+	agg, _, _, _ := newObsNode(t, n.target("n1", "smux"))
+	agg.PollOnce()
+	merged := agg.MergedCDFs()
+	if len(merged) != 1 || merged[0].Name != "duet_wire_rtt" {
+		t.Fatalf("merged = %+v, want one duet_wire_rtt entry", merged)
+	}
+	if merged[0].N != 10 {
+		t.Fatalf("first poll N = %d, want 10", merged[0].N)
+	}
+	if p50 := merged[0].P50; p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("p50 = %g, want within the first bucket", p50)
+	}
+
+	// No new observations: the deltas are zero, so nothing to merge.
+	agg.PollOnce()
+	if merged := agg.MergedCDFs(); len(merged) != 0 {
+		t.Fatalf("quiet poll merged = %+v, want none", merged)
+	}
+
+	// New samples appear as exactly the delta, not the cumulative total.
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05) // lands in the +Inf bucket, pinned to the last bound
+	}
+	agg.PollOnce()
+	merged = agg.MergedCDFs()
+	if len(merged) != 1 || merged[0].N != 4 {
+		t.Fatalf("delta poll merged = %+v, want N=4", merged)
+	}
+	if merged[0].Mean != 0.01 {
+		t.Fatalf("+Inf samples pinned to %g, want the last finite bound 0.01", merged[0].Mean)
+	}
+}
+
+func TestAggregatorCDFSampleBudget(t *testing.T) {
+	n := newFakeNode(t)
+	h := n.reg.Histogram("wire.rtt", []float64{0.001})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0005)
+	}
+	reg := telemetry.NewRegistry()
+	clk := &fakeClock{}
+	p := New(Config{Registry: reg, Recorder: telemetry.NewRecorder(64), Windows: 4, Now: clk.now})
+	agg := NewAggregator(AggregatorConfig{
+		Targets: []Target{n.target("n1", "smux")}, Pipeline: p, MaxCDFSamplesPerPoll: 7,
+	})
+	t.Cleanup(agg.client.CloseIdleConnections)
+
+	agg.PollOnce()
+	if merged := agg.MergedCDFs(); len(merged) != 1 || merged[0].N != 7 {
+		t.Fatalf("merged = %+v, want the 7-sample budget honored", merged)
+	}
+	// The budget must not corrupt the delta state: a quiet poll stays quiet.
+	agg.PollOnce()
+	if merged := agg.MergedCDFs(); len(merged) != 0 {
+		t.Fatalf("post-budget quiet poll merged = %+v, want none", merged)
+	}
+}
+
+// TestAggregatorHandler checks the /cluster endpoint tree and that unknown
+// paths fall through to the wrapped per-node handler.
+func TestAggregatorHandler(t *testing.T) {
+	n := newFakeNode(t)
+	n.reg.Counter("wire.rx.frames").Add(3)
+
+	agg, p, _, _ := newObsNode(t, n.target("n1", "smux"))
+	agg.PollOnce()
+	p.Tick()
+
+	srv := httptest.NewServer(agg.Handler(NewServer(p).Handler()))
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/cluster/metrics")
+	if code != 200 || !strings.Contains(body, "duet_cluster_nodes_up 1") {
+		t.Fatalf("/cluster/metrics = %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL+"/cluster/nodes")
+	var nodes []NodeStatus
+	if code != 200 || json.Unmarshal([]byte(body), &nodes) != nil || len(nodes) != 1 || !nodes[0].Up {
+		t.Fatalf("/cluster/nodes = %d %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/cluster/journeys")
+	var js []Journey
+	if code != 200 || json.Unmarshal([]byte(body), &js) != nil {
+		t.Fatalf("/cluster/journeys = %d %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/cluster/alerts")
+	var alerts []Alert
+	if code != 200 || json.Unmarshal([]byte(body), &alerts) != nil {
+		t.Fatalf("/cluster/alerts = %d %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/cluster/cdf")
+	var cdfs []CDFSummary
+	if code != 200 || json.Unmarshal([]byte(body), &cdfs) != nil {
+		t.Fatalf("/cluster/cdf = %d %q", code, body)
+	}
+	// Fallthrough: the node's own endpoints stay mounted under the wrapper.
+	if code, body := get(t, srv.URL+"/metrics"); code != 200 || !strings.Contains(body, "duet_cluster_nodes_total") {
+		t.Fatalf("wrapped /metrics = %d:\n%s", code, body)
+	}
+}
+
+// TestAggregatorStartStop exercises the real poll loop once, mostly for the
+// leak checker: Start must come back down cleanly.
+func TestAggregatorStartStop(t *testing.T) {
+	n := newFakeNode(t)
+	agg, _, reg, _ := newObsNode(t, n.target("n1", "smux"))
+	stop := agg.Start(time.Hour)
+	// The first poll runs immediately at startup; wait for it.
+	for i := 0; reg.Counter("cluster.polls").Value() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("first poll never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -3,8 +3,9 @@ package obs
 // The HTTP exposition server: one handler tree over a Pipeline.
 //
 //	/metrics     Prometheus text format from the registry
-//	/timeseries  JSON rings (?last=N limits points per series)
-//	/trace       flight-recorder dump, oldest first
+//	/timeseries  JSON rings (?last=N, ?window=SECONDS, ?quantile=p50|p99)
+//	/trace       flight-recorder dump, oldest first (text)
+//	/trace.json  flight-recorder events as JSON (the aggregator's feed)
 //	/alerts      watchdog transitions, oldest first (JSON)
 //	/healthz     200 while no watchdog fires, 503 otherwise
 //	/debug/pprof runtime profiling (net/http/pprof)
@@ -20,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"duet/internal/telemetry"
 )
 
 // Server exposes a Pipeline over HTTP.
@@ -37,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/timeseries", s.timeseries)
 	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/trace.json", s.traceJSON)
 	mux.HandleFunc("/alerts", s.alerts)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -65,8 +69,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `duet observability plane
   /metrics      Prometheus text format
-  /timeseries   JSON ring buffers (?last=N)
-  /trace        flight-recorder dump
+  /timeseries   JSON ring buffers (?last=N&window=SECONDS&quantile=p50|p99)
+  /trace        flight-recorder dump (text)
+  /trace.json   flight-recorder events (JSON)
   /alerts       SLO watchdog transitions (JSON)
   /healthz      200 healthy / 503 firing
   /debug/pprof  runtime profiles
@@ -79,17 +84,33 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) timeseries(w http.ResponseWriter, r *http.Request) {
-	last := 0
-	if q := r.URL.Query().Get("last"); q != "" {
-		n, err := strconv.Atoi(q)
+	var opt DumpOptions
+	q := r.URL.Query()
+	if v := q.Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			http.Error(w, "bad last parameter", http.StatusBadRequest)
 			return
 		}
-		last = n
+		opt.Last = n
+	}
+	if v := q.Get("window"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec <= 0 {
+			http.Error(w, "bad window parameter", http.StatusBadRequest)
+			return
+		}
+		opt.Window = sec
+	}
+	if v := q.Get("quantile"); v != "" {
+		if v != "p50" && v != "p99" {
+			http.Error(w, "bad quantile parameter (p50 or p99)", http.StatusBadRequest)
+			return
+		}
+		opt.Quantile = v
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.p.Dump(last))
+	_ = json.NewEncoder(w).Encode(s.p.DumpWith(opt))
 }
 
 func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
@@ -99,6 +120,19 @@ func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	_ = rec.WriteTrace(w)
+}
+
+// traceJSON serves the flight recorder as JSON events — the feed the fleet
+// aggregator stitches cross-process journeys from. An empty recorder (or
+// none) yields an empty array, not an error.
+func (s *Server) traceJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	rec := s.p.Recorder()
+	events := []telemetry.Event{}
+	if rec != nil {
+		events = rec.Snapshot()
+	}
+	_ = json.NewEncoder(w).Encode(events)
 }
 
 func (s *Server) alerts(w http.ResponseWriter, _ *http.Request) {

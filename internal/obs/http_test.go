@@ -86,6 +86,100 @@ func TestHTTPTimeseries(t *testing.T) {
 	}
 }
 
+// TestHTTPTimeseriesWindowAndQuantile covers the filtering parameters: a
+// window keeps only recent points, a quantile selects the matching derived
+// histogram series, and malformed values are rejected with 400.
+func TestHTTPTimeseriesWindowAndQuantile(t *testing.T) {
+	srv, p, reg, clk := newTestServer(t)
+	c := reg.Counter("x")
+	h := reg.Histogram("lat", []float64{0.001, 0.01})
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		h.Observe(0.005)
+		p.Tick()
+		clk.advance(1)
+	}
+
+	// Ticks ran at t=0..4; a 1.5s window spans the last two.
+	code, body := get(t, srv.URL+"/timeseries?window=1.5")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries?window status = %d", code)
+	}
+	var d TimeSeriesDump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Series {
+		if s.Name == "x" && len(s.Points) != 2 {
+			t.Fatalf("window=1.5 kept %d points of x, want 2", len(s.Points))
+		}
+	}
+
+	code, body = get(t, srv.URL+"/timeseries?quantile=p99")
+	if err := json.Unmarshal([]byte(body), &d); code != http.StatusOK || err != nil {
+		t.Fatalf("/timeseries?quantile = %d, %v", code, err)
+	}
+	var sawP99, sawP50 bool
+	for _, s := range d.Series {
+		switch {
+		case strings.HasSuffix(s.Name, ".p99"):
+			sawP99 = true
+		case strings.HasSuffix(s.Name, ".p50"):
+			sawP50 = true
+		case s.Name == "x", strings.HasSuffix(s.Name, ".count"):
+			// non-quantile series stay in the dump
+		}
+	}
+	if !sawP99 || sawP50 {
+		t.Fatalf("quantile=p99 filter: sawP99=%v sawP50=%v", sawP99, sawP50)
+	}
+
+	for _, q := range []string{"window=0", "window=-1", "window=x", "quantile=p75"} {
+		if code, _ := get(t, srv.URL+"/timeseries?"+q); code != http.StatusBadRequest {
+			t.Errorf("?%s status = %d, want 400", q, code)
+		}
+	}
+}
+
+// TestHTTPTimeseriesEmpty checks the zero-tick shape: valid JSON, zero
+// ticks, no points — not an error.
+func TestHTTPTimeseriesEmpty(t *testing.T) {
+	srv, _, reg, _ := newTestServer(t)
+	reg.Counter("x") // registered but never scraped
+	code, body := get(t, srv.URL+"/timeseries?window=10&quantile=p50")
+	if code != http.StatusOK {
+		t.Fatalf("empty /timeseries status = %d", code)
+	}
+	var d TimeSeriesDump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ticks != 0 {
+		t.Fatalf("empty dump ticks = %d", d.Ticks)
+	}
+	for _, s := range d.Series {
+		if len(s.Points) != 0 {
+			t.Fatalf("series %s has points before any tick", s.Name)
+		}
+	}
+}
+
+func TestHTTPTraceJSON(t *testing.T) {
+	srv, p, _, _ := newTestServer(t)
+	p.Recorder().RecordAt(3.5, telemetry.KindTraceHop, 7, uint32(telemetry.TraceTierSMux), 9, 42)
+	code, body := get(t, srv.URL+"/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("/trace.json status = %d", code)
+	}
+	var events []telemetry.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace.json not decodable: %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != telemetry.KindTraceHop || events[0].Aux != 42 {
+		t.Fatalf("/trace.json events = %+v", events)
+	}
+}
+
 func TestHTTPHealthzAndAlerts(t *testing.T) {
 	srv, p, reg, clk := newTestServer(t)
 	g := reg.Gauge("load")

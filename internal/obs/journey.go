@@ -1,0 +1,109 @@
+package obs
+
+// Journey stitching: turning KindTraceHop flight-recorder events — possibly
+// gathered from several processes' recorders — into ordered per-packet
+// timelines. A sampled packet leaves one trace-hop event at every tier it
+// transits (HMux, NMux/SMux, host agent), all sharing the trace ID carried
+// in the wire frame's trace extension; grouping by that ID and sorting by
+// the epoch-clock timestamp reconstructs the packet's path across the fleet
+// with per-hop wall latency.
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/telemetry"
+)
+
+// JourneyHop is one tier's handling of a sampled packet.
+type JourneyHop struct {
+	// Time is the hop's timestamp on the recording process's clock
+	// (clock.Unix epoch seconds for wire nodes, virtual seconds in the
+	// testbed).
+	Time float64 `json:"time"`
+	// Node is the recording node's dataplane identity (dotted quad).
+	Node string `json:"node"`
+	// Tier names the pipeline stage (hmux, nmux, smux, tip, host).
+	Tier string `json:"tier"`
+	// Dst is the packet's destination at this hop — the VIP at mux tiers,
+	// the encap target at delivery.
+	Dst string `json:"dst"`
+	// Gap is the wall latency since the previous hop (0 on the first).
+	Gap float64 `json:"gap"`
+}
+
+// Journey is one sampled packet's stitched cross-tier timeline.
+type Journey struct {
+	TraceID string       `json:"trace_id"`
+	Start   float64      `json:"start"`
+	Total   float64      `json:"total"` // first hop to last hop
+	Hops    []JourneyHop `json:"hops"`
+}
+
+// Tiers renders the hop sequence compactly ("hmux>smux>host").
+func (j *Journey) Tiers() string {
+	var b []byte
+	for i, h := range j.Hops {
+		if i > 0 {
+			b = append(b, '>')
+		}
+		b = append(b, h.Tier...)
+	}
+	return string(b)
+}
+
+// StitchJourneys groups trace-hop events by trace ID into ordered journeys.
+// Events of other kinds (or with a zero trace ID) are ignored, hops within
+// a journey sort by timestamp (sequence number as the tiebreaker, which
+// orders same-process hops recorded inside one clock quantum), and journeys
+// return oldest-first. The input may mix events from any number of
+// recorders; ordering across processes is as good as their clock agreement.
+func StitchJourneys(events []telemetry.Event) []Journey {
+	hops := make(map[uint64][]telemetry.Event)
+	for _, e := range events {
+		if e.Kind != telemetry.KindTraceHop || e.Aux == 0 {
+			continue
+		}
+		hops[e.Aux] = append(hops[e.Aux], e)
+	}
+	out := make([]Journey, 0, len(hops))
+	for id, evs := range hops {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Time != evs[j].Time {
+				return evs[i].Time < evs[j].Time
+			}
+			return evs[i].Seq < evs[j].Seq
+		})
+		j := Journey{
+			TraceID: fmt.Sprintf("%016x", id),
+			Start:   evs[0].Time,
+			Total:   evs[len(evs)-1].Time - evs[0].Time,
+			Hops:    make([]JourneyHop, len(evs)),
+		}
+		for i, e := range evs {
+			h := JourneyHop{
+				Time: e.Time,
+				Node: quad(e.Node),
+				Tier: telemetry.TraceTier(e.A).String(),
+				Dst:  quad(e.B),
+			}
+			if i > 0 {
+				h.Gap = e.Time - evs[i-1].Time
+			}
+			j.Hops[i] = h
+		}
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+// quad renders a host-byte-order IPv4 address as a dotted quad.
+func quad(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}

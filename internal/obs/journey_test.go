@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/telemetry"
+)
+
+// hop builds one KindTraceHop event the way a duetd process records it.
+func hop(seq uint64, t float64, node uint32, tier telemetry.TraceTier, dst uint32, trace uint64) telemetry.Event {
+	return telemetry.Event{
+		Seq: seq, Time: t, Kind: telemetry.KindTraceHop,
+		Node: node, A: uint32(tier), B: dst, Aux: trace,
+	}
+}
+
+// TestStitchJourneysOrders checks the core contract: events from several
+// recorders, arriving in arbitrary order, group by trace ID and come back as
+// time-ordered journeys with per-hop gaps.
+func TestStitchJourneysOrders(t *testing.T) {
+	const (
+		sw   = 0x01000001 // 1.0.0.1
+		smux = 0x14000001 // 20.0.0.1
+		host = 0x64000001 // 100.0.0.1
+		vip  = 0x0a000001 // 10.0.0.1
+	)
+	events := []telemetry.Event{
+		// Journey 2's host hop arrives first: stitching must not depend on
+		// input order (each process's recorder is polled independently).
+		hop(9, 7.5, host, telemetry.TraceTierHost, host, 2),
+		hop(1, 5.0, sw, telemetry.TraceTierHMux, vip, 1),
+		hop(2, 5.2, smux, telemetry.TraceTierSMux, vip, 1),
+		hop(3, 5.3, host, telemetry.TraceTierHost, host, 1),
+		hop(8, 7.0, sw, telemetry.TraceTierHMux, vip, 2),
+		// Noise the stitcher must ignore: other kinds, and zero trace IDs.
+		{Seq: 4, Time: 5.1, Kind: telemetry.KindSwitchFail, Node: sw},
+		hop(5, 5.1, sw, telemetry.TraceTierHMux, vip, 0),
+	}
+
+	js := StitchJourneys(events)
+	if len(js) != 2 {
+		t.Fatalf("stitched %d journeys, want 2", len(js))
+	}
+	j := js[0]
+	if j.TraceID != "0000000000000001" || j.Start != 5.0 {
+		t.Fatalf("first journey = %q start %g, want id ...0001 start 5", j.TraceID, j.Start)
+	}
+	if got := j.Tiers(); got != "hmux>smux>host" {
+		t.Fatalf("tier sequence = %q, want hmux>smux>host", got)
+	}
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !near(j.Total, 0.3) {
+		t.Fatalf("total = %g, want 0.3", j.Total)
+	}
+	if j.Hops[0].Gap != 0 || !near(j.Hops[1].Gap, 0.2) || !near(j.Hops[2].Gap, 0.1) {
+		t.Fatalf("gaps = %g/%g/%g", j.Hops[0].Gap, j.Hops[1].Gap, j.Hops[2].Gap)
+	}
+	if j.Hops[0].Node != "1.0.0.1" || j.Hops[1].Node != "20.0.0.1" || j.Hops[2].Node != "100.0.0.1" {
+		t.Fatalf("nodes = %s/%s/%s", j.Hops[0].Node, j.Hops[1].Node, j.Hops[2].Node)
+	}
+	if j.Hops[0].Dst != "10.0.0.1" {
+		t.Fatalf("hmux hop dst = %s, want the VIP", j.Hops[0].Dst)
+	}
+	if js[1].TraceID != "0000000000000002" || js[1].Tiers() != "hmux>host" {
+		t.Fatalf("second journey = %q %q", js[1].TraceID, js[1].Tiers())
+	}
+}
+
+// TestStitchJourneysSeqTiebreak checks that hops recorded inside one clock
+// quantum on one process keep their recording order.
+func TestStitchJourneysSeqTiebreak(t *testing.T) {
+	events := []telemetry.Event{
+		hop(2, 1.0, 1, telemetry.TraceTierSMux, 9, 7),
+		hop(1, 1.0, 1, telemetry.TraceTierHMux, 9, 7),
+	}
+	js := StitchJourneys(events)
+	if len(js) != 1 || js[0].Tiers() != "hmux>smux" {
+		t.Fatalf("journeys = %+v, want seq-ordered hmux>smux", js)
+	}
+}
+
+func TestStitchJourneysEmpty(t *testing.T) {
+	if js := StitchJourneys(nil); len(js) != 0 {
+		t.Fatalf("StitchJourneys(nil) = %+v", js)
+	}
+}

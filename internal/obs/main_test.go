@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+// The obs package spawns real daemons in its tests — pipeline scrape loops,
+// httptest servers, aggregator poll loops — so the leak checker enforces
+// that every Start has a working stop and every server is closed.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

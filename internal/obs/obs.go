@@ -23,6 +23,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -373,12 +374,49 @@ type TimeSeriesDump struct {
 // Dump exports every series' newest lastN points (0 = all retained), sorted
 // by name.
 func (p *Pipeline) Dump(lastN int) TimeSeriesDump {
+	return p.DumpWith(DumpOptions{Last: lastN})
+}
+
+// DumpOptions filters a time-series export.
+type DumpOptions struct {
+	// Last keeps only each series' newest N points (0 = all retained).
+	Last int
+	// Window keeps only points newer than now−Window seconds on the scrape
+	// clock (0 = no time filter). Composes with Last: the window applies
+	// to the points Last selected.
+	Window float64
+	// Quantile restricts the export to histogram-derived quantile series
+	// ("p50" or "p99"; empty = all series).
+	Quantile string
+}
+
+// DumpWith exports the rings with filtering, sorted by name.
+func (p *Pipeline) DumpWith(opt DumpOptions) TimeSeriesDump {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	d := TimeSeriesDump{Now: p.lastTime, Ticks: p.ticks}
 	d.Series = make([]SeriesDump, 0, len(p.series))
+	cutoff := 0.0
+	if opt.Window > 0 {
+		cutoff = p.lastTime - opt.Window
+	}
 	for _, s := range p.series {
-		d.Series = append(d.Series, SeriesDump{Name: s.name, Kind: s.kind, Points: s.points(lastN)})
+		if opt.Quantile != "" {
+			if s.kind != "quantile" || !strings.HasSuffix(s.name, "."+opt.Quantile) {
+				continue
+			}
+		}
+		pts := s.points(opt.Last)
+		if opt.Window > 0 {
+			keep := pts[:0]
+			for _, pt := range pts {
+				if pt.Time >= cutoff {
+					keep = append(keep, pt)
+				}
+			}
+			pts = keep
+		}
+		d.Series = append(d.Series, SeriesDump{Name: s.name, Kind: s.kind, Points: pts})
 	}
 	sort.Slice(d.Series, func(i, j int) bool { return d.Series[i].Name < d.Series[j].Name })
 	return d

@@ -1,86 +1,12 @@
 package obs
 
 import (
-	"bufio"
 	"bytes"
-	"fmt"
-	"strconv"
 	"strings"
 	"testing"
 
 	"duet/internal/telemetry"
 )
-
-// promSample is one parsed exposition sample.
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// parsePrometheus is a strict parser for the subset of the text exposition
-// format (0.0.4) the renderer emits: # TYPE comments and bare samples with
-// optional labels. It errors on anything malformed, so the round-trip test
-// catches format drift.
-func parsePrometheus(data []byte) (types map[string]string, samples []promSample, err error) {
-	types = make(map[string]string)
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	for ln := 1; sc.Scan(); ln++ {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.Fields(line)
-			if len(fields) != 4 || fields[1] != "TYPE" {
-				return nil, nil, fmt.Errorf("line %d: bad comment %q", ln, line)
-			}
-			switch fields[3] {
-			case "counter", "gauge", "histogram":
-			default:
-				return nil, nil, fmt.Errorf("line %d: unknown type %q", ln, fields[3])
-			}
-			types[fields[2]] = fields[3]
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			return nil, nil, fmt.Errorf("line %d: no value in %q", ln, line)
-		}
-		v, err := strconv.ParseFloat(line[sp+1:], 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: bad value: %v", ln, err)
-		}
-		s := promSample{labels: map[string]string{}, value: v}
-		nameAndLabels := line[:sp]
-		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
-			if !strings.HasSuffix(nameAndLabels, "}") {
-				return nil, nil, fmt.Errorf("line %d: unterminated labels in %q", ln, line)
-			}
-			s.name = nameAndLabels[:i]
-			for _, pair := range strings.Split(nameAndLabels[i+1:len(nameAndLabels)-1], ",") {
-				k, qv, ok := strings.Cut(pair, "=")
-				if !ok {
-					return nil, nil, fmt.Errorf("line %d: bad label %q", ln, pair)
-				}
-				uq, err := strconv.Unquote(qv)
-				if err != nil {
-					return nil, nil, fmt.Errorf("line %d: label value %q: %v", ln, qv, err)
-				}
-				s.labels[k] = uq
-			}
-		} else {
-			s.name = nameAndLabels
-		}
-		for _, c := range s.name {
-			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
-				return nil, nil, fmt.Errorf("line %d: invalid metric name %q", ln, s.name)
-			}
-		}
-		samples = append(samples, s)
-	}
-	return types, samples, sc.Err()
-}
 
 // TestPrometheusRoundTrip renders a populated registry and parses it back,
 // checking names, types, values, and the cumulative histogram encoding.

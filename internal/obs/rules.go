@@ -269,6 +269,16 @@ type SLOConfig struct {
 	// connections are not finishing (or the sweep is broken) and hybrid
 	// overlay memory cannot be reclaimed.
 	EpochDrainScrapes int
+	// SkewFrac bounds cross-node occupancy skew (max−min occupancy
+	// fraction) for the NIC tables and the hybrid overlays. One node
+	// running full while its peers sit empty means the ECMP spread or the
+	// controller's placement is broken — invisible to any per-node rule.
+	SkewFrac float64
+	// SMuxShareFrac bounds the software tier's share of fleet tier
+	// deliveries. Duet's economics depend on hardware absorbing the bulk;
+	// a sustained software-dominated fleet means the switch tables lost
+	// their VIPs (or traffic is all SMuxOnly by accident).
+	SMuxShareFrac float64
 }
 
 // DefaultSLO returns the paper-grounded thresholds.
@@ -282,6 +292,82 @@ func DefaultSLO() SLOConfig {
 		WireDropsPerSec:     50,
 		OverlayFrac:         0.9,
 		EpochDrainScrapes:   30,
+		SkewFrac:            0.3,
+		SMuxShareFrac:       0.9,
+	}
+}
+
+// ClusterRules builds the fleet-scope watchdog set over the cluster.*
+// gauges the obs aggregator (aggregator.go) publishes. Installed only on
+// obs-role nodes; every rule reads series no single node emits.
+func ClusterRules(cfg SLOConfig) []Rule {
+	return []Rule{
+		{
+			Name:      "cluster-node-down",
+			Desc:      "a polled duetd is not answering its /metrics endpoint",
+			Num:       "cluster.nodes.up",
+			NumSrc:    Value,
+			Combine:   Ratio,
+			Den:       "cluster.nodes.total",
+			DenSrc:    Value,
+			Op:        Below,
+			Threshold: 1.0,
+			For:       3,
+		},
+		{
+			Name:      "fleet-vip-availability",
+			Desc:      "fleet-wide drop fraction of wire ingress (all tiers' drop counters over rx frames)",
+			Num:       "cluster.fleet.drops",
+			NumSrc:    Rate,
+			Combine:   Ratio,
+			Den:       "cluster.fleet.rx_frames",
+			DenSrc:    Rate,
+			Op:        Above,
+			Threshold: cfg.AvailabilityErrFrac,
+			For:       2,
+		},
+		{
+			Name:      "cluster-smux-share",
+			Desc:      "software tier serving most fleet deliveries; hardware tables have lost the traffic",
+			Num:       "cluster.tier.smux",
+			NumSrc:    Rate,
+			Combine:   Ratio,
+			Den:       "cluster.tier.total",
+			DenSrc:    Rate,
+			Op:        Above,
+			Threshold: cfg.SMuxShareFrac,
+			For:       5,
+		},
+		{
+			Name:      "cluster-nmux-skew",
+			Desc:      "cross-node NIC table occupancy skew (max-min fraction); placement or ECMP spread broken",
+			Num:       "cluster.nmux.skew_pm",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.SkewFrac * 1000,
+			For:       3,
+		},
+		{
+			Name:      "cluster-overlay-skew",
+			Desc:      "cross-node hybrid overlay occupancy skew (max-min fraction); churn concentrating on one node",
+			Num:       "cluster.overlay.skew_pm",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.SkewFrac * 1000,
+			For:       3,
+		},
+		{
+			Name:      "cluster-steer-drain",
+			Desc:      "a steer drain window open somewhere in the fleet for too many consecutive polls",
+			Num:       "cluster.steer.drains_max",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: 0,
+			For:       cfg.EpochDrainScrapes,
+		},
 	}
 }
 

@@ -120,6 +120,8 @@ func (e Event) String() string {
 			state = "firing"
 		}
 		fmt.Fprintf(&b, " rule=%d %s", e.A, state)
+	case KindTraceHop:
+		fmt.Fprintf(&b, " tier=%s dst=%s trace=%016x", TraceTier(e.A), fmtAddr(e.B), e.Aux)
 	default:
 		if e.A != 0 || e.B != 0 || e.Aux != 0 {
 			fmt.Fprintf(&b, " a=%s b=%s aux=%d", fmtAddr(e.A), fmtAddr(e.B), e.Aux)

@@ -35,6 +35,7 @@ const (
 	KindControllerReact  // controller observed an event and acted; Aux = code
 	KindSNATExhausted    // A = VIP, B = DIP
 	KindSLOAlert         // obs watchdog transition; A = rule index, Aux = 1 firing / 0 resolved
+	KindTraceHop         // cross-process trace hop; A = TraceTier, B = packet dst, Aux = trace ID
 )
 
 // String names the event kind.
@@ -78,6 +79,39 @@ func (k Kind) String() string {
 		return "snat-exhausted"
 	case KindSLOAlert:
 		return "slo-alert"
+	case KindTraceHop:
+		return "trace-hop"
+	}
+	return "unknown"
+}
+
+// TraceTier labels the pipeline stage a KindTraceHop event was recorded at.
+// One sampled packet leaves one trace-hop event per process it transits;
+// stitching the events that share a trace ID (Aux) and ordering them by
+// timestamp reconstructs the packet's HMux→{NMux|SMux}→host journey.
+type TraceTier uint8
+
+const (
+	TraceTierHMux TraceTier = iota + 1 // switch hardware mux
+	TraceTierNMux                      // NIC match-table tier
+	TraceTierSMux                      // software mux
+	TraceTierTIP                       // TIP indirection hop
+	TraceTierHost                      // host agent delivery
+)
+
+// String names the trace tier.
+func (t TraceTier) String() string {
+	switch t {
+	case TraceTierHMux:
+		return "hmux"
+	case TraceTierNMux:
+		return "nmux"
+	case TraceTierSMux:
+		return "smux"
+	case TraceTierTIP:
+		return "tip"
+	case TraceTierHost:
+		return "host"
 	}
 	return "unknown"
 }

@@ -1,0 +1,62 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"duet/internal/obs"
+)
+
+// TestFloodJourneysStitch checks the in-process end of the journey story:
+// the simulated cluster's hop-sample gate stamps KindTraceHop events for one
+// in sixteen packets, and obs.StitchJourneys reconstructs them into ordered
+// tier timelines that end at a host delivery — hardware journeys through the
+// HMux tier, software journeys through the SMux backstop.
+func TestFloodJourneysStitch(t *testing.T) {
+	f, err := NewFlood(FloodConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec := f.Cluster.Telemetry()
+
+	// VIP 0 is HMux-served, VIP 7 rides the SMux backstop (HMuxFraction
+	// 0.75 of 8). 320 packets each → ~20 sampled journeys per path.
+	for _, pkt := range floodTraffic(f.VIPs[0], 320, 0) {
+		if _, err := f.Cluster.Deliver(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pkt := range floodTraffic(f.VIPs[7], 320, 1<<16) {
+		if _, err := f.Cluster.Deliver(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	js := obs.StitchJourneys(rec.Snapshot())
+	if len(js) < 10 {
+		t.Fatalf("stitched %d journeys from 640 packets, want ~40 at 1-in-16 sampling", len(js))
+	}
+	var hw, sw int
+	for _, j := range js {
+		if len(j.Hops) < 2 {
+			t.Fatalf("journey %s has %d hops, want at least mux+host", j.TraceID, len(j.Hops))
+		}
+		if last := j.Hops[len(j.Hops)-1]; last.Tier != "host" {
+			t.Fatalf("journey %s ends at %q, want host: %s", j.TraceID, last.Tier, j.Tiers())
+		}
+		// In-process trace IDs are odd by construction, so they can never
+		// collide with the wire transport's node<<32|seq scheme.
+		if d := j.TraceID[len(j.TraceID)-1]; !strings.ContainsRune("13579bdf", rune(d)) {
+			t.Fatalf("journey ID %s is even", j.TraceID)
+		}
+		switch {
+		case strings.HasPrefix(j.Tiers(), "hmux"):
+			hw++
+		case strings.HasPrefix(j.Tiers(), "smux"):
+			sw++
+		}
+	}
+	if hw == 0 || sw == 0 {
+		t.Fatalf("journeys cover hw=%d sw=%d paths, want both tiers represented", hw, sw)
+	}
+}

@@ -37,8 +37,16 @@ type DataplaneConfig struct {
 	// (nil disables instrumentation; all hot-path handles are nil-safe).
 	Registry *telemetry.Registry
 	Recorder *telemetry.Recorder
-	// Node identifies this endpoint in flight-recorder events.
+	// Node identifies this endpoint in flight-recorder events and in the
+	// trace IDs it originates.
 	Node uint32
+	// TraceEvery, when positive, originates a cross-process trace for one
+	// in every TraceEvery untraced frames (rounded up to a power of two,
+	// the same gating as telemetry.Recorder.Sample): the handler receives
+	// a fresh trace ID and every frame forwarded with SendTraced carries
+	// it downstream. Zero disables origination; frames that already carry
+	// a trace are always propagated regardless.
+	TraceEvery int
 }
 
 func (cfg *DataplaneConfig) setDefaults() {
@@ -71,6 +79,8 @@ type dataplaneTelemetry struct {
 	dropBacklog       telemetry.CounterShard
 	dropNoRoute       telemetry.CounterShard
 	dropTotal         telemetry.CounterShard
+	traceOrigins      telemetry.CounterShard
+	traceRx           telemetry.CounterShard
 	rec               *telemetry.Recorder
 	node              uint32
 }
@@ -87,6 +97,8 @@ func newDataplaneTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, nod
 		dropBacklog:     reg.Counter("wire.drops.backlog_full").Shard(),
 		dropNoRoute:     reg.Counter("wire.drops.no_route").Shard(),
 		dropTotal:       reg.Counter("wire.drops.total").Shard(),
+		traceOrigins:    reg.Counter("wire.trace.origins").Shard(),
+		traceRx:         reg.Counter("wire.trace.rx").Shard(),
 		rec:             rec,
 		node:            node,
 	}
@@ -103,8 +115,11 @@ func (t *dataplaneTelemetry) drop(shard telemetry.CounterShard, reason telemetry
 // duration of the call. scratch is a per-worker reusable buffer the handler
 // may append into (typically as the out parameter of Process/Receive); it
 // returns the buffer to reuse on the next call, so steady-state handling
-// allocates nothing.
-type Handler func(payload, scratch []byte) []byte
+// allocates nothing. trace is the packet's cross-process trace ID — from
+// the frame's trace extension, or freshly originated by the TraceEvery
+// sampler — and 0 for the unsampled majority; handlers that forward the
+// packet pass it to SendTraced so the journey continues downstream.
+type Handler func(payload, scratch []byte, trace uint64) []byte
 
 // Dataplane is one UDP dataplane endpoint: a listening socket with batched
 // receive machinery and a connected-socket send cache. Safe for concurrent
@@ -119,6 +134,14 @@ type Dataplane struct {
 	sends  map[string]*net.UDPConn
 
 	tel dataplaneTelemetry
+
+	// traceMask gates trace origination (ctr & mask == 0 samples, mirroring
+	// telemetry.Recorder.Sample); 0 disables. traceIDs numbers the traces
+	// this endpoint originated, folded under the node address so IDs stay
+	// unique across the fleet.
+	traceMask uint64
+	traceCtr  atomic.Uint64
+	traceIDs  atomic.Uint64
 
 	closed  atomic.Bool
 	recvWG  sync.WaitGroup
@@ -147,6 +170,14 @@ func ListenDataplane(addr string, cfg DataplaneConfig) (*Dataplane, error) {
 		q:     make(chan []byte, cfg.Backlog),
 		sends: make(map[string]*net.UDPConn),
 		tel:   newDataplaneTelemetry(cfg.Registry, cfg.Recorder, cfg.Node),
+	}
+	if cfg.TraceEvery > 0 {
+		p := uint64(1)
+		for p < uint64(cfg.TraceEvery) {
+			p <<= 1
+		}
+		d.traceMask = p - 1
+		d.traceCtr.Store(p - 1) // the first packet in is eligible
 	}
 	d.pool.New = func() any {
 		b := make([]byte, cfg.MTU)
@@ -230,17 +261,35 @@ func (d *Dataplane) workLoop(h Handler) {
 }
 
 func (d *Dataplane) handleFrame(frame, scratch []byte, h Handler) []byte {
-	payload, err := DecodeFrame(frame)
+	payload, trace, err := DecodeFrameTrace(frame)
 	switch {
 	case errors.Is(err, ErrBadFrame):
 		d.tel.drop(d.tel.dropBadFrame, telemetry.DropBadFrame)
 	case err != nil:
 		d.tel.drop(d.tel.dropShort, telemetry.DropShortRead)
 	default:
-		scratch = h(payload, scratch)
+		switch {
+		case trace != 0:
+			d.tel.traceRx.Inc()
+		case d.traceMask != 0 && d.traceCtr.Add(1)&d.traceMask == 0:
+			trace = d.newTraceID()
+			d.tel.traceOrigins.Inc()
+		}
+		scratch = h(payload, scratch, trace)
 	}
 	d.putBuf(frame)
 	return scratch
+}
+
+// newTraceID mints a fleet-unique trace ID: the endpoint's node address in
+// the high 32 bits, a local sequence below. Never returns 0 (the "no trace"
+// sentinel).
+func (d *Dataplane) newTraceID() uint64 {
+	id := uint64(d.cfg.Node)<<32 | d.traceIDs.Add(1)&0xffffffff
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // sendConn returns a connected UDP socket toward ep (host:port), creating
@@ -277,7 +326,18 @@ func (d *Dataplane) sendConn(ep string) (*net.UDPConn, error) {
 // returns the error; the connected socket is kept, so sends succeed again
 // as soon as the peer is back (restart recovery needs no bookkeeping).
 func (d *Dataplane) Send(ep string, payload []byte) error {
-	if len(payload) > d.cfg.MTU-FrameHeaderLen {
+	return d.SendTraced(ep, payload, 0)
+}
+
+// SendTraced is Send with the packet's trace ID carried in the frame's
+// trace extension (0 sends a plain frame — the handler's trace value can be
+// forwarded unconditionally).
+func (d *Dataplane) SendTraced(ep string, payload []byte, trace uint64) error {
+	hdr := FrameHeaderLen
+	if trace != 0 {
+		hdr += TraceExtLen
+	}
+	if len(payload) > d.cfg.MTU-hdr {
 		return fmt.Errorf("wire: payload %d exceeds MTU %d", len(payload), d.cfg.MTU)
 	}
 	c, err := d.sendConn(ep)
@@ -285,7 +345,7 @@ func (d *Dataplane) Send(ep string, payload []byte) error {
 		return err
 	}
 	bufp := d.pool.Get().(*[]byte)
-	frame := AppendFrame((*bufp)[:0], payload)
+	frame := AppendTracedFrame((*bufp)[:0], payload, trace)
 	_, err = c.Write(frame)
 	d.pool.Put(bufp)
 	if err != nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"duet/internal/clock"
+	"duet/internal/ecmp"
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
 	"duet/internal/nmux"
@@ -33,12 +35,23 @@ type Node struct {
 	Obs  *obs.Pipeline
 
 	wall  func() float64         // monotonic seconds since StartNode (clock.Wall)
+	unix  func() float64         // epoch seconds (clock.Unix) stamping trace hops
 	hosts map[packet.Addr]string // outer dst → UDP data endpoint
+
+	// self32 is the node's dataplane identity as the flight-recorder node
+	// field; smuxAddrs is the switch agent's ECMP group for VIPs the
+	// hardware tier does not hold (SMuxOnly placement).
+	self32    uint32
+	smuxAddrs []packet.Addr
 
 	dp      *Dataplane
 	ctl     *ControlServer
 	httpLn  net.Listener
 	httpSrv *http.Server
+
+	// obs-role state: the fleet aggregator behind /cluster/*.
+	agg      *obs.Aggregator
+	stopPoll func()
 
 	stop       chan struct{}
 	stopScrape func()
@@ -54,6 +67,7 @@ type Node struct {
 
 	vips       *telemetry.Gauge
 	dips       *telemetry.Gauge
+	traceHops  telemetry.CounterShard
 	delivered  telemetry.CounterShard
 	resyncs    telemetry.CounterShard
 	reports    telemetry.CounterShard
@@ -91,6 +105,7 @@ func StartNode(spec *ClusterSpec, name string) (*Node, error) {
 		Reg:        telemetry.NewRegistry(),
 		Rec:        telemetry.NewRecorder(telemetry.DefaultRecorderSize),
 		wall:       clock.Wall(),
+		unix:       clock.Unix(),
 		hosts:      spec.HostMap(),
 		stop:       make(chan struct{}),
 		routeSet:   make(map[string]bool),
@@ -116,6 +131,8 @@ func StartNode(spec *ClusterSpec, name string) (*Node, error) {
 		err = n.startSwitchAgent()
 	case RoleController:
 		err = n.startController()
+	case RoleObs:
+		err = n.startObs()
 	default:
 		err = fmt.Errorf("wire: unknown role %q", me.Role)
 	}
@@ -171,8 +188,12 @@ func (n *Node) startHTTP() error {
 		return fmt.Errorf("wire: http listen %s: %w", n.Me.HTTP, err)
 	}
 	n.httpLn = ln
+	h := obs.NewServer(n.Obs).Handler()
+	if n.agg != nil {
+		h = n.agg.Handler(h) // obs role: /cluster/* in front of the node views
+	}
 	n.httpSrv = &http.Server{
-		Handler:           obs.NewServer(n.Obs).Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	n.wg.Add(1)
@@ -183,27 +204,52 @@ func (n *Node) startHTTP() error {
 	return nil
 }
 
-func (n *Node) listenData() error {
+// listenData binds the node's dataplane endpoint. traceEvery enables trace
+// origination (mux tiers pass the spec's sampling rate; host agents pass 0 —
+// a journey that starts at delivery has no downstream hops to stitch).
+func (n *Node) listenData(traceEvery int) error {
 	dp, err := ListenDataplane(n.Me.Data, DataplaneConfig{
-		Registry: n.Reg,
-		Recorder: n.Rec,
+		Registry:   n.Reg,
+		Recorder:   n.Rec,
+		Node:       n.self32,
+		TraceEvery: traceEvery,
 	})
 	if err != nil {
 		return err
 	}
 	n.dp = dp
+	n.traceHops = n.Reg.Counter("wire.trace.hops").Shard()
 	return nil
 }
 
 // forward sends an encapsulated packet toward the wire endpoint serving its
-// outer destination.
-func (n *Node) forward(encap packet.Addr, pkt []byte) {
+// outer destination, carrying the packet's trace ID (0 for the unsampled
+// majority) so the journey continues on the next process.
+func (n *Node) forward(encap packet.Addr, pkt []byte, trace uint64) {
 	ep, ok := n.hosts[encap]
 	if !ok {
 		n.dp.DropNoRoute()
 		return
 	}
-	_ = n.dp.Send(ep, pkt) // send failures are counted by the dataplane
+	_ = n.dp.SendTraced(ep, pkt, trace) // send failures are counted by the dataplane
+}
+
+// traceHop records one cross-process trace hop for a sampled packet: the
+// tier that handled it, the packet's current destination, and the trace ID,
+// stamped on the epoch clock so hops from different processes order into
+// one timeline. No-op for the trace-less majority.
+//
+//duet:hotpath
+func (n *Node) traceHop(tier telemetry.TraceTier, pkt []byte, trace uint64) {
+	if trace == 0 {
+		return
+	}
+	n.traceHops.Inc()
+	var dst uint32
+	if len(pkt) >= packet.HeaderLen {
+		dst = binary.BigEndian.Uint32(pkt[16:20])
+	}
+	n.Rec.RecordAt(n.unix(), telemetry.KindTraceHop, n.self32, uint32(tier), dst, trace)
 }
 
 // --- smux role ---------------------------------------------------------
@@ -213,6 +259,7 @@ func (n *Node) startSMux() error {
 	if err != nil {
 		return err
 	}
+	n.self32 = uint32(self)
 	n.smux = smux.New(smux.DefaultConfig(self))
 	n.smux.SetTelemetry(n.Reg, n.Rec, uint32(self))
 	n.vips = n.Reg.Gauge("wire.vips")
@@ -262,14 +309,25 @@ func (n *Node) startSMux() error {
 			nmFlows.Set(int64(st.Flows))
 		})
 	}
-	if err := n.listenData(); err != nil {
+	if err := n.listenData(n.Spec.traceEvery()); err != nil {
 		return err
 	}
-	n.dp.Serve(func(payload, scratch []byte) []byte {
+	n.dp.Serve(func(payload, scratch []byte, trace uint64) []byte {
+		// A frame encapsulated toward this mux's own address is the switch
+		// tier's HMux-miss fallback (SMuxOnly placement): unwrap it and run
+		// the inner packet through the normal pipeline. The proto/length
+		// pre-check keeps Decapsulate's error path (which allocates) off the
+		// non-tunnel majority.
+		if len(payload) >= packet.HeaderLen && payload[9] == packet.ProtoIPIP {
+			if inner, outer, err := packet.Decapsulate(payload); err == nil && outer.Dst == self {
+				payload = inner
+			}
+		}
 		if n.nmux != nil {
 			res, err := n.nmux.Process(payload, scratch[:0])
 			if err == nil {
-				n.forward(res.Encap, res.Packet)
+				n.traceHop(telemetry.TraceTierNMux, payload, trace)
+				n.forward(res.Encap, res.Packet, trace)
 				return res.Packet
 			}
 			if !errors.Is(err, nmux.ErrNotOurVIP) {
@@ -281,7 +339,8 @@ func (n *Node) startSMux() error {
 		if err != nil {
 			return scratch // the mux counted the drop
 		}
-		n.forward(res.Encap, res.Packet)
+		n.traceHop(telemetry.TraceTierSMux, payload, trace)
+		n.forward(res.Encap, res.Packet, trace)
 		return res.Packet
 	})
 	ctl, err := ListenControl(n.Me.Control, n.Reg, n.smuxControl)
@@ -393,19 +452,21 @@ func (n *Node) startHostAgent() error {
 	if err != nil {
 		return err
 	}
+	n.self32 = uint32(self)
 	n.agent = hostagent.New(self)
 	n.agent.SetTelemetry(n.Reg, n.Rec, uint32(self))
 	n.dips = n.Reg.Gauge("wire.dips")
 	n.delivered = n.Reg.Counter("wire.delivered").Shard()
-	if err := n.listenData(); err != nil {
+	if err := n.listenData(0); err != nil {
 		return err
 	}
-	n.dp.Serve(func(payload, scratch []byte) []byte {
+	n.dp.Serve(func(payload, scratch []byte, trace uint64) []byte {
 		d, err := n.agent.Receive(payload, scratch[:0])
 		if err != nil {
 			return scratch // the agent counted the drop
 		}
 		n.delivered.Inc()
+		n.traceHop(telemetry.TraceTierHost, payload, trace)
 		return d.Packet
 	})
 	ctl, err := ListenControl(n.Me.Control, n.Reg, n.hostControl)
@@ -505,21 +566,56 @@ func (n *Node) startSwitchAgent() error {
 	if err != nil {
 		return err
 	}
+	n.self32 = uint32(self)
 	hm := hmux.New(hmux.DefaultConfig(self))
 	hm.SetTelemetry(n.Reg, n.Rec, uint32(self))
 	n.announceQ = make(chan Envelope, 256)
 	n.sw = switchagent.New(hm, wireAnnouncer{n}, switchagent.Instant())
 	n.sw.SetTelemetry(n.Reg, n.Rec, uint32(self))
 	n.vips = n.Reg.Gauge("wire.vips")
-	if err := n.listenData(); err != nil {
+	// The software-tier ECMP group for VIPs the hardware tables do not
+	// hold: a destination the HMux has never been programmed with (SMuxOnly
+	// placement) is tunneled to one of these, hashed on the 5-tuple.
+	for i := range n.Spec.Nodes {
+		p := &n.Spec.Nodes[i]
+		if p.Role != RoleSMux || p.Self == "" {
+			continue
+		}
+		if a, err := p.SelfAddr(); err == nil {
+			n.smuxAddrs = append(n.smuxAddrs, a)
+		}
+	}
+	if err := n.listenData(n.Spec.traceEvery()); err != nil {
 		return err
 	}
-	n.dp.Serve(func(payload, scratch []byte) []byte {
+	n.dp.Serve(func(payload, scratch []byte, trace uint64) []byte {
+		// Destinations outside the switch tables are not drops — they are
+		// the paper's "VIP assigned to SMuxes" placement, reached through
+		// the software tier. The table check runs before Process so the
+		// HMux's drop taxonomy keeps meaning "misconfigured", and a packet
+		// too short to carry a 5-tuple still falls through to Process for
+		// the malformed-drop accounting.
+		if len(n.smuxAddrs) > 0 && len(payload) >= packet.HeaderLen {
+			dst := packet.Addr(binary.BigEndian.Uint32(payload[16:20]))
+			if !hm.HasVIP(dst) && !hm.HasTIP(dst) {
+				if tuple, terr := packet.ExtractFiveTuple(payload); terr == nil {
+					sm := n.smuxAddrs[ecmp.Hash(tuple)%uint64(len(n.smuxAddrs))]
+					out, eerr := packet.Encapsulate(scratch[:0], self, sm, payload, 64)
+					if eerr != nil {
+						return scratch
+					}
+					n.traceHop(telemetry.TraceTierHMux, payload, trace)
+					n.forward(sm, out, trace)
+					return out
+				}
+			}
+		}
 		res, err := hm.Process(payload, scratch[:0])
 		if err != nil {
 			return scratch
 		}
-		n.forward(res.Encap, res.Packet)
+		n.traceHop(telemetry.TraceTierHMux, payload, trace)
+		n.forward(res.Encap, res.Packet, trace)
 		return res.Packet
 	})
 	ctl, err := ListenControl(n.Me.Control, n.Reg, n.switchControl)
@@ -758,6 +854,11 @@ func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) er
 				env = &Envelope{Type: MsgNMuxAdd, VIP: msgFromVIP(v)}
 			}
 		case RoleSwitch:
+			// SMuxOnly VIPs never reach the hardware tables: switch agents
+			// resolve them through the HMux-miss fallback to the software tier.
+			if n.Spec.VIPs[vi].SMuxOnly {
+				continue
+			}
 			env = &Envelope{Type: MsgProgramOp, Program: &ProgramMsg{Kind: "add-vip", VIP: msgFromVIP(v)}}
 		case RoleHostAgent:
 			for _, b := range v.Backends {
@@ -780,10 +881,44 @@ func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) er
 	return nil
 }
 
+// --- obs role -----------------------------------------------------------
+
+// startObs builds the fleet aggregator: every spec node with an HTTP
+// endpoint becomes a poll target, cluster-scope watchdogs join the node's
+// own rule set, and startHTTP (which runs after the role switch) mounts the
+// aggregator's /cluster/* views in front of the node views.
+func (n *Node) startObs() error {
+	var targets []obs.Target
+	for i := range n.Spec.Nodes {
+		p := &n.Spec.Nodes[i]
+		if p.HTTP == "" || p.Name == n.Me.Name {
+			continue
+		}
+		targets = append(targets, obs.Target{Name: p.Name, Role: p.Role, URL: "http://" + p.HTTP})
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("wire: obs node %s has no peers with http endpoints to poll", n.Me.Name)
+	}
+	n.Obs.AddRules(obs.ClusterRules(obs.DefaultSLO())...)
+	n.agg = obs.NewAggregator(obs.AggregatorConfig{
+		Targets:  targets,
+		Pipeline: n.Obs,
+	})
+	poll := time.Duration(n.Spec.ClusterPollMillis) * time.Millisecond
+	if poll <= 0 {
+		poll = time.Second
+	}
+	n.stopPoll = n.agg.Start(poll)
+	return nil
+}
+
 // Close shuts every subsystem down and waits for the node's goroutines.
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.stop)
+		if n.stopPoll != nil {
+			n.stopPoll()
+		}
 		if n.stopScrape != nil {
 			n.stopScrape()
 		}

@@ -18,6 +18,11 @@ const (
 	RoleSMux       = "smux"
 	RoleHostAgent  = "hostagent"
 	RoleSwitch     = "switchagent"
+	// RoleObs is the fleet observability aggregator: it polls every node's
+	// /metrics and /trace.json, maintains merged cluster series and
+	// cluster-scope watchdogs, and serves /cluster/* views. It touches no
+	// dataplane traffic, so it needs only an HTTP endpoint.
+	RoleObs = "obs"
 )
 
 // NodeSpec describes one duetd process.
@@ -69,6 +74,13 @@ type VIPSpec struct {
 	// Mode is the VIP's SMux consistency mode: "stateful" (default),
 	// "stateless", or "hybrid" (see internal/steer).
 	Mode string `json:"mode,omitempty"`
+	// SMuxOnly keeps the VIP out of the switch hardware tables: the
+	// controller still programs every smux, but switch agents never learn
+	// it, so traffic arriving at a switch takes the HMux-miss fallback to
+	// the software tier. This is the paper's "VIP assigned to SMuxes"
+	// placement, and it is deliberately excluded from Version() — flipping
+	// it changes where the controller pushes, not what a receiver holds.
+	SMuxOnly bool `json:"smux_only,omitempty"`
 }
 
 // Version fingerprints the VIP's full configuration (address, backends,
@@ -105,6 +117,31 @@ type ClusterSpec struct {
 	ScrapeMillis int `json:"scrape_ms,omitempty"`
 	// HealthMillis is the host agents' health-report interval. Default 1000.
 	HealthMillis int `json:"health_ms,omitempty"`
+	// TraceEvery is the mux tiers' cross-process trace sampling rate: a
+	// switch agent or smux originates a trace for one in this many untraced
+	// frames (rounded up to a power of two). 0 means the default 1024;
+	// negative disables origination.
+	TraceEvery int `json:"trace_every,omitempty"`
+	// ClusterPollMillis is the obs role's fleet poll interval. Default 1000.
+	ClusterPollMillis int `json:"cluster_poll_ms,omitempty"`
+}
+
+// DefaultTraceEvery is the cross-process trace sampling rate when the spec
+// does not set one: roughly one journey per thousand packets, cheap enough
+// to leave on in production.
+const DefaultTraceEvery = 1024
+
+// traceEvery resolves the spec's TraceEvery knob for a mux-tier dataplane
+// (0 for non-originating roles is applied by the caller).
+func (s *ClusterSpec) traceEvery() int {
+	switch {
+	case s.TraceEvery < 0:
+		return 0
+	case s.TraceEvery == 0:
+		return DefaultTraceEvery
+	default:
+		return s.TraceEvery
+	}
 }
 
 // LoadSpec reads and validates a cluster spec file.
@@ -144,6 +181,13 @@ func (s *ClusterSpec) Validate() error {
 		case RoleController:
 			if n.Control == "" {
 				return fmt.Errorf("wire: controller %s needs a control endpoint", n.Name)
+			}
+		case RoleObs:
+			if n.HTTP == "" {
+				return fmt.Errorf("wire: obs node %s needs an http endpoint", n.Name)
+			}
+			if n.Self != "" || n.Data != "" || n.Control != "" {
+				return fmt.Errorf("wire: obs node %s is HTTP-only; drop its self/data/control endpoints", n.Name)
 			}
 		case RoleSMux, RoleHostAgent, RoleSwitch:
 			if _, err := n.SelfAddr(); err != nil {

@@ -39,21 +39,39 @@ import (
 //
 //	offset 0  uint16  magic (0xD0E7)
 //	offset 2  uint8   version (1)
-//	offset 3  uint8   kind (1 = dataplane frame)
+//	offset 3  uint8   kind (low 7 bits: 1 = dataplane frame) | flags (bit 7)
 //	offset 4  uint16  payload length
-//	offset 6  ...     payload (a raw IPv4 packet, possibly IP-in-IP)
+//	offset 6  uint64  trace ID — present only when the trace flag is set
+//	...       ...     payload (a raw IPv4 packet, possibly IP-in-IP)
 //
 // UDP preserves datagram boundaries, so the explicit length exists to
 // detect truncation (a datagram shorter than its declared payload) and the
 // magic/version to reject foreign traffic instead of feeding it to the
 // packet decoder.
+//
+// The trace extension is how one packet's journey survives process
+// boundaries: a mux that samples a packet (~1 in TraceEvery) stamps a trace
+// ID into the frame it forwards, every downstream process copies the ID
+// onto its own forwarded frame, and each hop records a KindTraceHop
+// flight-recorder event carrying the ID — so an aggregator reading every
+// node's recorder can stitch the ordered HMux→{NMux|SMux}→host timeline
+// with inter-hop wire latency. Unsampled frames (the overwhelming
+// majority) carry no extension and are byte-identical to the pre-trace
+// format.
 const (
 	frameMagic   uint16 = 0xD0E7
 	frameVersion uint8  = 1
 	// FrameData is the only frame kind currently defined.
 	FrameData uint8 = 1
+	// frameFlagTrace marks a frame carrying the 8-byte trace extension
+	// between the header and the payload.
+	frameFlagTrace uint8 = 0x80
+	// frameKindMask extracts the kind from the kind/flags byte.
+	frameKindMask uint8 = 0x7f
 	// FrameHeaderLen is the wire header size preceding every payload.
 	FrameHeaderLen = 6
+	// TraceExtLen is the size of the optional trace extension.
+	TraceExtLen = 8
 	// MaxFramePayload bounds one frame's payload (an IPv4 packet is at most
 	// 64 KiB, but the dataplane MTU below is what actually limits it).
 	MaxFramePayload = 0xffff
@@ -68,27 +86,60 @@ var (
 
 // AppendFrame encodes payload as one wire frame appended to dst.
 func AppendFrame(dst, payload []byte) []byte {
-	var hdr [FrameHeaderLen]byte
+	return AppendTracedFrame(dst, payload, 0)
+}
+
+// AppendTracedFrame encodes payload as one wire frame appended to dst,
+// carrying the trace extension when trace is non-zero (zero means
+// unsampled: the emitted frame is identical to AppendFrame's).
+func AppendTracedFrame(dst, payload []byte, trace uint64) []byte {
+	var hdr [FrameHeaderLen + TraceExtLen]byte
 	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
 	hdr[2] = frameVersion
 	hdr[3] = FrameData
 	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(payload)))
-	dst = append(dst, hdr[:]...)
+	n := FrameHeaderLen
+	if trace != 0 {
+		hdr[3] |= frameFlagTrace
+		binary.BigEndian.PutUint64(hdr[FrameHeaderLen:], trace)
+		n += TraceExtLen
+	}
+	dst = append(dst, hdr[:n]...)
 	return append(dst, payload...)
 }
 
 // DecodeFrame validates the wire header of one datagram and returns the
-// payload (aliasing data).
+// payload (aliasing data). Any trace extension is skipped.
 func DecodeFrame(data []byte) ([]byte, error) {
+	payload, _, err := DecodeFrameTrace(data)
+	return payload, err
+}
+
+// DecodeFrameTrace validates the wire header of one datagram and returns
+// the payload (aliasing data) plus the trace ID carried by the optional
+// trace extension (0 when the frame is unsampled). A frame with the trace
+// flag set but too short to hold the extension is a truncation
+// (ErrShortFrame), exactly like a payload shorter than its declared
+// length.
+func DecodeFrameTrace(data []byte) ([]byte, uint64, error) {
 	if len(data) < FrameHeaderLen {
-		return nil, ErrShortFrame
+		return nil, 0, ErrShortFrame
 	}
-	if binary.BigEndian.Uint16(data[0:2]) != frameMagic || data[2] != frameVersion || data[3] != FrameData {
-		return nil, ErrBadFrame
+	if binary.BigEndian.Uint16(data[0:2]) != frameMagic || data[2] != frameVersion || data[3]&frameKindMask != FrameData {
+		return nil, 0, ErrBadFrame
 	}
 	n := int(binary.BigEndian.Uint16(data[4:6]))
-	if len(data) < FrameHeaderLen+n {
-		return nil, ErrShortFrame
+	off := FrameHeaderLen
+	var trace uint64
+	if data[3]&frameFlagTrace != 0 {
+		if len(data) < FrameHeaderLen+TraceExtLen {
+			return nil, 0, ErrShortFrame
+		}
+		trace = binary.BigEndian.Uint64(data[FrameHeaderLen:])
+		off += TraceExtLen
 	}
-	return data[FrameHeaderLen : FrameHeaderLen+n], nil
+	if len(data) < off+n {
+		return nil, 0, ErrShortFrame
+	}
+	return data[off : off+n], trace, nil
 }

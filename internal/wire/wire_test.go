@@ -59,6 +59,67 @@ func TestDecodeFrameErrors(t *testing.T) {
 	}
 }
 
+func TestTracedFrameRoundTrip(t *testing.T) {
+	payload := []byte("a raw ipv4 packet goes here")
+	const trace = uint64(0x00000007_0000002a)
+	frame := AppendTracedFrame(nil, payload, trace)
+	if len(frame) != FrameHeaderLen+TraceExtLen+len(payload) {
+		t.Fatalf("frame length %d, want %d", len(frame), FrameHeaderLen+TraceExtLen+len(payload))
+	}
+	got, gotTrace, err := DecodeFrameTrace(frame)
+	if err != nil {
+		t.Fatalf("DecodeFrameTrace: %v", err)
+	}
+	if gotTrace != trace {
+		t.Fatalf("trace = %#x, want %#x", gotTrace, trace)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	// The plain decoder must still accept traced frames (it drops the ID).
+	if got, err := DecodeFrame(frame); err != nil || string(got) != string(payload) {
+		t.Fatalf("DecodeFrame(traced) = %q, %v", got, err)
+	}
+}
+
+func TestUntracedFrameByteIdentical(t *testing.T) {
+	// trace == 0 must produce exactly the pre-trace frame format, so a
+	// fleet with mixed binaries interoperates for unsampled traffic.
+	payload := []byte("payload")
+	old := AppendFrame(nil, payload)
+	traced := AppendTracedFrame(nil, payload, 0)
+	if string(old) != string(traced) {
+		t.Fatalf("AppendTracedFrame(trace=0) differs from AppendFrame:\n%x\n%x", traced, old)
+	}
+	if _, trace, err := DecodeFrameTrace(old); err != nil || trace != 0 {
+		t.Fatalf("DecodeFrameTrace(untraced) = trace %#x, %v", trace, err)
+	}
+}
+
+func TestDecodeFrameTraceErrors(t *testing.T) {
+	traced := AppendTracedFrame(nil, []byte("payload"), 0xbeef)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"flag set, no extension", traced[:FrameHeaderLen], ErrShortFrame},
+		{"flag set, truncated extension", traced[:FrameHeaderLen+TraceExtLen-1], ErrShortFrame},
+		{"truncated payload", traced[:len(traced)-1], ErrShortFrame},
+		{"bad kind under flag", func() []byte {
+			f := AppendTracedFrame(nil, []byte("p"), 1)
+			f[3] = frameFlagTrace | 99
+			return f
+		}(), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrameTrace(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
 // --- backoff -----------------------------------------------------------
 
 func TestBackoffGrowsAndCaps(t *testing.T) {
@@ -208,7 +269,7 @@ func TestDataplaneDeliverAndDrops(t *testing.T) {
 	defer dp.Close()
 
 	got := make(chan []byte, 16)
-	dp.Serve(func(payload, scratch []byte) []byte {
+	dp.Serve(func(payload, scratch []byte, _ uint64) []byte {
 		cp := append([]byte(nil), payload...) // payload is pooled; copy out
 		got <- cp
 		return scratch
