@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build test vet lint vuln fuzz-smoke race allocs bench benchgate benchgate-all bench-wire benchgate-wire wire-race obs-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer
+.PHONY: check fmt build test vet lint vuln fuzz-smoke race allocs bench benchgate benchgate-all bench-wire benchgate-wire wire-race obs-race nmux-race bench-nmux benchgate-nmux steer-race bench-steer benchgate-steer delta-race bench-delta benchgate-delta
 
 check: fmt vet lint build race allocs
 
@@ -44,6 +44,7 @@ vuln:
 # per invocation, so the targets run back to back.
 FUZZ_TARGETS = FuzzIPv4Decode FuzzEncapDecap FuzzDecapsulate FuzzExtractFiveTuple FuzzTransportDecode FuzzRewrite
 WIRE_FUZZ_TARGETS = FuzzDecodeFrameTrace FuzzTracedFrameRoundTrip
+DELTA_FUZZ_TARGETS = FuzzDeltaDecode FuzzDeltaRoundTrip
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
@@ -52,6 +53,10 @@ fuzz-smoke:
 	@for t in $(WIRE_FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test -run XXX -fuzz "^$$t$$" -fuzztime 5s ./internal/wire || exit 1; \
+	done
+	@for t in $(DELTA_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run XXX -fuzz "^$$t$$" -fuzztime 5s ./internal/delta || exit 1; \
 	done
 
 test:
@@ -86,7 +91,7 @@ benchgate:
 # the one target CI's non-blocking bench step invokes.
 benchgate-all:
 	@fail=0; \
-	for t in benchgate benchgate-wire benchgate-nmux benchgate-steer; do \
+	for t in benchgate benchgate-wire benchgate-nmux benchgate-steer benchgate-delta; do \
 		$(MAKE) --no-print-directory $$t || fail=1; \
 	done; \
 	exit $$fail
@@ -142,3 +147,21 @@ bench-steer:
 
 benchgate-steer:
 	$(GO) test -run XXX -bench BenchmarkSteerChurn -benchtime 2s . | $(GO) run ./cmd/benchgate -baseline BENCH_steer.json
+
+# Control-plane replication under the race detector: the delta codec/log,
+# the incremental assignment engine, the controller, and the wire HA paths
+# (election, delta push, snapshot recovery), plus the multi-process
+# kill-the-leader soak.
+delta-race:
+	$(GO) test -race ./internal/delta ./internal/assign ./internal/controller ./internal/wire
+	$(GO) test -race -v -run TestWireControllerFailoverSoak ./cmd/duetd
+
+# Incremental-assignment cost per epoch: dirtypct=1 is the steady-state
+# delta recompute (1% of VIPs churned), dirtypct=100 the from-scratch
+# recovery path. The acceptance bar is >=10x between them (baseline in
+# BENCH_delta.json, unit ns/vip).
+bench-delta:
+	$(GO) test -run XXX -bench BenchmarkComputeDelta -benchtime 2s ./internal/assign
+
+benchgate-delta:
+	$(GO) test -run XXX -bench BenchmarkComputeDelta -benchtime 2s ./internal/assign | $(GO) run ./cmd/benchgate -baseline BENCH_delta.json

@@ -30,7 +30,10 @@ import (
 
 type baseline struct {
 	Benchmark string `json:"benchmark"`
-	Results   []struct {
+	// Unit is the custom metric the gate matches ("ns/pkt" when empty —
+	// the dataplane baselines; BENCH_delta.json gates "ns/vip").
+	Unit    string `json:"unit"`
+	Results []struct {
 		// Workers is the sub-benchmark's numeric parameter (workers,
 		// senders, ...), whatever follows the `=` in its name.
 		Workers  int     `json:"workers"`
@@ -62,11 +65,15 @@ func main() {
 		want[r.Workers] = r.NsPerPkt
 	}
 
+	unit := base.Unit
+	if unit == "" {
+		unit = "ns/pkt"
+	}
 	// Matches a sub-benchmark result line and captures the numeric
-	// parameter and the custom ns/pkt metric, e.g.:
+	// parameter and the baseline's custom metric, e.g.:
 	//
 	//	BenchmarkDeliverParallel/workers=4-8   292   8175270 ns/op   998.2 ns/pkt   1.002 Mpps
-	benchLine := regexp.MustCompile(`^` + regexp.QuoteMeta(base.Benchmark) + `/[A-Za-z]+=(\d+)\S*\s.*?([0-9.]+) ns/pkt`)
+	benchLine := regexp.MustCompile(`^` + regexp.QuoteMeta(base.Benchmark) + `/[A-Za-z]+=(\d+)\S*\s.*?([0-9.]+) ` + regexp.QuoteMeta(unit))
 
 	measured := map[int]float64{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -110,8 +117,8 @@ func main() {
 		} else if ratio < 1-*tolerance {
 			status = "faster (consider re-recording baseline)"
 		}
-		fmt.Printf("  param=%d: %7.0f ns/pkt vs baseline %7.0f (%+.1f%%)  %s\n",
-			r.Workers, got, r.NsPerPkt, (ratio-1)*100, status)
+		fmt.Printf("  param=%d: %7.0f %s vs baseline %7.0f (%+.1f%%)  %s\n",
+			r.Workers, got, unit, r.NsPerPkt, (ratio-1)*100, status)
 	}
 	if fail {
 		fmt.Printf("\nbenchgate: FAIL — %s slower than recorded baseline\n", base.Benchmark)

@@ -41,6 +41,8 @@
 //	    fleet in one screen: node health, merged counters, latency CDFs
 //	duetctl cluster-alerts http://obs-host:port
 //	    cluster-scope watchdog transition log
+//	duetctl ha [-v] controller-host:control-port
+//	    controller replication state: term, leader, epoch, replicated VIPs
 package main
 
 import (
@@ -80,6 +82,9 @@ func main() {
 			return
 		case "cluster-alerts":
 			runClusterAlerts(os.Stdout, os.Args[2:])
+			return
+		case "ha":
+			runHA(os.Stdout, os.Args[2:])
 			return
 		}
 	}

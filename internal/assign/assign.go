@@ -202,6 +202,20 @@ type Assignment struct {
 	// NMuxEntriesUsed is the per-host NIC match-table entries the placement
 	// consumes (each host programs the same wildcard set).
 	NMuxEntriesUsed int
+
+	// Rescanned counts the VIPs this round actually re-priced: contribution
+	// vectors recomputed plus pass-2 candidate scans. The from-scratch paths
+	// set it to the VIP count; ComputeDelta keeps it near the number of
+	// changed VIPs — the O(changed VIPs) claim (see delta.go).
+	Rescanned int
+
+	// delta is the incremental-assignment cache recorded by the compute
+	// paths: a fingerprint of the placement inputs (epoch rates, per-VIP DIP
+	// signatures, network failure epoch) plus every HMux VIP's committed
+	// link-load contribution vector. ComputeDelta (delta.go) uses it to skip
+	// recomputing flow vectors for VIPs whose inputs are unchanged. Nil on
+	// assignments that did not come from a compute path (e.g. Revalidate).
+	delta *deltaState
 }
 
 // AssignedFraction returns the fraction of VIP traffic handled by HMuxes
@@ -294,7 +308,7 @@ type assigner struct {
 	dirty   []netsim.DirLink
 
 	// per-VIP precomputed DIP rack weights
-	dipRacks map[int]float64
+	dipRacks []rackFrac
 }
 
 func newAssigner(net *netsim.Network, work *workload.Workload, epoch int, opts Options) *assigner {
@@ -316,14 +330,33 @@ func newAssigner(net *netsim.Network, work *workload.Workload, epoch int, opts O
 	return a
 }
 
-// dipRackWeights aggregates a VIP's DIPs per rack.
-func dipRackWeights(v *workload.VIP) map[int]float64 {
-	m := make(map[int]float64, 8)
+// rackFrac is one entry of a VIP's per-rack DIP weight vector. The vector is
+// kept as a rack-sorted slice rather than a map so that every walk over it —
+// and therefore every floating-point summation the placement performs — runs
+// in one deterministic order. The incremental path (delta.go) relies on a
+// recomputed contribution being bit-for-bit identical to a cached one, which
+// map iteration order would break.
+type rackFrac struct {
+	rack int
+	frac float64
+}
+
+// dipRackWeights aggregates a VIP's DIPs per rack, sorted by rack.
+func dipRackWeights(v *workload.VIP) []rackFrac {
 	n := float64(len(v.DIPRacks))
-	for _, r := range v.DIPRacks {
-		m[r] += 1 / n
+	racks := make([]int, len(v.DIPRacks))
+	copy(racks, v.DIPRacks)
+	sort.Ints(racks)
+	out := make([]rackFrac, 0, 8)
+	for i := 0; i < len(racks); {
+		j := i
+		for j < len(racks) && racks[j] == racks[i] {
+			j++
+		}
+		out = append(out, rackFrac{rack: racks[i], frac: float64(j-i) / n})
+		i = j
 	}
-	return m
+	return out
 }
 
 // vecFn receives one precomputed unit-flow vector and the rate riding it.
@@ -339,7 +372,7 @@ func (a *assigner) flows(v *workload.VIP, rate float64, s topology.SwitchID, fn 
 // Internet-ingress vector → s, and s → the DIP racks. Sources and sinks in
 // failed domains are skipped (their traffic has vanished, §8.5). It returns
 // false if any required path is unroutable.
-func visitFlowVecs(net *netsim.Network, v *workload.VIP, rate float64, s topology.SwitchID, dipRacks map[int]float64, fn vecFn) bool {
+func visitFlowVecs(net *netsim.Network, v *workload.VIP, rate float64, s topology.SwitchID, dipRacks []rackFrac, fn vecFn) bool {
 	topo := net.Topo
 	intra := rate * (1 - v.InternetFrac)
 	for _, sw := range v.SrcRacks {
@@ -363,7 +396,8 @@ func visitFlowVecs(net *netsim.Network, v *workload.VIP, rate float64, s topolog
 		}
 		fn(vec, rate*v.InternetFrac)
 	}
-	for rack, frac := range dipRacks {
+	for _, rf := range dipRacks {
+		rack, frac := rf.rack, rf.frac
 		dst := topo.Rack(rack)
 		if dst == s || !net.SwitchUp(dst) {
 			continue
@@ -428,20 +462,72 @@ func (a *assigner) evaluate(v *workload.VIP, rate float64, s topology.SwitchID) 
 	return max, true
 }
 
-// commit applies VIP v's placement on switch s to the round state.
-func (a *assigner) commit(v *workload.VIP, rate float64, s topology.SwitchID) {
-	a.flows(v, rate, s, func(vec []netsim.LinkFrac, r float64) {
+// contribution builds VIP v's merged link-load vector for a placement on
+// switch s: the per-directed-link sum of every flow the placement creates,
+// in deterministic first-touch order. Unlike the unit-flow vectors, Frac
+// here is an absolute load (bps), not a fraction. One routine serves both
+// the from-scratch and the incremental paths, so a cached vector is
+// bit-for-bit identical to a fresh recomputation whenever the VIP's rate,
+// DIP rack vector, and the network failure epoch are unchanged. Returns
+// (nil, false) when a required path is unroutable. The returned slice is
+// freshly allocated and never mutated afterwards — safe to retain across
+// epochs.
+func (a *assigner) contribution(v *workload.VIP, rate float64, s topology.SwitchID) ([]netsim.LinkFrac, bool) {
+	for _, d := range a.dirty {
+		a.touched[d] = 0
+	}
+	a.dirty = a.dirty[:0]
+	ok := a.flows(v, rate, s, func(vec []netsim.LinkFrac, r float64) {
 		for _, lf := range vec {
-			a.loads[lf.Dir] += r * lf.Frac
-			if u := a.loads[lf.Dir] / a.effCap[lf.Dir]; u > a.runMax {
-				a.runMax = u
+			if a.touched[lf.Dir] == 0 {
+				a.dirty = append(a.dirty, lf.Dir)
 			}
+			a.touched[lf.Dir] += r * lf.Frac
 		}
 	})
+	if !ok {
+		return nil, false
+	}
+	out := make([]netsim.LinkFrac, len(a.dirty))
+	for i, d := range a.dirty {
+		out[i] = netsim.LinkFrac{Dir: d, Frac: a.touched[d]}
+	}
+	return out, true
+}
+
+// apply adds a contribution vector to the committed link loads, tracking the
+// running max utilization.
+func (a *assigner) apply(vec []netsim.LinkFrac) {
+	for _, lf := range vec {
+		a.loads[lf.Dir] += lf.Frac
+		if u := a.loads[lf.Dir] / a.effCap[lf.Dir]; u > a.runMax {
+			a.runMax = u
+		}
+	}
+}
+
+// vecFeasible reports whether adding the contribution vector keeps every
+// touched link within its effective capacity.
+func (a *assigner) vecFeasible(vec []netsim.LinkFrac) bool {
+	for _, lf := range vec {
+		if (a.loads[lf.Dir]+lf.Frac)/a.effCap[lf.Dir] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// commit applies VIP v's placement on switch s to the round state and
+// returns the merged contribution vector it applied (retained by the
+// incremental cache; see delta.go).
+func (a *assigner) commit(v *workload.VIP, rate float64, s topology.SwitchID) []netsim.LinkFrac {
+	vec, _ := a.contribution(v, rate, s)
+	a.apply(vec)
 	a.memUsed[s] += v.NumDIPs()
 	if u := float64(a.memUsed[s]) / float64(a.opts.MemCapacity); u > a.runMax {
 		a.runMax = u
 	}
+	return vec
 }
 
 // candidates returns the reduced candidate set of §4.2: the least-loaded ToR
@@ -557,17 +643,9 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 	for i := range res.SwitchOf {
 		res.SwitchOf[i] = Unassigned
 	}
-	if opts.HybridRatePPS > 0 {
-		churnMode := steer.ModeHybrid
-		if opts.PreferStateless {
-			churnMode = steer.ModeStateless
-		}
-		for i := range work.VIPs {
-			if work.Rates[epoch][i] >= opts.HybridRatePPS {
-				res.ModeOf[i] = churnMode
-			}
-		}
-	}
+	applyModePolicy(res, work, epoch, opts)
+	st := newDeltaState(net, work, epoch)
+	res.Rescanned = len(work.VIPs)
 	// The NIC tier absorbs VIPs the switch tier rejects — including after
 	// the §4.1 termination, which only stops *switch* placement.
 	pool := newNMuxPool(opts)
@@ -670,7 +748,7 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 			placeNMux(vi, v, rate)
 			continue
 		}
-		a.commit(v, rate, bestSwitch)
+		st.contrib[vi] = a.commit(v, rate, bestSwitch)
 		res.SwitchOf[vi] = int32(bestSwitch)
 		res.TierOf[vi] = TierHMux
 		res.NumAssigned++
@@ -679,5 +757,23 @@ func computeInternal(net *netsim.Network, work *workload.Workload, epoch int, op
 
 	res.Loads = a.loads
 	res.MRU = a.runMax
+	res.delta = st
 	return res, nil
+}
+
+// applyModePolicy marks hot VIPs for the churn-tolerant SMux consistency
+// mode per Options.HybridRatePPS / PreferStateless.
+func applyModePolicy(res *Assignment, work *workload.Workload, epoch int, opts Options) {
+	if opts.HybridRatePPS <= 0 {
+		return
+	}
+	churnMode := steer.ModeHybrid
+	if opts.PreferStateless {
+		churnMode = steer.ModeStateless
+	}
+	for i := range work.VIPs {
+		if work.Rates[epoch][i] >= opts.HybridRatePPS {
+			res.ModeOf[i] = churnMode
+		}
+	}
 }

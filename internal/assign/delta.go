@@ -1,0 +1,304 @@
+// Incremental assignment: the per-epoch recompute the scaled-out control
+// plane runs (ROADMAP "Control-plane scale-out"). Duet reprograms the fleet
+// every 10-minute traffic epoch (§5), but between consecutive epochs only a
+// small fraction of VIPs change rate or DIP set — recomputing the greedy
+// placement from scratch is O(VIPs × candidates) of wasted work. ComputeDelta
+// re-prices only the VIPs whose inputs changed; ComputeFrom is the same
+// algorithm with every per-VIP computation redone from scratch, and the two
+// are equal by construction (property-tested in delta_test.go):
+//
+//   - Both run the identical two-pass "stable" placement below over the
+//     identical dirty set; the ONLY difference is that ComputeDelta reuses
+//     cached contribution vectors for clean VIPs while ComputeFrom rebuilds
+//     them from the unit-flow caches.
+//   - A contribution vector is a deterministic function of (rate, DIP rack
+//     vector, network failure epoch) — see assigner.contribution — so the
+//     cached and rebuilt vectors are bit-for-bit identical, and every
+//     downstream float summation happens in the same order with the same
+//     values. Equal inputs, equal code path, equal outputs.
+//
+// The stable placement itself is the Sticky rule of §4.2 taken to its
+// fixpoint, in two passes over the decreasing-rate VIP order:
+//
+//	pass 1 (keep): every VIP keeps its previous home if still feasible —
+//	  HMux VIPs re-apply their contribution to the (possibly changed) fabric
+//	  and stay unless the switch is down, memory/table capacity shrank, a
+//	  path became unroutable, or a touched link would exceed capacity; NIC
+//	  VIPs re-admit against the (possibly shrunk) entry budget; clean SMux
+//	  VIPs stay on the backstop.
+//	pass 2 (place): evicted VIPs, plus changed VIPs without a hardware
+//	  home, go through the ordinary greedy candidate scan of §4.1 —
+//	  including its termination rule and the NIC-tier fall-through.
+//
+// Pass 1 is O(VIPs) cheap vector adds; pass 2 is the expensive candidate
+// scan but runs only over O(changed VIPs). Assignment.Rescanned reports the
+// actual number of re-priced VIPs so tests can assert the bound.
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"duet/internal/netsim"
+	"duet/internal/steer"
+	"duet/internal/topology"
+	"duet/internal/workload"
+)
+
+// deltaState is the incremental cache an Assignment carries: the fingerprint
+// of the inputs it was computed from plus the committed contribution vector
+// of every HMux-placed VIP.
+type deltaState struct {
+	epoch    int
+	netEpoch uint64    // netsim failure-state generation the flows were routed under
+	rates    []float64 // snapshot of work.Rates[epoch]
+	sigs     []uint64  // per-VIP fingerprint of DIP racks / source racks / internet share
+	contrib  [][]netsim.LinkFrac
+}
+
+func newDeltaState(net *netsim.Network, work *workload.Workload, epoch int) *deltaState {
+	rates := make([]float64, len(work.VIPs))
+	copy(rates, work.Rates[epoch])
+	sigs := make([]uint64, len(work.VIPs))
+	for i := range work.VIPs {
+		sigs[i] = vipSig(&work.VIPs[i])
+	}
+	return &deltaState{
+		epoch:    epoch,
+		netEpoch: net.Epoch(),
+		rates:    rates,
+		sigs:     sigs,
+		contrib:  make([][]netsim.LinkFrac, len(work.VIPs)),
+	}
+}
+
+// vipSig fingerprints the placement-relevant shape of a VIP (everything a
+// contribution vector depends on besides the rate and the network state):
+// DIP racks, source racks and weights, and the Internet share. FNV-1a over
+// the raw words — change detection, not cryptography.
+func vipSig(v *workload.VIP) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(len(v.DIPRacks)))
+	for _, r := range v.DIPRacks {
+		mix(uint64(r))
+	}
+	mix(uint64(len(v.SrcRacks)))
+	for _, sw := range v.SrcRacks {
+		mix(uint64(sw.Rack))
+		mix(math.Float64bits(sw.Weight))
+	}
+	mix(math.Float64bits(v.InternetFrac))
+	return h
+}
+
+// ComputeFrom runs the stable placement from scratch: every VIP's flow
+// vectors are rebuilt, but previous feasible homes are kept (pass 1) and
+// only changed/evicted VIPs are greedily re-placed (pass 2). It is the
+// recovery-path twin of ComputeDelta — same decisions, no reliance on the
+// cache — and works even when base carries no incremental state (e.g. an
+// assignment replayed from a snapshot). A nil base degenerates to Compute.
+func ComputeFrom(net *netsim.Network, work *workload.Workload, epoch int, base *Assignment, opts Options) (*Assignment, error) {
+	return computeStable(net, work, epoch, base, opts, false)
+}
+
+// ComputeDelta is the incremental per-epoch recompute: starting from prev it
+// re-places only the VIPs whose load, DIP set, or feasibility changed,
+// reusing prev's cached contribution vectors for everything else. The result
+// equals ComputeFrom(prev) bit for bit (see the package comment for why, and
+// delta_test.go for the property test), at O(changed VIPs) candidate-scan
+// cost instead of O(VIPs).
+//
+// prev must come from a compute path over the same workload and the same
+// netsim.Network; if it carries no usable cache (nil, Revalidate output, or
+// the network failure epoch moved) every VIP is treated as changed and the
+// call costs the same as ComputeFrom.
+func ComputeDelta(net *netsim.Network, work *workload.Workload, epoch int, prev *Assignment, opts Options) (*Assignment, error) {
+	return computeStable(net, work, epoch, prev, opts, true)
+}
+
+func computeStable(net *netsim.Network, work *workload.Workload, epoch int, base *Assignment, opts Options, useCache bool) (*Assignment, error) {
+	opts = opts.withDefaults()
+	if epoch < 0 || epoch >= work.NumEpochs() {
+		return nil, fmt.Errorf("assign: epoch %d out of range", epoch)
+	}
+	if base == nil {
+		return computeInternal(net, work, epoch, opts, nil)
+	}
+	if len(base.SwitchOf) != len(work.VIPs) || len(base.TierOf) != len(work.VIPs) {
+		return nil, fmt.Errorf("assign: base assignment covers %d VIPs, workload has %d", len(base.SwitchOf), len(work.VIPs))
+	}
+
+	st := newDeltaState(net, work, epoch)
+	cache := base.delta
+	// The dirty predicate must not depend on useCache: ComputeFrom and
+	// ComputeDelta have to agree on WHICH VIPs get re-placed, or their
+	// pass-2 sets (and rng draws) would diverge. useCache only decides
+	// whether a clean VIP's contribution vector is reused or rebuilt.
+	dirtyAll := cache == nil || cache.netEpoch != st.netEpoch || len(cache.rates) != len(work.VIPs)
+	isDirty := func(vi int) bool {
+		return dirtyAll || cache.rates[vi] != st.rates[vi] || cache.sigs[vi] != st.sigs[vi]
+	}
+	cacheOK := useCache && !dirtyAll
+
+	a := newAssigner(net, work, epoch, opts)
+	res := &Assignment{
+		SwitchOf: make([]int32, len(work.VIPs)),
+		TierOf:   make([]Tier, len(work.VIPs)), // zero value = TierSMux
+		ModeOf:   make([]steer.Mode, len(work.VIPs)),
+		MemUsed:  a.memUsed,
+	}
+	for i := range res.SwitchOf {
+		res.SwitchOf[i] = Unassigned
+	}
+	applyModePolicy(res, work, epoch, opts)
+
+	pool := newNMuxPool(opts)
+	placeNMux := func(vi int, v *workload.VIP, rate float64) {
+		if !pool.admit(v) {
+			return
+		}
+		res.TierOf[vi] = TierNMux
+		res.NumNMux++
+		res.NMuxRate += rate
+		res.NMuxEntriesUsed = pool.used
+	}
+
+	var prio []float64
+	if opts.Priority != nil {
+		if len(opts.Priority) != len(work.VIPs) {
+			return nil, fmt.Errorf("assign: Priority covers %d VIPs, workload has %d", len(opts.Priority), len(work.VIPs))
+		}
+		prio = opts.Priority
+	}
+	order := vipOrderPrio(work, epoch, prio)
+
+	// Pass 1 — keep feasible homes, heaviest first.
+	pending := make([]int, 0, 64)
+	for _, vi := range order {
+		v := &work.VIPs[vi]
+		rate := st.rates[vi]
+		res.TotalRate += rate
+		dirty := isDirty(vi)
+		switch base.TierOf[vi] {
+		case TierHMux:
+			s := topology.SwitchID(base.SwitchOf[vi])
+			nd := v.NumDIPs()
+			if net.SwitchUp(s) && nd <= opts.MemCapacity &&
+				a.memUsed[s]+nd <= opts.MemCapacity &&
+				res.NumAssigned < opts.MaxHMuxVIPs {
+				var vec []netsim.LinkFrac
+				ok := false
+				if cacheOK && !dirty && cache.contrib[vi] != nil {
+					vec, ok = cache.contrib[vi], true
+				} else {
+					a.dipRacks = dipRackWeights(v)
+					vec, ok = a.contribution(v, rate, s)
+					res.Rescanned++
+				}
+				if ok && a.vecFeasible(vec) {
+					a.apply(vec)
+					a.memUsed[s] += nd
+					if u := float64(a.memUsed[s]) / float64(opts.MemCapacity); u > a.runMax {
+						a.runMax = u
+					}
+					st.contrib[vi] = vec
+					res.SwitchOf[vi] = int32(s)
+					res.TierOf[vi] = TierHMux
+					res.NumAssigned++
+					res.AssignedRate += rate
+					continue
+				}
+			}
+			pending = append(pending, vi)
+		case TierNMux:
+			// Re-admission reprices the (possibly changed) wildcard cost
+			// against the (possibly shrunk) budget.
+			if pool.admit(v) {
+				res.TierOf[vi] = TierNMux
+				res.NumNMux++
+				res.NMuxRate += rate
+				res.NMuxEntriesUsed = pool.used
+				continue
+			}
+			pending = append(pending, vi)
+		default: // TierSMux
+			// A changed backstop VIP gets a fresh shot at the hardware
+			// tiers; clean ones stay put (§4.2 stickiness across tiers —
+			// the periodic from-scratch Compute rebalances the rest).
+			if dirty {
+				pending = append(pending, vi)
+			}
+		}
+	}
+
+	// Pass 2 — ordinary greedy placement (§4.1 semantics, including the
+	// termination rule) over the evicted/changed leftovers only.
+	terminated := false
+	var randomOrder []int
+	for _, vi := range pending {
+		v := &work.VIPs[vi]
+		rate := st.rates[vi]
+		res.Rescanned++
+		if terminated || v.NumDIPs() > opts.MemCapacity || res.NumAssigned >= opts.MaxHMuxVIPs {
+			placeNMux(vi, v, rate)
+			continue
+		}
+		a.dipRacks = dipRackWeights(v)
+		cands := a.candidates()
+		var bestSwitch topology.SwitchID = -1
+		bestMRU := math.Inf(1)
+		switch opts.Strategy {
+		case Random:
+			if randomOrder == nil {
+				randomOrder = a.rng.Perm(a.net.Topo.NumSwitches())
+			}
+			for _, si := range randomOrder {
+				s := topology.SwitchID(si)
+				if mru, feasible := a.evaluate(v, rate, s); feasible {
+					bestSwitch, bestMRU = s, mru
+					break
+				}
+			}
+		default:
+			ties := 0
+			for _, s := range cands {
+				mru, feasible := a.evaluate(v, rate, s)
+				if !feasible {
+					continue
+				}
+				switch {
+				case mru < bestMRU-1e-12:
+					bestSwitch, bestMRU = s, mru
+					ties = 1
+				case mru <= bestMRU+1e-12:
+					ties++
+					if a.rng.Intn(ties) == 0 {
+						bestSwitch = s
+					}
+				}
+			}
+		}
+		if bestSwitch < 0 {
+			if !opts.ContinueOnFail {
+				terminated = true
+			}
+			placeNMux(vi, v, rate)
+			continue
+		}
+		st.contrib[vi] = a.commit(v, rate, bestSwitch)
+		res.SwitchOf[vi] = int32(bestSwitch)
+		res.TierOf[vi] = TierHMux
+		res.NumAssigned++
+		res.AssignedRate += rate
+	}
+
+	res.Loads = a.loads
+	res.MRU = a.runMax
+	res.delta = st
+	return res, nil
+}

@@ -1,0 +1,12 @@
+package assign
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+// The placement paths are pure computation, but the benchmarks build large
+// worlds and the incremental cache retains per-VIP vectors across epochs —
+// the leak gate keeps any future goroutine-spawning helper honest.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

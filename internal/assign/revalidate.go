@@ -44,9 +44,10 @@ func revalidateTiers(net *netsim.Network, work *workload.Workload, epoch int, pl
 	}
 	a := newAssigner(net, work, epoch, opts)
 	res := &Assignment{
-		SwitchOf: make([]int32, len(work.VIPs)),
-		TierOf:   make([]Tier, len(work.VIPs)),
-		MemUsed:  a.memUsed,
+		SwitchOf:  make([]int32, len(work.VIPs)),
+		TierOf:    make([]Tier, len(work.VIPs)),
+		MemUsed:   a.memUsed,
+		Rescanned: len(work.VIPs),
 	}
 	for i := range res.SwitchOf {
 		res.SwitchOf[i] = Unassigned

@@ -143,6 +143,27 @@ func (ct *Controller) RunEpoch(w *workload.Workload, epoch int) (EpochReport, er
 	if err != nil {
 		return EpochReport{}, err
 	}
+	return ct.applyEpoch(w, epoch, next)
+}
+
+// RunEpochDelta is RunEpoch on the incremental engine: assign.ComputeDelta
+// re-places only the VIPs whose load, DIP set, or feasibility changed since
+// the previous epoch, so steady-state epochs cost O(changed VIPs) instead
+// of O(VIPs). The updater half is identical — the engine's output contract
+// (equal to a from-scratch stable compute) is what makes them
+// interchangeable mid-run.
+func (ct *Controller) RunEpochDelta(w *workload.Workload, epoch int) (EpochReport, error) {
+	next, err := assign.ComputeDelta(ct.Cluster.Net, w, epoch, ct.prev, ct.Opts)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	return ct.applyEpoch(w, epoch, next)
+}
+
+// applyEpoch is the updater half of an epoch cycle: diff next against the
+// cluster's programmed state and migrate every moved VIP through the SMux
+// stepping stone.
+func (ct *Controller) applyEpoch(w *workload.Workload, epoch int, next *assign.Assignment) (EpochReport, error) {
 	rep := EpochReport{
 		Epoch:            epoch,
 		AssignedFraction: next.AssignedFraction(),

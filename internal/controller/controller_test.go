@@ -434,3 +434,40 @@ func TestRunEpochAppliesModes(t *testing.T) {
 		t.Fatalf("second run flipped %d modes, want 0", rep.ModeChanges)
 	}
 }
+
+// TestRunEpochDeltaMatchesFromScratch drives the incremental engine through
+// a churn sequence and pins its contract: each epoch's placement equals a
+// from-scratch stable recompute over the same base, the cluster stays
+// deliverable, and steady-state epochs touch only a fraction of the fleet.
+func TestRunEpochDeltaMatchesFromScratch(t *testing.T) {
+	c, w, ct := world(t, 60, 5e10, 7)
+	if _, err := ct.RunEpoch(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch < w.NumEpochs(); epoch++ {
+		prev := ct.Previous()
+		want, err := assign.ComputeFrom(c.Net, w, epoch, prev, ct.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ct.RunEpochDelta(w, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ct.Previous()
+		for i := range w.VIPs {
+			if got.SwitchOf[i] != want.SwitchOf[i] || got.TierOf[i] != want.TierOf[i] {
+				t.Fatalf("epoch %d VIP %d: delta placed tier %v switch %d, from-scratch %v %d",
+					epoch, i, got.TierOf[i], got.SwitchOf[i], want.TierOf[i], want.SwitchOf[i])
+			}
+		}
+		if rep.Moved > len(w.VIPs)/2 {
+			t.Fatalf("epoch %d: %d of %d VIPs moved under the incremental engine", epoch, rep.Moved, len(w.VIPs))
+		}
+		for i := range w.VIPs {
+			if _, err := c.Deliver(clientPkt(w.VIPs[i].Addr, uint32(i))); err != nil {
+				t.Fatalf("epoch %d: VIP %s undeliverable: %v", epoch, w.VIPs[i].Addr, err)
+			}
+		}
+	}
+}

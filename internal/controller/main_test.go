@@ -1,0 +1,12 @@
+package controller
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+// The controller drives epoch migrations and health sweeps over live core
+// state; the leak gate ensures no test leaves a sweep or migration worker
+// behind.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,9 @@
+package delta
+
+import (
+	"testing"
+
+	"duet/internal/testutil/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }

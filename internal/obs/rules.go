@@ -279,6 +279,21 @@ type SLOConfig struct {
 	// a sustained software-dominated fleet means the switch tables lost
 	// their VIPs (or traffic is all SMuxOnly by accident).
 	SMuxShareFrac float64
+	// ElectionsPerSec bounds the controller leader-election rate. One
+	// election per leader death is the design; a sustained election rate
+	// means leadership is flapping — heartbeats not landing inside the
+	// lease, or two controllers fighting over a term.
+	ElectionsPerSec float64
+	// EpochStallMS bounds the age of the leader's newest config epoch while
+	// the churn driver is on. A stalled epoch means the leader stopped
+	// advancing (wedged churn loop, log append failures) even though it
+	// still holds the lease.
+	EpochStallMS float64
+	// DeltaLagMax bounds how many epochs the most-behind peer trails the
+	// leader's delta log head. A peer stuck past the log tail forces the
+	// snapshot recovery push — the expensive path the delta protocol exists
+	// to avoid at steady state.
+	DeltaLagMax float64
 }
 
 // DefaultSLO returns the paper-grounded thresholds.
@@ -294,6 +309,48 @@ func DefaultSLO() SLOConfig {
 		EpochDrainScrapes:   30,
 		SkewFrac:            0.3,
 		SMuxShareFrac:       0.9,
+		ElectionsPerSec:     0.2,
+		EpochStallMS:        5000,
+		DeltaLagMax:         8,
+	}
+}
+
+// ControllerRules builds the watchdog set for controller-role wire nodes:
+// the health of the replication + HA machinery itself. Installed only on
+// controllers; the epoch-stall rule's series exists only on a churn-driving
+// leader, so it skips (rather than fires) everywhere else.
+func ControllerRules(cfg SLOConfig) []Rule {
+	return []Rule{
+		{
+			Name:      "controller-leader-flap",
+			Desc:      "sustained leader-election rate; leadership is bouncing between controllers",
+			Num:       "wire.controller.elections",
+			NumSrc:    Rate,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.ElectionsPerSec,
+			For:       3,
+		},
+		{
+			Name:      "controller-epoch-stall",
+			Desc:      "config epoch age on the churn-driving leader; the epoch pipeline stopped advancing",
+			Num:       "wire.controller.epoch_age_ms",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.EpochStallMS,
+			For:       2,
+		},
+		{
+			Name:      "delta-log-lag",
+			Desc:      "most-behind peer's epoch lag against the delta log head; nearing the snapshot-recovery horizon",
+			Num:       "wire.delta.lag_max",
+			NumSrc:    Value,
+			Combine:   One,
+			Op:        Above,
+			Threshold: cfg.DeltaLagMax,
+			For:       3,
+		},
 	}
 }
 

@@ -1,0 +1,271 @@
+package wire
+
+// The receiver side of delta replication: every dataplane node keeps a
+// delta.State mirror of the leader's config and reconciles only the VIPs an
+// incoming delta touches into its role's tables. A snapshot push (the
+// recovery path for a blank restart behind the compaction horizon) resets
+// the mirror and reconciles the union of old and new VIPs; the per-VIP
+// fingerprint gate (vipVers) keeps that re-application from bumping steer
+// epochs on VIPs whose config did not actually change.
+
+import (
+	"errors"
+	"fmt"
+
+	"duet/internal/delta"
+	"duet/internal/nmux"
+	"duet/internal/packet"
+	"duet/internal/switchagent"
+)
+
+// handleLeaderHeartbeat is the dataplane side of the lease protocol: track
+// the leader's term (so a deposed leader's pushes are rejected) and answer
+// with the applied epoch — the probe that tells the leader whether to ship.
+func (n *Node) handleLeaderHeartbeat(env, ack *Envelope) error {
+	n.cfgMu.Lock()
+	defer n.cfgMu.Unlock()
+	ack.Type = MsgDeltaAck
+	if env.Term < n.leaderTerm {
+		ack.Term = n.leaderTerm
+		ack.Epoch = n.cfg.Epoch
+		return errStaleTerm(env.Term, n.leaderTerm)
+	}
+	n.leaderTerm = env.Term
+	n.leaderName = env.Name
+	ack.Term = n.leaderTerm
+	ack.Epoch = n.cfg.Epoch
+	return nil
+}
+
+// handleDeltaPush applies one epoch delta (or snapshot) to the mirror and
+// reconciles the touched VIPs through the role-specific reconcile func. The
+// ack always carries the applied epoch: a gap rejection tells the leader
+// exactly where this node stands, so it ships the missing range instead of
+// the full config.
+func (n *Node) handleDeltaPush(env, ack *Envelope, reconcile func(addrs []packet.Addr) error) error {
+	n.cfgMu.Lock()
+	defer n.cfgMu.Unlock()
+	ack.Type = MsgDeltaAck
+	ack.Epoch = n.cfg.Epoch
+	if env.Term < n.leaderTerm {
+		ack.Term = n.leaderTerm
+		n.deltaRejected.Inc()
+		return errStaleTerm(env.Term, n.leaderTerm)
+	}
+	n.leaderTerm = env.Term
+	n.leaderName = env.Name
+	ack.Term = n.leaderTerm
+	d, err := delta.Decode(env.Delta)
+	if err != nil {
+		n.deltaRejected.Inc()
+		return err
+	}
+	var addrs []packet.Addr
+	if d.Snapshot {
+		addrs = n.cfg.Addrs() // old population: anything vanishing must be withdrawn
+		if err := d.Apply(n.cfg); err != nil {
+			n.deltaRejected.Inc()
+			return err
+		}
+		addrs = unionAddrs(addrs, n.cfg.Addrs())
+	} else {
+		if d.FromEpoch != n.cfg.Epoch {
+			n.deltaRejected.Inc()
+			return fmt.Errorf("wire: epoch gap: delta from %d, applied %d", d.FromEpoch, n.cfg.Epoch)
+		}
+		if err := d.Apply(n.cfg); err != nil {
+			n.deltaRejected.Inc()
+			return err
+		}
+		addrs = affectedAddrs(d)
+	}
+	ack.Epoch = n.cfg.Epoch
+	n.deltaEpochG.Set(int64(n.cfg.Epoch))
+	n.deltaApplied.Inc()
+	return reconcile(addrs)
+}
+
+func unionAddrs(a, b []packet.Addr) []packet.Addr {
+	seen := make(map[packet.Addr]bool, len(a)+len(b))
+	out := a[:0:len(a)]
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// versionChanged reports whether the VIP's replicated config differs from
+// what this node last programmed, updating the record. Deleting a VIP
+// clears its entry.
+func (n *Node) versionChanged(a packet.Addr, vs *delta.VIPState) bool {
+	n.versMu.Lock()
+	defer n.versMu.Unlock()
+	if vs == nil {
+		delete(n.vipVers, a)
+		return true
+	}
+	ver := vipStateVersion(vs)
+	if n.vipVers[a] == ver {
+		return false
+	}
+	n.vipVers[a] = ver
+	return true
+}
+
+// reconcileSMux converges the SMux (and its NIC table, when present) on the
+// mirror for the touched VIPs. Caller holds cfgMu.
+func (n *Node) reconcileSMux(addrs []packet.Addr) error {
+	var firstErr error
+	for _, a := range addrs {
+		vs, ok := n.cfg.VIPs[a]
+		if !ok {
+			n.versionChanged(a, nil)
+			if n.smux.HasVIP(a) {
+				if err := n.smux.RemoveVIP(a); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if n.nmux != nil && n.nmux.HasVIP(a) {
+				if err := n.nmux.RemoveVIP(a); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		if !n.versionChanged(a, vs) && n.smux.HasVIP(a) {
+			continue // identical re-apply (snapshot recovery); keep the steer epoch
+		}
+		v, err := serviceVIPOf(vs)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if n.smux.HasVIP(a) {
+			err = n.smux.UpdateVIP(v)
+		} else {
+			err = n.smux.AddVIP(v)
+		}
+		if err == nil {
+			err = n.smux.SetVIPMode(a, vs.Mode)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if n.nmux != nil {
+			if vs.Flags&delta.FlagNic != 0 {
+				if n.nmux.HasVIP(a) {
+					err = n.nmux.UpdateVIP(v)
+				} else {
+					err = n.nmux.AddVIP(v)
+				}
+			} else if n.nmux.HasVIP(a) {
+				err = n.nmux.RemoveVIP(a)
+			} else {
+				err = nil
+			}
+			if err != nil && !errors.Is(err, nmux.ErrVIPNotFound) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	n.vips.Set(int64(n.smux.NumVIPs()))
+	return firstErr
+}
+
+// reconcileSwitch converges the switch agent's tables on the mirror.
+// SMuxOnly VIPs never reach the hardware tables (the HMux-miss fallback
+// serves them through the software tier). A changed VIP bounces through
+// remove+add — the wire world's equivalent of the withdraw/announce
+// migration step. Caller holds cfgMu.
+func (n *Node) reconcileSwitch(addrs []packet.Addr) error {
+	n.swMu.Lock()
+	defer n.swMu.Unlock()
+	var firstErr error
+	for _, a := range addrs {
+		vs, ok := n.cfg.VIPs[a]
+		hardware := ok && vs.Flags&delta.FlagSMuxOnly == 0
+		has := n.sw.Mux().HasVIP(a)
+		if !hardware {
+			n.versionChanged(a, nil)
+			if has {
+				if ack := n.sw.Submit(switchagent.Op{Kind: switchagent.OpRemoveVIP, Addr: a}, n.now()); ack.Err != nil && firstErr == nil {
+					firstErr = ack.Err
+				}
+			}
+			continue
+		}
+		if !n.versionChanged(a, vs) && has {
+			continue
+		}
+		v, err := serviceVIPOf(vs)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if has {
+			if ack := n.sw.Submit(switchagent.Op{Kind: switchagent.OpRemoveVIP, Addr: a}, n.now()); ack.Err != nil && firstErr == nil {
+				firstErr = ack.Err
+			}
+		}
+		if ack := n.sw.Submit(switchagent.Op{Kind: switchagent.OpAddVIP, VIP: v}, n.now()); ack.Err != nil && firstErr == nil {
+			firstErr = ack.Err
+		}
+	}
+	n.vips.Set(int64(len(n.sw.Mux().VIPs())))
+	return firstErr
+}
+
+// reconcileHost converges the host agent's local DIP registrations on the
+// mirror: register when a touched VIP's backend set contains this host's
+// address, unregister when it no longer does. Caller holds cfgMu.
+func (n *Node) reconcileHost(addrs []packet.Addr) error {
+	self := packet.Addr(n.self32)
+	var firstErr error
+	for _, a := range addrs {
+		want := false
+		if vs, ok := n.cfg.VIPs[a]; ok {
+			for _, b := range vs.Backends {
+				if b.Addr == self {
+					want = true
+					break
+				}
+			}
+		}
+		have := false
+		for _, d := range n.agent.LocalDIPs(a) {
+			if d == self {
+				have = true
+				break
+			}
+		}
+		var err error
+		switch {
+		case want && !have:
+			err = n.agent.RegisterDIP(a, self)
+		case !want && have:
+			err = n.agent.UnregisterDIP(self)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var total int64
+	for a := range n.cfg.VIPs {
+		total += int64(len(n.agent.LocalDIPs(a)))
+	}
+	n.dips.Set(total)
+	return firstErr
+}

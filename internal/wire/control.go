@@ -18,10 +18,14 @@ import (
 // uint32 big-endian length followed by one JSON-encoded Envelope. Control
 // traffic is rare and small, so JSON's debuggability wins over a binary
 // encoding; the length prefix gives clean framing and an obvious place to
-// reject garbage. Every request is acknowledged (MsgAck, echoing Seq), and
-// requests are idempotent by construction — re-adding a VIP or
-// re-registering a DIP that exists is success — so the client can blindly
-// retry across reconnects without a dedupe layer.
+// reject garbage. Every request is acknowledged (MsgAck or an enriched
+// MsgDeltaAck, echoing Seq), and requests are idempotent by construction —
+// re-adding a VIP or re-registering a DIP that exists is success, and a
+// delta push carries its from-epoch precondition — so the client can
+// blindly retry across reconnects without a dedupe layer. Configuration
+// flows as epoch deltas (MsgDeltaPush, internal/delta); the full-state
+// snapshot push is the recovery path for a peer behind the leader's
+// compaction horizon.
 
 // MsgType enumerates control messages.
 type MsgType uint8
@@ -51,6 +55,22 @@ const (
 	// MsgNMuxRemove withdraws a VIP from the NIC match table; the SMux
 	// backstop keeps serving it.
 	MsgNMuxRemove
+	// MsgDeltaPush ships one encoded epoch delta (internal/delta) from the
+	// leading controller to a peer. Delta carries the bytes, Epoch the
+	// delta's target epoch, Term the leader's term. The ack (MsgDeltaAck)
+	// returns the peer's applied epoch, so a gap rejection tells the leader
+	// exactly where to resume.
+	MsgDeltaPush
+	// MsgDeltaAck is the enriched ack to a delta-protocol request: Epoch is
+	// the peer's applied (or log-head) epoch, Term its highest seen term.
+	MsgDeltaAck
+	// MsgSnapshotRequest asks a controller for its full config as a snapshot
+	// delta; the ack carries it in Delta (recovery + operator inspection).
+	MsgSnapshotRequest
+	// MsgLeaderHeartbeat renews the leader's lease on a peer and doubles as
+	// an epoch probe: the ack's Epoch tells the leader how far behind the
+	// peer is without shipping anything.
+	MsgLeaderHeartbeat
 )
 
 // String names the message type.
@@ -78,6 +98,14 @@ func (t MsgType) String() string {
 		return "nmux-add"
 	case MsgNMuxRemove:
 		return "nmux-remove"
+	case MsgDeltaPush:
+		return "delta-push"
+	case MsgDeltaAck:
+		return "delta-ack"
+	case MsgSnapshotRequest:
+		return "snapshot-request"
+	case MsgLeaderHeartbeat:
+		return "leader-heartbeat"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -134,6 +162,16 @@ type Envelope struct {
 	Health  *HealthMsg  `json:"health,omitempty"`
 	Program *ProgramMsg `json:"program,omitempty"`
 	Err     string      `json:"err,omitempty"` // MsgAck: empty = success
+
+	// Delta-protocol fields (MsgDeltaPush / MsgDeltaAck / MsgSnapshotRequest
+	// / MsgLeaderHeartbeat). Epoch is the config epoch the message is about;
+	// on acks it is the peer's applied epoch. Term is the sender's leadership
+	// term; a receiver that has seen a higher term rejects the message so a
+	// deposed leader steps down. Delta carries one encoded internal/delta
+	// diff or snapshot.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Term  uint64 `json:"term,omitempty"`
+	Delta []byte `json:"delta,omitempty"`
 }
 
 // maxControlMsg bounds one control message (1 MiB — a VIP with thousands of
@@ -177,9 +215,12 @@ func readMsg(r io.Reader, env *Envelope) error {
 }
 
 // ControlHandler processes one inbound request and returns the error to
-// carry on the ack (nil = success). Handlers run on per-connection
-// goroutines and must be safe for concurrent calls.
-type ControlHandler func(*Envelope) error
+// carry on the ack (nil = success). ack arrives pre-filled as a plain
+// MsgAck echoing the request's Seq; the handler may enrich it (set Epoch,
+// Term, Delta, or retype it MsgDeltaAck) — even on error, so a rejection
+// can still tell the caller where the peer stands. Handlers run on
+// per-connection goroutines and must be safe for concurrent calls.
+type ControlHandler func(env *Envelope, ack *Envelope) error
 
 // ControlServer accepts control connections and dispatches requests to a
 // handler, acking each one.
@@ -270,11 +311,12 @@ func (s *ControlServer) serveConn(conn net.Conn) {
 		}
 		s.rx.Inc()
 		ack := Envelope{Type: MsgAck, Seq: env.Seq}
-		if env.Type != MsgAck { // stray acks are ignored, not re-acked
-			if err := s.handler(&env); err != nil {
+		if env.Type != MsgAck && env.Type != MsgDeltaAck { // stray acks are ignored, not re-acked
+			if err := s.handler(&env, &ack); err != nil {
 				s.rxErrors.Inc()
 				ack.Err = err.Error()
 			}
+			ack.Seq = env.Seq // the handler must not reroute the ack
 			if err := writeMsg(w, &ack); err != nil {
 				return
 			}
@@ -335,6 +377,15 @@ func DialControl(addr string, reg *telemetry.Registry) *ControlClient {
 // the connection (the next call redials) and returns the error; an ack
 // carrying a handler error returns that error without closing.
 func (c *ControlClient) Call(env *Envelope) error {
+	_, err := c.CallE(env)
+	return err
+}
+
+// CallE is Call returning the ack envelope, so callers of the delta
+// protocol can read the enriched fields (Epoch, Term, Delta). On a
+// RejectedError the ack is still returned — a gap rejection carries the
+// peer's applied epoch. The ack is nil only on transport failure.
+func (c *ControlClient) CallE(env *Envelope) (*Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.calls.Inc()
@@ -342,7 +393,7 @@ func (c *ControlClient) Call(env *Envelope) error {
 		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 		if err != nil {
 			c.callErrors.Inc()
-			return err
+			return nil, err
 		}
 		c.conn = conn
 		c.r = bufio.NewReader(conn)
@@ -354,23 +405,23 @@ func (c *ControlClient) Call(env *Envelope) error {
 	_ = c.conn.SetDeadline(deadline)
 	if err := writeMsg(c.conn, env); err != nil {
 		c.dropConnLocked()
-		return err
+		return nil, err
 	}
 	var ack Envelope
 	for {
 		if err := readMsg(c.r, &ack); err != nil {
 			c.dropConnLocked()
-			return err
+			return nil, err
 		}
-		if ack.Type == MsgAck && ack.Seq == env.Seq {
+		if (ack.Type == MsgAck || ack.Type == MsgDeltaAck) && ack.Seq == env.Seq {
 			break
 		}
 		// An ack for an older (timed-out) request; keep reading.
 	}
 	if ack.Err != "" {
-		return &RejectedError{Peer: c.addr, Type: env.Type, Reason: ack.Err}
+		return &ack, &RejectedError{Peer: c.addr, Type: env.Type, Reason: ack.Err}
 	}
-	return nil
+	return &ack, nil
 }
 
 // RejectedError is a handler rejection: the peer received the request and

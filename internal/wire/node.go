@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"duet/internal/clock"
+	"duet/internal/delta"
 	"duet/internal/ecmp"
 	"duet/internal/hmux"
 	"duet/internal/hostagent"
@@ -74,10 +75,26 @@ type Node struct {
 	suppressed telemetry.CounterShard
 	routes     *telemetry.Gauge
 
-	// versMu guards vipVers: VIP address → last applied VIPMsg.Version, the
-	// receiver side of the anti-entropy suppression gate.
+	// versMu guards vipVers: VIP address → last applied config fingerprint
+	// (VIPMsg.Version on legacy pushes, vipStateVersion on delta
+	// reconciles), the receiver side of the re-push suppression gate.
 	versMu  sync.Mutex
 	vipVers map[packet.Addr]uint64
+
+	// cfgMu guards the delta-replication receiver state: cfg mirrors the
+	// leader's config (advanced only by cleanly applied deltas, so cfg.Epoch
+	// is the applied epoch), leaderTerm/leaderName track the highest
+	// leadership claim seen, so pushes from a deposed leader are rejected.
+	cfgMu      sync.Mutex
+	cfg        *delta.State
+	leaderTerm uint64
+	leaderName string
+
+	rep *replicator // controller role only
+
+	deltaApplied  telemetry.CounterShard
+	deltaRejected telemetry.CounterShard
+	deltaEpochG   *telemetry.Gauge
 
 	announceQ chan Envelope // switchagent → controller routing side effects
 
@@ -111,7 +128,11 @@ func StartNode(spec *ClusterSpec, name string) (*Node, error) {
 		routeSet:   make(map[string]bool),
 		lastHealth: make(map[string]*HealthMsg),
 		vipVers:    make(map[packet.Addr]uint64),
+		cfg:        delta.NewState(),
 	}
+	n.deltaApplied = n.Reg.Counter("wire.delta.applied").Shard()
+	n.deltaRejected = n.Reg.Counter("wire.delta.rejected").Shard()
+	n.deltaEpochG = n.Reg.Gauge("wire.delta.epoch")
 	n.Obs = obs.New(obs.Config{
 		Registry: n.Reg,
 		Recorder: n.Rec,
@@ -351,10 +372,14 @@ func (n *Node) startSMux() error {
 	return nil
 }
 
-func (n *Node) smuxControl(env *Envelope) error {
+func (n *Node) smuxControl(env, ack *Envelope) error {
 	switch env.Type {
 	case MsgHello:
 		return nil
+	case MsgLeaderHeartbeat:
+		return n.handleLeaderHeartbeat(env, ack)
+	case MsgDeltaPush:
+		return n.handleDeltaPush(env, ack, n.reconcileSMux)
 	case MsgAddVIP:
 		v, err := vipFromMsg(env.VIP)
 		if err != nil {
@@ -478,10 +503,14 @@ func (n *Node) startHostAgent() error {
 	return nil
 }
 
-func (n *Node) hostControl(env *Envelope) error {
+func (n *Node) hostControl(env, ack *Envelope) error {
 	switch env.Type {
 	case MsgHello:
 		return nil
+	case MsgLeaderHeartbeat:
+		return n.handleLeaderHeartbeat(env, ack)
+	case MsgDeltaPush:
+		return n.handleDeltaPush(env, ack, n.reconcileHost)
 	case MsgRegisterDIP:
 		vip, err := packet.ParseAddr(env.Addr)
 		if err != nil {
@@ -501,24 +530,33 @@ func (n *Node) hostControl(env *Envelope) error {
 	return fmt.Errorf("hostagent: unsupported control message %s", env.Type)
 }
 
-// startHealthLoop periodically reports local DIP health to the controller
-// (best effort: a down controller is retried next interval; the control
-// client redials on its own).
+// startHealthLoop periodically reports local DIP health to every
+// controller (best effort: a down controller is retried next interval; the
+// control clients redial on their own). Broadcasting instead of picking one
+// keeps the reports flowing through a leader change without the host agent
+// having to track elections.
 func (n *Node) startHealthLoop() {
-	ctrl, ok := n.Spec.Controller()
-	if !ok {
+	ctrls := n.Spec.Controllers()
+	if len(ctrls) == 0 {
 		return
 	}
 	interval := time.Duration(n.Spec.HealthMillis) * time.Millisecond
 	if interval <= 0 {
 		interval = time.Second
 	}
-	client := DialControl(ctrl.Control, n.Reg)
+	clients := make([]*ControlClient, len(ctrls))
+	for i, c := range ctrls {
+		clients[i] = DialControl(c.Control, n.Reg)
+	}
 	sent := n.Reg.Counter("wire.health.reports").Shard()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		defer client.Close()
+		defer func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}()
 		t := time.NewTicker(interval) //duet:allow noclock real health-report cadence of the socket daemon
 		defer t.Stop()
 		for {
@@ -537,7 +575,13 @@ func (n *Node) startHealthLoop() {
 					msg.DIPs[dip.String()] = n.agent.Healthy(dip)
 				}
 			}
-			if err := client.Call(&Envelope{Type: MsgHealthReport, Health: msg}); err == nil {
+			delivered := false
+			for _, c := range clients {
+				if err := c.Call(&Envelope{Type: MsgHealthReport, Health: msg}); err == nil {
+					delivered = true
+				}
+			}
+			if delivered {
 				sent.Inc()
 			}
 		}
@@ -628,30 +672,48 @@ func (n *Node) startSwitchAgent() error {
 }
 
 func (n *Node) startAnnounceLoop() {
-	ctrl, ok := n.Spec.Controller()
-	if !ok {
+	ctrls := n.Spec.Controllers()
+	if len(ctrls) == 0 {
 		return
 	}
-	client := DialControl(ctrl.Control, n.Reg)
+	clients := make([]*ControlClient, len(ctrls))
+	for i, c := range ctrls {
+		clients[i] = DialControl(c.Control, n.Reg)
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		defer client.Close()
-		bo := &Backoff{Rand: NodeSeed(n.Me.Name + " announce")}
+		defer func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}()
 		for {
 			select {
 			case <-n.stop:
 				return
 			case env := <-n.announceQ:
-				_ = client.CallRetry(&env, bo, n.stop)
+				// Best-effort broadcast: a controller that misses a routing
+				// side effect (down, partitioned) reconverges from the next
+				// programming round's announcements; blocking the queue on a
+				// dead controller would starve the live ones.
+				for _, c := range clients {
+					e := env
+					_ = c.Call(&e)
+				}
 			}
 		}
 	}()
 }
 
-func (n *Node) switchControl(env *Envelope) error {
-	if env.Type == MsgHello {
+func (n *Node) switchControl(env, ack *Envelope) error {
+	switch env.Type {
+	case MsgHello:
 		return nil
+	case MsgLeaderHeartbeat:
+		return n.handleLeaderHeartbeat(env, ack)
+	case MsgDeltaPush:
+		return n.handleDeltaPush(env, ack, n.reconcileSwitch)
 	}
 	if env.Type != MsgProgramOp {
 		return fmt.Errorf("switchagent: unsupported control message %s", env.Type)
@@ -670,9 +732,9 @@ func (n *Node) switchControl(env *Envelope) error {
 	if op.Kind == switchagent.OpAddTIP && n.sw.Mux().HasTIP(op.Addr) {
 		return nil
 	}
-	ack := n.sw.Submit(op, n.now())
+	res := n.sw.Submit(op, n.now())
 	n.vips.Set(int64(len(n.sw.Mux().VIPs())))
-	return ack.Err
+	return res.Err
 }
 
 // opFromMsg converts a control-message program op to the switchagent type.
@@ -743,30 +805,27 @@ func (n *Node) startController() error {
 	n.resyncs = n.Reg.Counter("wire.controller.resyncs").Shard()
 	n.reports = n.Reg.Counter("wire.controller.health_reports").Shard()
 	n.routes = n.Reg.Gauge("wire.controller.routes")
+	n.Obs.AddRules(obs.ControllerRules(obs.DefaultSLO())...)
+	n.rep = newReplicator(n)
 	ctl, err := ListenControl(n.Me.Control, n.Reg, n.controllerControl)
 	if err != nil {
 		return err
 	}
 	n.ctl = ctl
-	resync := time.Duration(n.Spec.ResyncMillis) * time.Millisecond
-	if resync <= 0 {
-		resync = 2 * time.Second
-	}
-	for i := range n.Spec.Nodes {
-		peer := &n.Spec.Nodes[i]
-		if peer.Role == RoleController || peer.Control == "" {
-			continue
-		}
-		n.wg.Add(1)
-		go n.pushLoop(peer, resync)
-	}
+	n.rep.start()
 	return nil
 }
 
-func (n *Node) controllerControl(env *Envelope) error {
+func (n *Node) controllerControl(env, ack *Envelope) error {
 	switch env.Type {
 	case MsgHello:
 		return nil
+	case MsgLeaderHeartbeat:
+		return n.rep.handleHeartbeat(env, ack)
+	case MsgDeltaPush:
+		return n.rep.handleDeltaPush(env, ack)
+	case MsgSnapshotRequest:
+		return n.rep.handleSnapshotRequest(ack)
 	case MsgHealthReport:
 		n.reports.Inc()
 		if env.Health != nil {
@@ -801,85 +860,12 @@ func (n *Node) HealthSnapshot() map[string]*HealthMsg {
 	return out
 }
 
-// pushLoop is the controller's anti-entropy loop for one peer: push the
-// peer's full configuration, sleep, repeat. A restarted (blank) peer is
-// fully reprogrammed within one resync interval plus the reconnect backoff
-// — the cross-process Figure 12 recovery path. CallRetry rides through the
-// restart itself: transport failures redial with exponential backoff and
-// jitter until the peer answers.
-func (n *Node) pushLoop(peer *NodeSpec, resync time.Duration) {
-	defer n.wg.Done()
-	client := DialControl(peer.Control, n.Reg)
-	defer client.Close()
-	bo := &Backoff{Max: resync, Rand: NodeSeed(n.Me.Name + " push " + peer.Name)}
-	hello := &Envelope{Type: MsgHello, Role: RoleController, Name: n.Me.Name}
-	for {
-		ok := client.CallRetry(hello, bo, n.stop) == nil
-		if ok {
-			if err := n.pushConfig(client, peer, bo); err == nil {
-				n.resyncs.Inc()
-			}
-		}
-		select {
-		case <-n.stop:
-			return
-		case <-time.After(resync): //duet:allow noclock real anti-entropy cadence of the socket daemon
-		}
-	}
-}
-
-// pushConfig pushes one peer's full intended state: every spec VIP to a
-// mux, and every local vip→dip registration to a host agent.
-func (n *Node) pushConfig(client *ControlClient, peer *NodeSpec, bo *Backoff) error {
-	vips, err := n.Spec.ServiceVIPs()
-	if err != nil {
-		return err
-	}
-	for vi, v := range vips {
-		var env *Envelope
-		switch peer.Role {
-		case RoleSMux:
-			// ServiceVIPs preserves spec order, so vi indexes the spec entry
-			// for the mode/version/nic fields.
-			spec := &n.Spec.VIPs[vi]
-			env = &Envelope{Type: MsgAddVIP, VIP: msgFromVIP(v)}
-			env.VIP.Mode = spec.Mode
-			env.VIP.Version = spec.Version()
-			// NIC-flagged VIPs are additionally programmed into the peer's
-			// match table (the SMux copy above stays as the miss backstop).
-			if spec.Nic && peer.NMuxTable > 0 {
-				if err := client.CallRetry(env, bo, n.stop); err != nil {
-					return err
-				}
-				env = &Envelope{Type: MsgNMuxAdd, VIP: msgFromVIP(v)}
-			}
-		case RoleSwitch:
-			// SMuxOnly VIPs never reach the hardware tables: switch agents
-			// resolve them through the HMux-miss fallback to the software tier.
-			if n.Spec.VIPs[vi].SMuxOnly {
-				continue
-			}
-			env = &Envelope{Type: MsgProgramOp, Program: &ProgramMsg{Kind: "add-vip", VIP: msgFromVIP(v)}}
-		case RoleHostAgent:
-			for _, b := range v.Backends {
-				if b.Addr.String() != peer.Self {
-					continue
-				}
-				reg := &Envelope{Type: MsgRegisterDIP, Addr: v.Addr.String(), DIP: b.Addr.String()}
-				if err := client.CallRetry(reg, bo, n.stop); err != nil {
-					return err
-				}
-			}
-			continue
-		default:
-			continue
-		}
-		if err := client.CallRetry(env, bo, n.stop); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Peer programming lives in ha.go: the leading controller's replicator
+// heartbeat-probes every peer and ships epoch deltas (or the snapshot
+// recovery push) until the peer acks the log head — the delta-first
+// successor of the old full-config anti-entropy loop. A restarted (blank)
+// peer is still fully reprogrammed within one resync interval plus the
+// reconnect backoff — the cross-process Figure 12 recovery path.
 
 // --- obs role -----------------------------------------------------------
 
@@ -924,6 +910,9 @@ func (n *Node) Close() {
 		}
 		if n.httpSrv != nil {
 			_ = n.httpSrv.Close()
+		}
+		if n.rep != nil {
+			n.rep.stop()
 		}
 		if n.ctl != nil {
 			n.ctl.Close()

@@ -1,0 +1,145 @@
+package wire
+
+// The config-replication data model: projecting a ClusterSpec's VIP
+// population into the internal/delta state the controller replicates, the
+// deterministic churn driver that advances it, and the content fingerprint
+// receivers use to suppress no-op reprogramming on snapshot recovery.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"duet/internal/delta"
+	"duet/internal/packet"
+	"duet/internal/service"
+	"duet/internal/steer"
+)
+
+// specState projects the spec's VIP population into a delta.State at the
+// given epoch: the leading controller's bootstrap config (epoch 1), from
+// which every later epoch derives by churn or operator mutation.
+func specState(s *ClusterSpec, epoch uint64) (*delta.State, error) {
+	st := delta.NewState()
+	st.Epoch = epoch
+	for i := range s.VIPs {
+		v := &s.VIPs[i]
+		addr, err := packet.ParseAddr(v.Addr)
+		if err != nil {
+			return nil, err
+		}
+		mode, err := steer.ParseMode(v.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("wire: VIP %s: %w", v.Addr, err)
+		}
+		if _, dup := st.VIPs[addr]; dup {
+			return nil, fmt.Errorf("wire: duplicate VIP %s in spec", v.Addr)
+		}
+		vs := &delta.VIPState{
+			Addr:   addr,
+			Mode:   mode,
+			Tier:   delta.TierHMux,
+			Switch: delta.Unassigned,
+		}
+		if v.Nic {
+			vs.Flags |= delta.FlagNic
+		}
+		if v.SMuxOnly {
+			vs.Flags |= delta.FlagSMuxOnly
+			vs.Tier = delta.TierSMux
+		}
+		for _, b := range v.Backends {
+			ba, err := packet.ParseAddr(b.Addr)
+			if err != nil {
+				return nil, err
+			}
+			w := b.Weight
+			if w == 0 {
+				w = 1
+			}
+			vs.Backends = append(vs.Backends, delta.Backend{Addr: ba, Weight: w})
+		}
+		sort.Slice(vs.Backends, func(a, b int) bool { return vs.Backends[a].Addr < vs.Backends[b].Addr })
+		st.VIPs[addr] = vs
+	}
+	return st, nil
+}
+
+// churnMutate advances s to the next epoch with a deterministic mutation
+// keyed by (seed, next epoch): it rotates the backend weights of a frac
+// fraction of VIPs (at least one). Weight rotation is a real config change
+// — it reprograms muxes and produces DIP-weight delta ops — but never moves
+// a VIP between tiers or flips its mode, so churn exercises the replication
+// path without opening drain windows. Determinism is what makes controller
+// takeover seamless: a promoted standby computes the exact delta the dead
+// leader would have.
+func churnMutate(s *delta.State, seed int64, frac float64) {
+	next := s.Epoch + 1
+	rng := rand.New(rand.NewSource(seed ^ int64(next*0x9e3779b97f4a7c15)))
+	if frac <= 0 {
+		frac = 0.2
+	}
+	addrs := s.Addrs()
+	n := int(float64(len(addrs))*frac + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n && len(addrs) > 0; i++ {
+		v := s.VIPs[addrs[rng.Intn(len(addrs))]]
+		for j := range v.Backends {
+			v.Backends[j].Weight = 1 + v.Backends[j].Weight%8
+		}
+	}
+	s.Epoch = next
+}
+
+// vipStateVersion fingerprints a replicated VIP's full configuration, the
+// delta-protocol counterpart of VIPSpec.Version: a snapshot recovery push
+// re-applies every VIP, and receivers skip ones whose fingerprint matches
+// what they already programmed (an UpdateVIP with identical content would
+// still bump the steer epoch).
+func vipStateVersion(v *delta.VIPState) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	binary.BigEndian.PutUint32(num[:4], uint32(v.Addr))
+	_, _ = h.Write(num[:4])
+	_, _ = h.Write([]byte{byte(v.Mode), v.Flags})
+	for _, b := range v.Backends {
+		binary.BigEndian.PutUint32(num[:4], uint32(b.Addr))
+		binary.BigEndian.PutUint32(num[4:], b.Weight)
+		_, _ = h.Write(num[:])
+	}
+	for _, blk := range v.SNAT {
+		binary.BigEndian.PutUint32(num[:4], uint32(blk.DIP))
+		binary.BigEndian.PutUint16(num[4:6], blk.Lo)
+		binary.BigEndian.PutUint16(num[6:], blk.Hi)
+		_, _ = h.Write(num[:])
+	}
+	return h.Sum64()
+}
+
+// serviceVIPOf converts a replicated VIP to the dataplane service type.
+func serviceVIPOf(v *delta.VIPState) (*service.VIP, error) {
+	sv := &service.VIP{Addr: v.Addr}
+	for _, b := range v.Backends {
+		sv.Backends = append(sv.Backends, service.Backend{Addr: b.Addr, Weight: b.Weight})
+	}
+	return sv, sv.Validate()
+}
+
+// affectedAddrs collects the VIP addresses a delta's ops touch, de-duplicated
+// in first-touch order — the receiver's reconcile work-list.
+func affectedAddrs(d *delta.Delta) []packet.Addr {
+	seen := make(map[packet.Addr]bool, len(d.Ops))
+	var out []packet.Addr
+	for i := range d.Ops {
+		a := d.Ops[i].VIP
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

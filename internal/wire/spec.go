@@ -109,10 +109,31 @@ func (v *VIPSpec) Version() uint64 {
 type ClusterSpec struct {
 	Nodes []NodeSpec `json:"nodes"`
 	VIPs  []VIPSpec  `json:"vips"`
-	// ResyncMillis is the controller's anti-entropy interval: the full
-	// configuration is re-pushed to every peer this often, which is what
-	// heals a restarted (blank) mux or host agent. Default 2000.
+	// ResyncMillis is the controller's anti-entropy interval: every peer is
+	// heartbeat-probed this often and, if its applied epoch lags the delta
+	// log's head, shipped the missing deltas (or the snapshot recovery push
+	// if it fell behind the compaction horizon) — which is what heals a
+	// restarted (blank) mux or host agent. Default 2000.
 	ResyncMillis int `json:"resync_ms,omitempty"`
+	// LeaseMillis is the controller leadership lease: the leader heartbeats
+	// every peer controller at a third of it, and a standby that has not
+	// heard a heartbeat for one lease starts a takeover. Default 2000.
+	LeaseMillis int `json:"lease_ms,omitempty"`
+	// DeltaTail is how many epoch deltas the controller's log retains before
+	// compacting into its base snapshot (the delta/snapshot recovery
+	// boundary). 0 selects the internal/delta default (64).
+	DeltaTail int `json:"delta_tail,omitempty"`
+	// ChurnMillis > 0 enables the deterministic config-churn driver: the
+	// leading controller advances the config epoch this often, mutating
+	// backend weights of a ChurnFrac fraction of VIPs. The mutation is a
+	// pure function of (ChurnSeed, epoch, prior state), so a standby that
+	// takes over mid-run continues the exact same epoch sequence.
+	ChurnMillis int `json:"churn_ms,omitempty"`
+	// ChurnSeed keys the churn driver's deterministic mutations.
+	ChurnSeed int64 `json:"churn_seed,omitempty"`
+	// ChurnFrac is the fraction of VIPs mutated per churn epoch (default
+	// 0.2; at least one VIP when any exist).
+	ChurnFrac float64 `json:"churn_frac,omitempty"`
 	// ScrapeMillis is every node's obs scrape interval. Default 1000.
 	ScrapeMillis int `json:"scrape_ms,omitempty"`
 	// HealthMillis is the host agents' health-report interval. Default 1000.
@@ -210,6 +231,15 @@ func (s *ClusterSpec) Validate() error {
 			return fmt.Errorf("wire: node %s (%s) sets nmux_table; only smux nodes host a NIC table", n.Name, n.Role)
 		}
 	}
+	if s.DeltaTail < 0 {
+		return fmt.Errorf("wire: negative delta_tail")
+	}
+	if s.ChurnMillis < 0 {
+		return fmt.Errorf("wire: negative churn_ms")
+	}
+	if s.ChurnFrac < 0 || s.ChurnFrac > 1 {
+		return fmt.Errorf("wire: churn_frac %v outside [0,1]", s.ChurnFrac)
+	}
 	for _, v := range s.VIPs {
 		if _, err := packet.ParseAddr(v.Addr); err != nil {
 			return err
@@ -247,6 +277,19 @@ func (s *ClusterSpec) Controller() (*NodeSpec, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Controllers returns every controller node in spec order. The order is the
+// election priority: the first controller leads at bootstrap, and on leader
+// death standbys take over lowest-index-first.
+func (s *ClusterSpec) Controllers() []*NodeSpec {
+	var out []*NodeSpec
+	for i := range s.Nodes {
+		if s.Nodes[i].Role == RoleController {
+			out = append(out, &s.Nodes[i])
+		}
+	}
+	return out
 }
 
 // HostMap builds the forwarding map every dataplane node needs: outer

@@ -14,10 +14,17 @@
 //   - The control plane is a length-prefixed TCP protocol (control.go):
 //     VIP programming, DIP registration, switch-table ops, health reports,
 //     and VIP announce/withdraw. The client survives peer restarts with
-//     exponential backoff + jitter, and the controller re-pushes the full
-//     configuration on an anti-entropy interval, so a restarted process
-//     converges back to serving state without operator action — the
-//     cross-process version of the paper's Figure 12 failover story.
+//     exponential backoff + jitter, and the leading controller replicates
+//     configuration as epoch deltas (ha.go, internal/delta): heartbeats
+//     probe each peer's applied epoch, lagging peers get exactly the
+//     missing deltas, and only a peer behind the compaction horizon (e.g.
+//     restarted blank long after the fact) gets the full-state snapshot —
+//     the recovery path. Either way a restarted process converges back to
+//     serving state without operator action — the cross-process version of
+//     the paper's Figure 12 failover story. Controllers themselves are
+//     replicated: a lease-based leader election (term + heartbeat over the
+//     same channel) lets a warm standby tailing the delta log take over
+//     within one lease timeout.
 //
 // cmd/duetd runs any role (smux, hostagent, switchagent, controller) as its
 // own OS process from a static JSON cluster spec (spec.go); node.go wires

@@ -158,7 +158,7 @@ func TestBackoffZeroValueUsable(t *testing.T) {
 
 func TestControlCallAndReject(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	srv, err := ListenControl("127.0.0.1:0", reg, func(env *Envelope) error {
+	srv, err := ListenControl("127.0.0.1:0", reg, func(env, _ *Envelope) error {
 		if env.Type == MsgRemoveVIP {
 			return errUnsupported{}
 		}
@@ -200,7 +200,7 @@ func (errUnsupported) Error() string { return "nope" }
 // CallRetry rides through on the backoff schedule.
 func TestControlClientSurvivesRestart(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	srv, err := ListenControl("127.0.0.1:0", reg, func(*Envelope) error { return nil })
+	srv, err := ListenControl("127.0.0.1:0", reg, func(_, _ *Envelope) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestControlClientSurvivesRestart(t *testing.T) {
 	}
 
 	// Restart on the same port and retry through.
-	srv2, err := ListenControl(addr, reg, func(*Envelope) error { return nil })
+	srv2, err := ListenControl(addr, reg, func(_, _ *Envelope) error { return nil })
 	if err != nil {
 		t.Fatalf("restart on %s: %v", addr, err)
 	}
@@ -236,7 +236,7 @@ func TestControlClientSurvivesRestart(t *testing.T) {
 
 func TestCallRetryReturnsRejectionImmediately(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	srv, err := ListenControl("127.0.0.1:0", reg, func(*Envelope) error { return errUnsupported{} })
+	srv, err := ListenControl("127.0.0.1:0", reg, func(_, _ *Envelope) error { return errUnsupported{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -663,8 +663,8 @@ func TestNodeModePropagatesAndHeals(t *testing.T) {
 }
 
 // TestNodeResyncSuppressionKeepsEpochStable is the receiver side of the
-// version gate: once programmed, anti-entropy re-pushes of an unchanged VIP
-// must be suppressed rather than applied, so the steer epoch stays put (an
+// anti-entropy design: once a node has applied the head epoch, resync is a
+// heartbeat probe that ships nothing, so the steer epoch stays put (an
 // applied update bumps the epoch, and in hybrid mode that opens a drain
 // window on every resync — a liveness bug for the overlay).
 func TestNodeResyncSuppressionKeepsEpochStable(t *testing.T) {
@@ -682,11 +682,17 @@ func TestNodeResyncSuppressionKeepsEpochStable(t *testing.T) {
 
 	waitFor(t, "smux programmed", func() bool { return sm.Reg.Gauge("wire.vips").Value() >= 1 })
 	epoch := sm.smux.Steer().Epoch()
+	applied := sm.Reg.Counter("wire.delta.applied").Value()
+	resyncs := ctl.Reg.Counter("wire.controller.resyncs").Value()
 
-	// Several resync intervals must pass as suppressed no-ops.
+	// Several anti-entropy rounds must pass as pure probes: the controller
+	// keeps heartbeating, and the up-to-date smux applies nothing new.
 	waitFor(t, "resync suppression", func() bool {
-		return sm.Reg.Counter("wire.vip.suppressed").Value() >= 3
+		return ctl.Reg.Counter("wire.controller.resyncs").Value() >= resyncs+3
 	})
+	if got := sm.Reg.Counter("wire.delta.applied").Value(); got != applied {
+		t.Fatalf("delta applies moved %d → %d under pure anti-entropy resync", applied, got)
+	}
 	if got := sm.smux.Steer().Epoch(); got != epoch {
 		t.Fatalf("steer epoch moved %d → %d under pure anti-entropy resync", epoch, got)
 	}
